@@ -1,0 +1,124 @@
+// Command sprout-bench regenerates the paper's experiments (Figs. 9-13 and
+// the §VI case study) on freshly generated probabilistic TPC-H data and
+// prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	sprout-bench [-sf 0.02] [-seed 1] [-exp all|fig9|fig10|fig11|fig12|fig13|casestudy] [-points 9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/benchutil"
+	"repro/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.02, "TPC-H scale factor (paper: 1.0)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	exp := flag.String("exp", "all", "experiment: all|fig9|fig10|fig11|fig12|fig13|casestudy")
+	points := flag.Int("points", 9, "selectivity points for fig11")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+
+	var d *tpch.Data
+	if *exp != "casestudy" {
+		fmt.Printf("generating TPC-H SF=%g (seed %d)...\n", *sf, *seed)
+		t0 := time.Now()
+		d = tpch.Generate(tpch.Config{SF: *sf, Seed: *seed})
+		fmt.Printf("  %d lineitems, %d orders, %d customers, %d variables (%.1fs)\n\n",
+			d.Item.Rel.Len(), d.Ord.Rel.Len(), d.Cust.Rel.Len(), d.NumVars, time.Since(t0).Seconds())
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sprout-bench:", err)
+		os.Exit(1)
+	}
+
+	if run("fig9") {
+		fmt.Println("== Fig. 9: lazy vs eager vs MystiQ plans ==")
+		rows, err := benchutil.Fig9(d)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-6s %12s %12s %12s %10s\n", "query", "mystiq", "eager", "lazy", "myst/lazy")
+		for _, r := range rows {
+			m := "FAILED"
+			ratio := "-"
+			if r.MystiQErr == "" {
+				m = fmt.Sprintf("%.3fs", r.MystiQ.Seconds())
+				ratio = fmt.Sprintf("%.1fx", r.LazyVsMyst)
+			}
+			fmt.Printf("%-6s %12s %12.3fs %12.3fs %10s\n", r.Query, m, r.Eager.Seconds(), r.Lazy.Seconds(), ratio)
+		}
+		fmt.Println()
+	}
+
+	if run("fig10") {
+		fmt.Println("== Fig. 10: lazy plans, tuple vs probability time ==")
+		rows, err := benchutil.Fig10(d)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-6s %12s %12s %10s %10s\n", "query", "tuples", "prob", "#answers", "#distinct")
+		for _, r := range rows {
+			fmt.Printf("%-6s %12.4fs %12.4fs %10d %10d\n",
+				r.Query, r.TupleTime.Seconds(), r.ProbTime.Seconds(), r.Answers, r.Distinct)
+		}
+		fmt.Println()
+	}
+
+	if run("fig11") {
+		fmt.Println("== Fig. 11: rendez-vous of eager and lazy plans (selectivity sweep) ==")
+		rows, err := benchutil.Fig11(d, *points)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-12s %10s %10s %10s %10s\n", "selectivity", "lazy(A)", "eager(A)", "lazy(B)", "eager(B)")
+		for _, r := range rows {
+			fmt.Printf("%-12.2f %10.4f %10.4f %10.4f %10.4f\n",
+				r.Selectivity, r.LazyA.Seconds(), r.EagerA.Seconds(), r.LazyB.Seconds(), r.EagerB.Seconds())
+		}
+		fmt.Println()
+	}
+
+	if run("fig12") {
+		fmt.Println("== Fig. 12: hybrid versus eager and lazy plans ==")
+		rows, err := benchutil.Fig12(d)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-6s %10s %10s %10s %14s %14s\n", "query", "eager", "lazy", "hybrid", "eager/hybrid", "lazy/hybrid")
+		for _, r := range rows {
+			fmt.Printf("%-6s %9.3fs %9.3fs %9.3fs %14.2f %14.2f\n",
+				r.Query, r.Eager.Seconds(), r.Lazy.Seconds(), r.Hybrid.Seconds(), r.EagerHybrid, r.LazyHybrid)
+		}
+		fmt.Println()
+	}
+
+	if run("fig13") {
+		fmt.Println("== Fig. 13: influence of FDs on the operator ==")
+		rows, err := benchutil.Fig13(d)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-6s %10s %10s %12s %12s %8s %8s %10s %10s\n",
+			"query", "seqscan", "sorting", "op(noFDs)", "op(FDs)", "scans", "scansFD", "#answers", "#distinct")
+		for _, r := range rows {
+			fmt.Printf("%-6s %9.4fs %9.4fs %11.4fs %11.4fs %8d %8d %10d %10d\n",
+				r.Query, r.SeqScan.Seconds(), r.Sort.Seconds(), r.OpNoFDs.Seconds(), r.OpWithFDs.Seconds(),
+				r.ScansNoFDs, r.ScansFDs, r.Answers, r.Distinct)
+		}
+		fmt.Println()
+	}
+
+	if run("casestudy") {
+		fmt.Println("== §VI case study: TPC-H query classification ==")
+		fmt.Println(benchutil.CaseStudy())
+	}
+}

@@ -1,0 +1,104 @@
+// Command sproutq runs one named catalog query (a conjunctive subquery of a
+// TPC-H query, see internal/tpch) against freshly generated data and prints
+// the distinct answers with their exact confidences, plus the plan and
+// signature used.
+//
+// Usage:
+//
+//	sproutq [-sf 0.005] [-seed 1] [-plan lazy|eager|hybrid|mystiq] [-limit 20] 18
+//	sproutq -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/plan"
+	"repro/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
+	seed := flag.Int64("seed", 1, "generator seed")
+	planName := flag.String("plan", "lazy", "plan style: lazy|eager|hybrid|mystiq")
+	limit := flag.Int("limit", 20, "max answer rows to print")
+	list := flag.Bool("list", false, "list catalog queries and exit")
+	flag.Parse()
+
+	catalog := tpch.Catalog()
+	if *list {
+		names := make([]string, 0, len(catalog))
+		for n := range catalog {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			e := catalog[n]
+			if e.Unsupported != "" {
+				fmt.Printf("%-5s unsupported: %s\n", n, e.Unsupported)
+				continue
+			}
+			fmt.Printf("%-5s %s\n      %s\n", n, e.Q, e.Note)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sproutq [flags] <query-name>; see -list")
+		os.Exit(2)
+	}
+	e := catalog[flag.Arg(0)]
+	if e == nil {
+		fail(fmt.Errorf("unknown query %q (see -list)", flag.Arg(0)))
+	}
+	if e.Unsupported != "" {
+		fail(fmt.Errorf("query %s is unsupported: %s", e.Name, e.Unsupported))
+	}
+
+	var style plan.Style
+	switch *planName {
+	case "lazy":
+		style = plan.Lazy
+	case "eager":
+		style = plan.Eager
+	case "hybrid":
+		style = plan.Hybrid
+	case "mystiq":
+		style = plan.SafeMystiQ
+	default:
+		fail(fmt.Errorf("unknown plan style %q", *planName))
+	}
+
+	fmt.Printf("query %s: %s\n", e.Name, e.Q)
+	d := tpch.Generate(tpch.Config{SF: *sf, Seed: *seed})
+	res, err := plan.Run(d.Catalog(), e.Q.Clone(), tpch.FDsFor(e), plan.Spec{Style: style})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("plan: %s\n", res.Stats.Plan)
+	fmt.Printf("signature: %s\n", res.Stats.Signature)
+	fmt.Printf("answer tuples: %d, distinct: %d, operator scans: %d\n",
+		res.Stats.AnswerTuples, res.Stats.DistinctTuples, res.Stats.Scans)
+	fmt.Printf("tuple time %.4fs, prob time %.4fs\n\n", res.Stats.TupleTime.Seconds(), res.Stats.ProbTime.Seconds())
+
+	for _, c := range res.Rows.Schema.Names() {
+		fmt.Printf("%-24s", c)
+	}
+	fmt.Println()
+	for i, row := range res.Rows.Rows {
+		if i >= *limit {
+			fmt.Printf("... (%d more rows)\n", res.Rows.Len()-*limit)
+			break
+		}
+		for _, v := range row {
+			fmt.Printf("%-24s", v.String())
+		}
+		fmt.Println()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sproutq:", err)
+	os.Exit(1)
+}

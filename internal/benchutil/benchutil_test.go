@@ -1,0 +1,103 @@
+package benchutil
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tpch"
+)
+
+// tiny returns a small deterministic instance for harness smoke tests.
+func tiny() *tpch.Data {
+	return tpch.Generate(tpch.Config{SF: 0.002, Seed: 99})
+}
+
+func TestFig9Harness(t *testing.T) {
+	rows, err := Fig9(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(tpch.Fig9Queries()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Lazy <= 0 || r.Eager <= 0 {
+			t.Errorf("%s: non-positive timings %+v", r.Query, r)
+		}
+		if r.MystiQErr == "" && r.MystiQ <= 0 {
+			t.Errorf("%s: MystiQ neither timed nor failed", r.Query)
+		}
+	}
+}
+
+func TestFig10Harness(t *testing.T) {
+	rows, err := Fig10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(tpch.Fig10Queries()) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Distinct > r.Answers {
+			t.Errorf("%s: distinct %d > answers %d", r.Query, r.Distinct, r.Answers)
+		}
+	}
+}
+
+func TestFig11Harness(t *testing.T) {
+	rows, err := Fig11(tiny(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Selectivity <= rows[i-1].Selectivity {
+			t.Error("selectivities must increase")
+		}
+	}
+}
+
+func TestFig12Harness(t *testing.T) {
+	rows, err := Fig12(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Query != "C" || rows[1].Query != "D" {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestFig13Harness(t *testing.T) {
+	rows, err := Fig13(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The FD-refined operator never needs more scans than the
+		// conservative one; for these queries it is single-scan (§VII.3).
+		if r.ScansFDs > r.ScansNoFDs {
+			t.Errorf("%s: FD scans %d > no-FD scans %d", r.Query, r.ScansFDs, r.ScansNoFDs)
+		}
+		if r.ScansFDs != 1 {
+			t.Errorf("%s: expected 1 scan with FDs, got %d", r.Query, r.ScansFDs)
+		}
+		if r.Distinct > r.Answers {
+			t.Errorf("%s: distinct %d > answers %d", r.Query, r.Distinct, r.Answers)
+		}
+	}
+}
+
+func TestCaseStudyRendering(t *testing.T) {
+	s := CaseStudy()
+	for _, frag := range []string{"query", "unsupported", "hierarchical without FDs"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("case study output missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package conf
+
+import (
+	"fmt"
+
+	"repro/internal/prob"
+	"repro/internal/signature"
+	"repro/internal/table"
+)
+
+// Aggregate applies one probability-computation operator [s] eagerly to a
+// materialized intermediate relation (§V.B): all aggregation steps of s run
+// as sort+scan passes and all propagation steps as projections, leaving a
+// single representative V/P column pair for s's tables. It returns the new
+// relation, the representative source name, and the number of scans used.
+//
+// This is the building block of eager and hybrid plans: pushing [Item*]
+// below a join, or [(Ord Item)*] above one, is a call to Aggregate on the
+// corresponding intermediate.
+func Aggregate(rel *table.Relation, s signature.Sig, opts Options) (*table.Relation, string, int, error) {
+	switch x := s.(type) {
+	case signature.Table:
+		// [R] is the identity (Fig. 5's JRK case).
+		return rel, string(x), 0, nil
+
+	case signature.Star:
+		steps, final := planScans(x)
+		cur := rel
+		scans := 0
+		for _, st := range steps {
+			next, _, err := aggregateStep(cur, st.gamma, opts)
+			if err != nil {
+				return nil, "", scans, err
+			}
+			scans++
+			cur = next
+		}
+		// The final signature of a star is a star again (planScans only
+		// rewrites inner components); collapse it in one more scan.
+		fstar, ok := final.(signature.Star)
+		if !ok {
+			return nil, "", scans, fmt.Errorf("conf: scheduler produced non-star %s from %s", final, s)
+		}
+		out, _, err := aggregateStep(cur, fstar, opts)
+		if err != nil {
+			return nil, "", scans, err
+		}
+		scans++
+		rt, err := newRuntimeTree(fstar, cur.Schema)
+		if err != nil {
+			return nil, "", scans, err
+		}
+		return out, rt.root.tableName, scans, nil
+
+	case signature.Concat:
+		// [αβ…]: collapse each starred component, then fold probabilities
+		// right-to-left into the leftmost representative (pure
+		// propagation, no extra scan).
+		cur := rel
+		scans := 0
+		reps := make([]string, len(x))
+		for i, comp := range x {
+			var err error
+			var rep string
+			var n int
+			cur, rep, n, err = Aggregate(cur, comp, opts)
+			if err != nil {
+				return nil, "", scans, err
+			}
+			scans += n
+			reps[i] = rep
+		}
+		for i := len(reps) - 2; i >= 0; i-- {
+			var err error
+			cur, err = propagatePair(cur, reps[i], reps[i+1])
+			if err != nil {
+				return nil, "", scans, err
+			}
+		}
+		return cur, reps[0], scans, nil
+
+	default:
+		return nil, "", 0, fmt.Errorf("conf: unknown signature shape %T", s)
+	}
+}
+
+// propagatePair folds P(right) into P(left) and drops right's V/P columns —
+// the JαβK projection of Fig. 5 executed on a materialized relation.
+func propagatePair(rel *table.Relation, left, right string) (*table.Relation, error) {
+	lp := rel.Schema.ProbIndex(left)
+	rv := rel.Schema.VarIndex(right)
+	rp := rel.Schema.ProbIndex(right)
+	if lp < 0 || rv < 0 || rp < 0 {
+		return nil, fmt.Errorf("conf: propagation %s·%s: columns missing in %v", left, right, rel.Schema.Names())
+	}
+	var keep []int
+	for i := range rel.Schema.Cols {
+		if i != rv && i != rp {
+			keep = append(keep, i)
+		}
+	}
+	out := table.NewRelation(rel.Schema.Project(keep))
+	for _, row := range rel.Rows {
+		nr := make(table.Tuple, 0, len(keep))
+		for _, i := range keep {
+			if i == lp {
+				nr = append(nr, table.Float(row[lp].F*row[rp].F))
+			} else {
+				nr = append(nr, row[i])
+			}
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+// FinalizeBare extracts the answer from a relation whose confidence is
+// already fully computed (signature reduced to a bare table): it projects
+// the data columns plus the surviving probability column as conf and
+// deduplicates. Used by fully eager plans, where the top operator has
+// nothing left to aggregate.
+func FinalizeBare(rel *table.Relation, rep string) (*table.Relation, error) {
+	pi := rel.Schema.ProbIndex(rep)
+	if pi < 0 {
+		return nil, fmt.Errorf("conf: representative %s has no P column in %v", rep, rel.Schema.Names())
+	}
+	dataCols := rel.Schema.DataIndexes()
+	outCols := make([]table.Column, 0, len(dataCols)+1)
+	for _, i := range dataCols {
+		outCols = append(outCols, rel.Schema.Cols[i])
+	}
+	outCols = append(outCols, table.DataCol(ConfCol, table.KindFloat))
+	out := table.NewRelation(table.NewSchema(outCols...))
+	seen := make(map[string]bool)
+	for _, row := range rel.Rows {
+		nr := make(table.Tuple, 0, len(outCols))
+		for _, i := range dataCols {
+			nr = append(nr, row[i])
+		}
+		nr = append(nr, table.Float(row[pi].F))
+		k := nr.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+// OrAllColumn computes the independent disjunction of a probability column,
+// a convenience for Boolean eager plans.
+func OrAllColumn(rel *table.Relation, src string) (float64, error) {
+	pi := rel.Schema.ProbIndex(src)
+	if pi < 0 {
+		return 0, fmt.Errorf("conf: source %s has no P column", src)
+	}
+	ps := make([]float64, 0, rel.Len())
+	for _, row := range rel.Rows {
+		ps = append(ps, row[pi].F)
+	}
+	return prob.OrAll(ps), nil
+}

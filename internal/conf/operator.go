@@ -1,0 +1,317 @@
+package conf
+
+import (
+	"fmt"
+
+	"repro/internal/signature"
+	"repro/internal/storage"
+	"repro/internal/table"
+)
+
+// Options tunes the operator's secondary-storage behaviour.
+type Options struct {
+	SortBudget int    // tuples held in memory per sort; 0 = default
+	TmpDir     string // spill directory; "" = os.TempDir()
+}
+
+// Stats reports what the operator did — the quantities behind the paper's
+// Fig. 13 (number of scans with/without FDs, sorting work).
+type Stats struct {
+	Scans        int      // aggregation scans + the final scan
+	Sorts        int      // sort passes (one per scan)
+	SpilledRuns  int      // external-sort runs written to disk
+	InputTuples  int64    // tuples entering the first scan
+	OutputTuples int64    // distinct answer tuples
+	Steps        []string // signatures of the scheduled aggregation steps
+}
+
+// ConfCol is the name of the confidence column in the operator's output.
+const ConfCol = "conf"
+
+// Compute runs the confidence operator: given a materialized answer
+// relation (data columns plus V/P columns for every source table) and a
+// signature over those sources, it returns the distinct data tuples with
+// their exact confidences. Semantically it equals the aggregation sequence
+// of Fig. 5; operationally it schedules the minimal number of sort+scan
+// passes (Prop. V.10).
+func Compute(rel *table.Relation, sig signature.Sig, opts Options) (*table.Relation, error) {
+	out, _, err := ComputeStats(rel, sig, opts)
+	return out, err
+}
+
+// ComputeStats is Compute with execution statistics.
+func ComputeStats(rel *table.Relation, sig signature.Sig, opts Options) (*table.Relation, *Stats, error) {
+	if err := validateSources(rel.Schema, sig); err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{InputTuples: int64(rel.Len())}
+	steps, finalSig := planScans(sig)
+	cur := rel
+	for _, st := range steps {
+		stats.Steps = append(stats.Steps, "["+st.gamma.String()+"]")
+		next, spills, err := aggregateStep(cur, st.gamma, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.Scans++
+		stats.Sorts++
+		stats.SpilledRuns += spills
+		cur = next
+	}
+	out, spills, err := finalScan(cur, finalSig, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Scans++
+	stats.Sorts++
+	stats.SpilledRuns += spills
+	stats.OutputTuples = int64(out.Len())
+	return out, stats, nil
+}
+
+func validateSources(s *table.Schema, sig signature.Sig) error {
+	have := make(map[string]bool)
+	for _, src := range s.Sources() {
+		have[src] = true
+	}
+	for _, t := range signature.Tables(sig) {
+		if !have[t] {
+			return fmt.Errorf("conf: signature table %s has no V/P columns in input schema %v", t, s.Names())
+		}
+		delete(have, t)
+	}
+	for src := range have {
+		return fmt.Errorf("conf: input carries variables of table %s absent from signature %s", src, sig)
+	}
+	return nil
+}
+
+// scanStep is one scheduled aggregation: gamma is a starred 1scan
+// subexpression whose tables collapse into a single representative.
+type scanStep struct {
+	gamma signature.Sig
+}
+
+// planScans rewrites the signature until it has the 1scan property,
+// emitting one aggregation step per starred subexpression that lacks a bare
+// table (Def. V.8): the step's starred component is aggregated into its
+// representative table. Returns the steps (innermost first) and the final
+// 1scan signature. This reproduces Ex. V.11: (Cust*(Ord*Item*)*)* yields
+// steps [Ord*], [Cust*] and final (Cust(Ord Item*)*)*.
+func planScans(s signature.Sig) ([]scanStep, signature.Sig) {
+	var steps []scanStep
+	var fix func(signature.Sig) signature.Sig
+	fix = func(s signature.Sig) signature.Sig {
+		switch x := s.(type) {
+		case signature.Table:
+			return x
+		case signature.Star:
+			inner := fix(x.Inner)
+			comps, ok := inner.(signature.Concat)
+			if !ok {
+				comps = signature.Concat{inner}
+			}
+			if !hasBare(comps) {
+				// Aggregate the first starred component into its
+				// representative table.
+				for i, c := range comps {
+					st, isStar := c.(signature.Star)
+					if !isStar {
+						continue
+					}
+					rep := representative(st)
+					steps = append(steps, scanStep{gamma: st})
+					rebuilt := append(signature.Concat{}, comps...)
+					rebuilt[i] = signature.Table(rep)
+					comps = rebuilt
+					break
+				}
+			}
+			return signature.NewStar(signature.NewConcat(comps...))
+		case signature.Concat:
+			parts := make([]signature.Sig, len(x))
+			for i, c := range x {
+				parts[i] = fix(c)
+			}
+			return signature.NewConcat(parts...)
+		default:
+			return s
+		}
+	}
+	final := fix(s)
+	return steps, final
+}
+
+func hasBare(c signature.Concat) bool {
+	for _, comp := range c {
+		if _, ok := comp.(signature.Table); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// representative returns the table that survives the aggregation of a
+// starred 1scan subexpression — the root of its 1scanTree.
+func representative(s signature.Sig) string {
+	st, err := signature.BuildScanTree(s)
+	if err != nil {
+		// planScans only aggregates components that are themselves 1scan;
+		// reaching here is a scheduler bug.
+		panic(fmt.Sprintf("conf: representative of non-1scan %s: %v", s, err))
+	}
+	return st.Table
+}
+
+// sortedScan sorts rel by keyCols (external sort) and streams it to emit.
+func sortedScan(rel *table.Relation, keyCols []int, opts Options, emit func(table.Tuple) error) (spills int, err error) {
+	sorter := storage.NewExternalSorter(func(a, b table.Tuple) int {
+		return table.CompareOn(a, b, keyCols)
+	}, opts.SortBudget, opts.TmpDir)
+	for _, row := range rel.Rows {
+		if err := sorter.Add(row); err != nil {
+			return 0, err
+		}
+	}
+	it, err := sorter.Finish()
+	if err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return sorter.Spills(), err
+		}
+		if !ok {
+			return sorter.Spills(), nil
+		}
+		if err := emit(t); err != nil {
+			return sorter.Spills(), err
+		}
+	}
+}
+
+// aggregateStep executes one aggregation [γ*]: group by every column not
+// belonging to γ's tables, run the one-scan algorithm over γ's columns per
+// group, and emit the group columns plus representative V/P columns. This
+// is the single-scan equivalent of one GRP statement of Fig. 6 (or of a
+// whole sub-sequence when γ is composite).
+func aggregateStep(rel *table.Relation, gamma signature.Sig, opts Options) (*table.Relation, int, error) {
+	rt, err := newRuntimeTree(gamma, rel.Schema)
+	if err != nil {
+		return nil, 0, err
+	}
+	rootVarIdx := rt.rootVarIdx()
+	if rootVarIdx < 0 {
+		return nil, 0, fmt.Errorf("conf: aggregation step %s has no representative table", gamma)
+	}
+	root := rt.root.tableName
+
+	gammaCols := make(map[int]bool)
+	for _, tn := range signature.Tables(gamma) {
+		gammaCols[rel.Schema.VarIndex(tn)] = true
+		gammaCols[rel.Schema.ProbIndex(tn)] = true
+	}
+	var groupCols []int
+	for i := range rel.Schema.Cols {
+		if !gammaCols[i] {
+			groupCols = append(groupCols, i)
+		}
+	}
+	sortCols := append(append([]int(nil), groupCols...), rt.varColumns()...)
+
+	// Output schema: group columns followed by the representative's V/P.
+	outCols := make([]table.Column, 0, len(groupCols)+2)
+	for _, i := range groupCols {
+		outCols = append(outCols, rel.Schema.Cols[i])
+	}
+	outCols = append(outCols, table.VarCol(root), table.ProbCol(root))
+	out := table.NewRelation(table.NewSchema(outCols...))
+	var prev table.Tuple
+	var groupKey table.Tuple
+	var repVar table.Value
+	emitGroup := func() {
+		p := rt.flush()
+		row := make(table.Tuple, 0, len(outCols))
+		for _, i := range groupCols {
+			row = append(row, groupKey[i])
+		}
+		row = append(row, repVar, table.Float(p))
+		out.Rows = append(out.Rows, row)
+	}
+	spills, err := sortedScan(rel, sortCols, opts, func(t table.Tuple) error {
+		if prev != nil && !table.EqualOn(prev, t, groupCols) {
+			emitGroup()
+			prev = nil
+		}
+		if prev == nil {
+			groupKey = t.Clone()
+			repVar = t[rootVarIdx] // sorted ascending: first = min representative
+			rt.seed(t)
+		} else {
+			rt.step(rt.firstUnmatched(prev, t), t)
+		}
+		prev = t.Clone()
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if prev != nil {
+		emitGroup()
+	}
+	return out, spills, nil
+}
+
+// finalScan runs the concluding one-scan pass of the operator: sort by the
+// data columns followed by the variable columns in 1scanTree preorder, then
+// compute one probability per bag of duplicates (Fig. 8's outer loop).
+func finalScan(rel *table.Relation, sig signature.Sig, opts Options) (*table.Relation, int, error) {
+	rt, err := newRuntimeTree(sig, rel.Schema)
+	if err != nil {
+		return nil, 0, err
+	}
+	dataCols := rel.Schema.DataIndexes()
+	sortCols := append(append([]int(nil), dataCols...), rt.varColumns()...)
+
+	outCols := make([]table.Column, 0, len(dataCols)+1)
+	for _, i := range dataCols {
+		outCols = append(outCols, rel.Schema.Cols[i])
+	}
+	outCols = append(outCols, table.DataCol(ConfCol, table.KindFloat))
+	out := table.NewRelation(table.NewSchema(outCols...))
+
+	var prev table.Tuple
+	var bagKey table.Tuple
+	emitBag := func() {
+		p := rt.flush()
+		row := make(table.Tuple, 0, len(outCols))
+		for _, i := range dataCols {
+			row = append(row, bagKey[i])
+		}
+		row = append(row, table.Float(p))
+		out.Rows = append(out.Rows, row)
+	}
+	spills, err := sortedScan(rel, sortCols, opts, func(t table.Tuple) error {
+		if prev != nil && !table.EqualOn(prev, t, dataCols) {
+			emitBag()
+			prev = nil
+		}
+		if prev == nil {
+			bagKey = t.Clone()
+			rt.seed(t)
+		} else {
+			rt.step(rt.firstUnmatched(prev, t), t)
+		}
+		prev = t.Clone()
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if prev != nil {
+		emitBag()
+	}
+	return out, spills, nil
+}

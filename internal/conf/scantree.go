@@ -1,0 +1,245 @@
+// Package conf implements SPROUT's contribution: the secondary-storage
+// operator for exact confidence computation (paper §V). Three cooperating
+// pieces live here:
+//
+//   - the streaming one-scan algorithm over a 1scanTree (Fig. 8), which
+//     turns the DNF encoded in the variable columns of a sorted answer
+//     relation into 1OF and evaluates its probability on the fly;
+//   - the multi-scan scheduler (§V.C, Ex. V.11) that aggregates starred
+//     subexpressions of a non-1scan signature until the remainder has the
+//     1scan property, one sort+scan per aggregation;
+//   - the literal GRP-sequence semantics of Fig. 5/6 (grp.go), used as a
+//     reference implementation for cross-validation.
+package conf
+
+import (
+	"fmt"
+
+	"repro/internal/prob"
+	"repro/internal/signature"
+	"repro/internal/table"
+)
+
+// scanNode is one node of the runtime 1scanTree: it tracks the running
+// probability of the current partition (crtP), the accumulated probability
+// of finished partitions (allP), and the enabled flag that suppresses
+// re-occurring partitions (Fig. 8).
+//
+// A virtual root (virtual == true) represents a relational product of
+// unconnected subexpressions (signatures like R*S* — Def. V.8 classifies
+// them as 1scan although no table is one-to-one with the outer grouping):
+// its "partition" spans the whole bag and its probability is the product of
+// its children's accumulated results. Folding the components into one
+// another instead would double-count shared partitions.
+type scanNode struct {
+	tableName string
+	virtual   bool
+	pos       int // position in the sort order; -1 for the virtual root
+	varIdx    int // column index of V(table); -1 for the virtual root
+	probIdx   int // column index of P(table); -1 for the virtual root
+	children  []*scanNode
+	crtP      float64
+	allP      float64
+	enabled   bool
+}
+
+// runtimeTree is the evaluator for one bag of duplicates.
+type runtimeTree struct {
+	root  *scanNode
+	nodes []*scanNode // real (non-virtual) nodes in preorder
+}
+
+// newRuntimeTree builds the runtime 1scanTree for a 1scan signature,
+// binding each table to its V/P columns in schema. The tree shape follows
+// §V.C: stars only express multiplicity; in a concatenation, the first bare
+// table becomes the subtree root and all other components its children; a
+// concatenation without a bare table (a product, necessarily at the top
+// level) gets a virtual AND root.
+func newRuntimeTree(sig signature.Sig, schema *table.Schema) (*runtimeTree, error) {
+	if !signature.OneScan(sig) {
+		return nil, fmt.Errorf("conf: signature %s lacks the 1scan property", sig)
+	}
+	rt := &runtimeTree{}
+	var mkNode func(name string) (*scanNode, error)
+	mkNode = func(name string) (*scanNode, error) {
+		vi, pi := schema.VarIndex(name), schema.ProbIndex(name)
+		if vi < 0 || pi < 0 {
+			return nil, fmt.Errorf("conf: input schema %v lacks V/P columns for table %s", schema.Names(), name)
+		}
+		return &scanNode{tableName: name, varIdx: vi, probIdx: pi}, nil
+	}
+	var build func(s signature.Sig) (*scanNode, error)
+	build = func(s signature.Sig) (*scanNode, error) {
+		switch x := s.(type) {
+		case signature.Table:
+			return mkNode(string(x))
+		case signature.Star:
+			return build(x.Inner)
+		case signature.Concat:
+			rootIdx := -1
+			for i, comp := range x {
+				if tb, ok := comp.(signature.Table); ok {
+					rootIdx = i
+					_ = tb
+					break
+				}
+			}
+			var root *scanNode
+			if rootIdx >= 0 {
+				n, err := mkNode(string(x[rootIdx].(signature.Table)))
+				if err != nil {
+					return nil, err
+				}
+				root = n
+			} else {
+				root = &scanNode{virtual: true, pos: -1, varIdx: -1, probIdx: -1}
+			}
+			for i, comp := range x {
+				if i == rootIdx {
+					continue
+				}
+				child, err := build(comp)
+				if err != nil {
+					return nil, err
+				}
+				root.children = append(root.children, child)
+			}
+			return root, nil
+		default:
+			return nil, fmt.Errorf("conf: unknown signature shape %T", s)
+		}
+	}
+	root, err := build(sig)
+	if err != nil {
+		return nil, err
+	}
+	rt.root = root
+	// Number the real nodes in preorder — this is the required sort order
+	// of the variable columns.
+	var number func(n *scanNode)
+	number = func(n *scanNode) {
+		if !n.virtual {
+			n.pos = len(rt.nodes)
+			rt.nodes = append(rt.nodes, n)
+		}
+		for _, c := range n.children {
+			number(c)
+		}
+	}
+	number(root)
+	if len(rt.nodes) == 0 {
+		return nil, fmt.Errorf("conf: signature %s has no tables", sig)
+	}
+	return rt, nil
+}
+
+// varColumns returns the input column indexes of the variable columns in
+// preorder.
+func (rt *runtimeTree) varColumns() []int {
+	out := make([]int, len(rt.nodes))
+	for i, n := range rt.nodes {
+		out[i] = n.varIdx
+	}
+	return out
+}
+
+// rootVarIdx returns the variable column of the representative (root)
+// table, or -1 when the root is virtual (pure products have no single
+// representative; callers that need one must not see a virtual root).
+func (rt *runtimeTree) rootVarIdx() int { return rt.root.varIdx }
+
+// seed starts a new bag of duplicates with its first tuple: every node is
+// enabled with an empty history (allP = 0) and a current partition opened
+// with the tuple's probability. This is exactly the state Fig. 8's
+// propagate_prob reaches after processing the first tuple with i = 0, and
+// it also covers virtual product roots, which have no column of their own.
+func (rt *runtimeTree) seed(cur table.Tuple) {
+	var walk func(n *scanNode)
+	walk = func(n *scanNode) {
+		n.enabled = true
+		n.allP = 0
+		if n.virtual {
+			n.crtP = 1
+		} else {
+			n.crtP = cur[n.probIdx].F
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(rt.root)
+}
+
+// firstUnmatched returns the position of the leftmost variable column on
+// which prev and cur differ (0 when prev is nil, i.e. the first tuple of a
+// bag), or len(nodes) when all variable columns agree.
+func (rt *runtimeTree) firstUnmatched(prev, cur table.Tuple) int {
+	if prev == nil {
+		return 0
+	}
+	for _, n := range rt.nodes {
+		if !table.Equal(prev[n.varIdx], cur[n.varIdx]) {
+			return n.pos
+		}
+	}
+	return len(rt.nodes)
+}
+
+// step processes one input tuple given the leftmost changed column i —
+// procedure propagate_prob of Fig. 8, run in postorder from the root.
+func (rt *runtimeTree) step(i int, cur table.Tuple) {
+	rt.propagate(rt.root, i, cur)
+}
+
+func (rt *runtimeTree) propagate(n *scanNode, i int, cur table.Tuple) {
+	for _, c := range n.children {
+		rt.propagate(c, i, cur)
+	}
+	if !n.enabled || n.pos < i {
+		return
+	}
+	if !n.virtual && len(n.children) == 0 && n.pos == i && cur != nil {
+		// Same partition, new variable: accumulate the independent OR.
+		n.crtP = prob.Or(n.crtP, cur[n.probIdx].F)
+		return
+	}
+	// A partition of n (or an ancestor) just ended: close n's current
+	// partition by folding in the children's finished partitions, and add
+	// it to allP.
+	for _, c := range n.children {
+		n.crtP *= c.allP
+	}
+	n.allP = prob.Or(n.allP, n.crtP)
+	if !n.virtual && cur != nil && n.pos == i {
+		// n starts a new partition: descendants start fresh partitions
+		// seeded with the current tuple's probabilities.
+		rt.resetDescendants(n, cur)
+		n.crtP = cur[n.probIdx].F
+	} else {
+		// An ancestor's partition changed (or this partition re-occurred):
+		// freeze n until an ancestor re-enables it.
+		rt.disable(n)
+	}
+}
+
+func (rt *runtimeTree) resetDescendants(n *scanNode, cur table.Tuple) {
+	for _, c := range n.children {
+		c.enabled = true
+		c.allP = 0
+		c.crtP = cur[c.probIdx].F
+		rt.resetDescendants(c, cur)
+	}
+}
+
+func (rt *runtimeTree) disable(n *scanNode) {
+	n.enabled = false
+	for _, c := range n.children {
+		rt.disable(c)
+	}
+}
+
+// flush finalizes the current bag and returns its exact probability.
+func (rt *runtimeTree) flush() float64 {
+	rt.propagate(rt.root, -1, nil)
+	return rt.root.allP
+}

@@ -1,0 +1,298 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/table"
+)
+
+// mystiqLogLimit is where the modelled POWER(10, Σlog) computation of
+// MystiQ's probability aggregate gives up (§VII, "Query Engines").
+const mystiqLogLimit = -300.0
+
+// AggKind enumerates the aggregate functions needed by the paper's GRP
+// statements (Fig. 5): min over variable columns (choosing a representative
+// variable) and prob over probability columns (independent disjunction,
+// 1-Π(1-p)). Sum and Count round out the engine for general use.
+type AggKind uint8
+
+// Aggregate kinds. AggLogOr is MystiQ's numerically fragile variant of
+// AggProbOr — 1 - 10^Σ log10(1.001 - p) — which produces NaN/underflow on
+// large groups of near-certain events, reproducing the runtime errors the
+// paper reports for queries 1, 4, 12 and several Boolean variants (§VII).
+const (
+	AggMin AggKind = iota
+	AggProbOr
+	AggSum
+	AggCount
+	AggLogOr
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggMin:
+		return "min"
+	case AggProbOr:
+		return "prob"
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggLogOr:
+		return "mystiq_prob"
+	default:
+		return "?"
+	}
+}
+
+// AggSpec computes one output column from the rows of a group.
+type AggSpec struct {
+	Kind AggKind
+	Col  int          // input column aggregated (ignored for count)
+	Out  table.Column // output column descriptor
+}
+
+type aggState struct {
+	min    table.Value
+	hasMin bool
+	compl  float64 // running Π(1-p) for prob
+	logSum float64 // running Σ log10(1.001-p) for MystiQ's aggregate
+	sum    float64
+	count  int64
+}
+
+func (a *aggState) reset() {
+	a.hasMin = false
+	a.compl = 1
+	a.logSum = 0
+	a.sum = 0
+	a.count = 0
+}
+
+func (a *aggState) add(spec AggSpec, t table.Tuple) {
+	switch spec.Kind {
+	case AggMin:
+		v := t[spec.Col]
+		if !a.hasMin || table.Compare(v, a.min) < 0 {
+			a.min = v
+			a.hasMin = true
+		}
+	case AggProbOr:
+		a.compl *= 1 - t[spec.Col].F
+	case AggLogOr:
+		a.logSum += math.Log10(1.001 - t[spec.Col].F)
+	case AggSum:
+		v := t[spec.Col]
+		if v.Kind == table.KindInt {
+			a.sum += float64(v.I)
+		} else {
+			a.sum += v.F
+		}
+	case AggCount:
+		// handled by count below
+	}
+	a.count++
+}
+
+func (a *aggState) result(spec AggSpec) table.Value {
+	switch spec.Kind {
+	case AggMin:
+		if !a.hasMin {
+			return table.Null()
+		}
+		return a.min
+	case AggProbOr:
+		return table.Float(1 - a.compl)
+	case AggLogOr:
+		if a.logSum < mystiqLogLimit {
+			// POWER underflows in PostgreSQL; MystiQ aborts at runtime.
+			return table.Float(math.NaN())
+		}
+		return table.Float(1 - math.Pow(10, a.logSum))
+	case AggSum:
+		return table.Float(a.sum)
+	case AggCount:
+		return table.Int(a.count)
+	default:
+		return table.Null()
+	}
+}
+
+// SortedGroupBy aggregates over an input that is already sorted (at least
+// grouped) on the grouping columns: it emits one row per maximal run of
+// equal group keys. This is the executable form of the paper's GRP[a; b]
+// statement — `select distinct a, b from Q group by a` (Fig. 5) — and runs
+// in a single scan, which is what makes eager plans and the multi-scan
+// scheduler of §V.C work.
+type SortedGroupBy struct {
+	In       Operator
+	GroupBy  []int
+	Aggs     []AggSpec
+	out      *table.Schema
+	states   []aggState
+	curKey   table.Tuple
+	have     bool
+	pending  table.Tuple
+	havePend bool
+	done     bool
+}
+
+// NewSortedGroupBy builds the operator. The output schema is the grouping
+// columns (with their input metadata) followed by the aggregate columns.
+func NewSortedGroupBy(in Operator, groupBy []int, aggs []AggSpec) *SortedGroupBy {
+	is := in.Schema()
+	cols := make([]table.Column, 0, len(groupBy)+len(aggs))
+	for _, i := range groupBy {
+		cols = append(cols, is.Cols[i])
+	}
+	for _, a := range aggs {
+		cols = append(cols, a.Out)
+	}
+	return &SortedGroupBy{In: in, GroupBy: groupBy, Aggs: aggs, out: table.NewSchema(cols...)}
+}
+
+// Schema returns group columns followed by aggregate columns.
+func (g *SortedGroupBy) Schema() *table.Schema { return g.out }
+
+// Open opens the input and resets state.
+func (g *SortedGroupBy) Open() error {
+	g.states = make([]aggState, len(g.Aggs))
+	g.have = false
+	g.havePend = false
+	g.done = false
+	return g.In.Open()
+}
+
+// Next emits one aggregated row per group.
+func (g *SortedGroupBy) Next() (table.Tuple, bool, error) {
+	if g.done {
+		return nil, false, nil
+	}
+	for {
+		var t table.Tuple
+		var ok bool
+		var err error
+		if g.havePend {
+			t, ok, g.havePend = g.pending, true, false
+		} else {
+			t, ok, err = g.In.Next()
+			if err != nil {
+				return nil, false, err
+			}
+		}
+		if !ok {
+			g.done = true
+			if g.have {
+				return g.emit(), true, nil
+			}
+			return nil, false, nil
+		}
+		if !g.have {
+			g.startGroup(t)
+			continue
+		}
+		if table.EqualOn(t, g.curKey, g.GroupBy) {
+			for i := range g.Aggs {
+				g.states[i].add(g.Aggs[i], t)
+			}
+			continue
+		}
+		// Group boundary: emit the finished group, remember t for the next.
+		out := g.emit()
+		g.pending = t.Clone()
+		g.havePend = true
+		g.have = false
+		return out, true, nil
+	}
+}
+
+func (g *SortedGroupBy) startGroup(t table.Tuple) {
+	g.curKey = t.Clone()
+	for i := range g.states {
+		g.states[i].reset()
+		g.states[i].add(g.Aggs[i], t)
+	}
+	g.have = true
+}
+
+func (g *SortedGroupBy) emit() table.Tuple {
+	out := make(table.Tuple, 0, len(g.GroupBy)+len(g.Aggs))
+	for _, i := range g.GroupBy {
+		out = append(out, g.curKey[i])
+	}
+	for i := range g.Aggs {
+		out = append(out, g.states[i].result(g.Aggs[i]))
+	}
+	return out
+}
+
+// Close closes the input.
+func (g *SortedGroupBy) Close() error { return g.In.Close() }
+
+// HashDistinct removes duplicate tuples (all columns) without requiring
+// sorted input. Safe plans use it after independent projections; the answer
+// enumeration path uses it to list distinct data tuples.
+type HashDistinct struct {
+	In   Operator
+	seen map[string]bool
+	all  []int
+}
+
+// NewHashDistinct wraps in.
+func NewHashDistinct(in Operator) *HashDistinct { return &HashDistinct{In: in} }
+
+// Schema returns the input schema.
+func (d *HashDistinct) Schema() *table.Schema { return d.In.Schema() }
+
+// Open opens the input and clears the seen set.
+func (d *HashDistinct) Open() error {
+	d.seen = make(map[string]bool)
+	n := d.In.Schema().Len()
+	d.all = make([]int, n)
+	for i := range d.all {
+		d.all[i] = i
+	}
+	return d.In.Open()
+}
+
+// Next yields the next previously-unseen tuple.
+func (d *HashDistinct) Next() (table.Tuple, bool, error) {
+	for {
+		t, ok, err := d.In.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := hashKey(t, d.all)
+		if d.seen[k] {
+			continue
+		}
+		d.seen[k] = true
+		return t, true, nil
+	}
+}
+
+// Close closes the input.
+func (d *HashDistinct) Close() error {
+	d.seen = nil
+	return d.In.Close()
+}
+
+// GroupSorted is a convenience that sorts the input on the grouping columns
+// and then applies SortedGroupBy — the generic "sort + one scan" shape of
+// every aggregation step in the paper.
+func GroupSorted(in Operator, groupBy []int, aggs []AggSpec) *SortedGroupBy {
+	return NewSortedGroupBy(NewSort(in, SortSpec{Cols: groupBy}), groupBy, aggs)
+}
+
+// ValidateColumns checks that all column indexes are within the schema, for
+// defensive construction in the planner.
+func ValidateColumns(s *table.Schema, idx []int) error {
+	for _, i := range idx {
+		if i < 0 || i >= s.Len() {
+			return fmt.Errorf("engine: column index %d out of range for schema %v", i, s.Names())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// hashKey builds a string key for the values at the given indexes. Strings
+// are length-prefixed so that concatenations cannot collide.
+func hashKey(t table.Tuple, idx []int) string {
+	var b strings.Builder
+	for _, i := range idx {
+		v := t[i]
+		fmt.Fprintf(&b, "%d:", v.Kind)
+		switch v.Kind {
+		case table.KindInt, table.KindBool:
+			fmt.Fprintf(&b, "%d|", v.I)
+		case table.KindFloat:
+			fmt.Fprintf(&b, "%g|", v.F)
+		case table.KindString:
+			fmt.Fprintf(&b, "%d/%s|", len(v.S), v.S)
+		default:
+			b.WriteString("null|")
+		}
+	}
+	return b.String()
+}
+
+// HashJoin is an equi-join: it builds a hash table on the right input and
+// probes with the left. The output schema is left ++ right; the planner
+// projects away the duplicated join attributes afterwards (the paper assumes
+// join attributes share names across tables).
+type HashJoin struct {
+	Left, Right        Operator
+	LeftKeys, RightKey []int
+	out                *table.Schema
+	built              map[string][]table.Tuple
+	cur                []table.Tuple // matches for the current probe tuple
+	curLeft            table.Tuple
+	curPos             int
+	buf                table.Tuple
+}
+
+// NewHashJoin joins left and right on pairwise-equal key columns.
+func NewHashJoin(left, right Operator, leftKeys, rightKeys []int) (*HashJoin, error) {
+	if len(leftKeys) != len(rightKeys) {
+		return nil, fmt.Errorf("engine: hash join key arity mismatch")
+	}
+	return &HashJoin{
+		Left: left, Right: right,
+		LeftKeys: leftKeys, RightKey: rightKeys,
+		out: left.Schema().Concat(right.Schema()),
+	}, nil
+}
+
+// Schema returns left ++ right.
+func (j *HashJoin) Schema() *table.Schema { return j.out }
+
+// Open builds the hash table over the right input.
+func (j *HashJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.built = make(map[string][]table.Tuple)
+	for {
+		t, ok, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := hashKey(t, j.RightKey)
+		j.built[k] = append(j.built[k], t.Clone())
+	}
+	j.cur = nil
+	j.curPos = 0
+	return nil
+}
+
+// Next yields the next joined tuple.
+func (j *HashJoin) Next() (table.Tuple, bool, error) {
+	for {
+		if j.curPos < len(j.cur) {
+			r := j.cur[j.curPos]
+			j.curPos++
+			return j.combine(j.curLeft, r), true, nil
+		}
+		l, ok, err := j.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.curLeft = l.Clone()
+		j.cur = j.built[hashKey(l, j.LeftKeys)]
+		j.curPos = 0
+	}
+}
+
+func (j *HashJoin) combine(l, r table.Tuple) table.Tuple {
+	if j.buf == nil {
+		j.buf = make(table.Tuple, j.out.Len())
+	}
+	copy(j.buf, l)
+	copy(j.buf[len(l):], r)
+	return j.buf
+}
+
+// Close closes both inputs and drops the hash table.
+func (j *HashJoin) Close() error {
+	j.built = nil
+	errL := j.Left.Close()
+	errR := j.Right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// MergeJoin equi-joins two inputs already sorted on their join keys. Blocks
+// of equal right keys are buffered to form the cross product with each
+// matching left tuple. The output order (sorted by join keys) is what makes
+// merge joins attractive right below the confidence operator, whose input
+// must be sorted anyway (§V.B: "the order of tuples after most joins favours
+// grouping and thus our operator").
+type MergeJoin struct {
+	Left, Right         Operator
+	LeftKeys, RightKeys []int
+	out                 *table.Schema
+
+	l         table.Tuple
+	lOK       bool
+	r         table.Tuple
+	rOK       bool
+	block     []table.Tuple // buffered right block with equal keys
+	blockKey  table.Tuple
+	blockPos  int
+	inBlock   bool
+	endOfLeft bool
+	buf       table.Tuple
+}
+
+// NewMergeJoin joins sorted inputs on pairwise-equal key columns.
+func NewMergeJoin(left, right Operator, leftKeys, rightKeys []int) (*MergeJoin, error) {
+	if len(leftKeys) != len(rightKeys) {
+		return nil, fmt.Errorf("engine: merge join key arity mismatch")
+	}
+	return &MergeJoin{
+		Left: left, Right: right,
+		LeftKeys: leftKeys, RightKeys: rightKeys,
+		out: left.Schema().Concat(right.Schema()),
+	}, nil
+}
+
+// Schema returns left ++ right.
+func (j *MergeJoin) Schema() *table.Schema { return j.out }
+
+// Open opens both inputs and primes the cursors.
+func (j *MergeJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	var err error
+	if err = j.advanceLeft(); err != nil {
+		return err
+	}
+	j.r, j.rOK, err = j.Right.Next()
+	if err != nil {
+		return err
+	}
+	if j.rOK {
+		j.r = j.r.Clone()
+	}
+	j.block = nil
+	j.inBlock = false
+	return nil
+}
+
+func (j *MergeJoin) advanceLeft() error {
+	t, ok, err := j.Left.Next()
+	if err != nil {
+		return err
+	}
+	j.lOK = ok
+	if ok {
+		j.l = t.Clone()
+	}
+	return nil
+}
+
+func (j *MergeJoin) cmpKeys(l, r table.Tuple) int {
+	for i := range j.LeftKeys {
+		if c := table.Compare(l[j.LeftKeys[i]], r[j.RightKeys[i]]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Next yields the next joined tuple.
+func (j *MergeJoin) Next() (table.Tuple, bool, error) {
+	for {
+		if j.inBlock {
+			if j.blockPos < len(j.block) {
+				r := j.block[j.blockPos]
+				j.blockPos++
+				return j.combine(j.l, r), true, nil
+			}
+			// Done pairing current left tuple with the block; advance left.
+			if err := j.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			if j.lOK && j.cmpKeys(j.l, j.blockKey) == 0 {
+				j.blockPos = 0
+				continue
+			}
+			j.inBlock = false
+			j.block = nil
+		}
+		if !j.lOK || !j.rOK {
+			return nil, false, nil
+		}
+		c := j.cmpKeys(j.l, j.r)
+		switch {
+		case c < 0:
+			if err := j.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+		case c > 0:
+			t, ok, err := j.Right.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			j.rOK = ok
+			if ok {
+				j.r = t.Clone()
+			}
+		default:
+			// Buffer the whole right block with this key.
+			j.block = j.block[:0]
+			j.blockKey = j.r.Clone()
+			for j.rOK && j.cmpKeys(j.blockKey, j.r) == 0 {
+				j.block = append(j.block, j.r)
+				t, ok, err := j.Right.Next()
+				if err != nil {
+					return nil, false, err
+				}
+				j.rOK = ok
+				if ok {
+					j.r = t.Clone()
+				}
+			}
+			j.blockPos = 0
+			j.inBlock = true
+		}
+	}
+}
+
+func (j *MergeJoin) combine(l, r table.Tuple) table.Tuple {
+	if j.buf == nil {
+		j.buf = make(table.Tuple, j.out.Len())
+	}
+	copy(j.buf, l)
+	copy(j.buf[len(l):], r)
+	return j.buf
+}
+
+// Close closes both inputs.
+func (j *MergeJoin) Close() error {
+	errL := j.Left.Close()
+	errR := j.Right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// NestedLoopJoin joins on an arbitrary predicate; the right input is
+// materialized. It is the fallback for non-equi conditions and the smallest
+// possible baseline join.
+type NestedLoopJoin struct {
+	Left, Right Operator
+	Pred        Pred
+	out         *table.Schema
+	right       []table.Tuple
+	l           table.Tuple
+	lOK         bool
+	pos         int
+	buf         table.Tuple
+}
+
+// NewNestedLoopJoin joins left and right on pred (nil means cross product).
+func NewNestedLoopJoin(left, right Operator, pred Pred) *NestedLoopJoin {
+	if pred == nil {
+		pred = True{}
+	}
+	return &NestedLoopJoin{Left: left, Right: right, Pred: pred, out: left.Schema().Concat(right.Schema())}
+}
+
+// Schema returns left ++ right.
+func (j *NestedLoopJoin) Schema() *table.Schema { return j.out }
+
+// Open materializes the right input.
+func (j *NestedLoopJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.right = j.right[:0]
+	for {
+		t, ok, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.right = append(j.right, t.Clone())
+	}
+	j.lOK = false
+	j.pos = len(j.right)
+	return nil
+}
+
+// Next yields the next qualifying pair.
+func (j *NestedLoopJoin) Next() (table.Tuple, bool, error) {
+	if j.buf == nil {
+		j.buf = make(table.Tuple, j.out.Len())
+	}
+	for {
+		if j.pos < len(j.right) {
+			r := j.right[j.pos]
+			j.pos++
+			copy(j.buf, j.l)
+			copy(j.buf[len(j.l):], r)
+			if j.Pred.Holds(j.buf) {
+				return j.buf, true, nil
+			}
+			continue
+		}
+		t, ok, err := j.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.l = t.Clone()
+		j.lOK = true
+		j.pos = 0
+	}
+}
+
+// Close closes both inputs.
+func (j *NestedLoopJoin) Close() error {
+	j.right = nil
+	errL := j.Left.Close()
+	errR := j.Right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}

@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/table"
+)
+
+// Operator is the Volcano iterator interface. Open prepares the pipeline,
+// Next pulls one tuple at a time (ok=false at end of stream), Close releases
+// resources. Tuples returned by Next may alias internal buffers; operators
+// that retain tuples across Next calls must Clone them.
+type Operator interface {
+	Schema() *table.Schema
+	Open() error
+	Next() (table.Tuple, bool, error)
+	Close() error
+}
+
+// Collect drains an operator into an in-memory relation (opening and
+// closing it), cloning each tuple.
+func Collect(op Operator) (*table.Relation, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	rel := table.NewRelation(op.Schema())
+	for {
+		t, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rel, nil
+		}
+		rel.Rows = append(rel.Rows, t.Clone())
+	}
+}
+
+// Count drains an operator and returns only the row count.
+func Count(op Operator) (int64, error) {
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	defer op.Close()
+	var n int64
+	for {
+		_, ok, err := op.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// MemScan iterates an in-memory relation.
+type MemScan struct {
+	Rel *table.Relation
+	pos int
+}
+
+// NewMemScan builds a scan over rel.
+func NewMemScan(rel *table.Relation) *MemScan { return &MemScan{Rel: rel} }
+
+// Schema returns the relation's schema.
+func (s *MemScan) Schema() *table.Schema { return s.Rel.Schema }
+
+// Open resets the cursor.
+func (s *MemScan) Open() error { s.pos = 0; return nil }
+
+// Next yields the next row.
+func (s *MemScan) Next() (table.Tuple, bool, error) {
+	if s.pos >= len(s.Rel.Rows) {
+		return nil, false, nil
+	}
+	t := s.Rel.Rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Close is a no-op.
+func (s *MemScan) Close() error { return nil }
+
+// HeapScan iterates a heap file through a buffer pool — the disk-backed
+// counterpart of MemScan.
+type HeapScan struct {
+	File   *storage.HeapFile
+	Pool   *storage.BufferPool
+	schema *table.Schema
+	sc     *storage.Scanner
+}
+
+// NewHeapScan builds a scan over a heap file whose tuples conform to schema.
+func NewHeapScan(f *storage.HeapFile, pool *storage.BufferPool, schema *table.Schema) *HeapScan {
+	return &HeapScan{File: f, Pool: pool, schema: schema}
+}
+
+// Schema returns the declared schema.
+func (s *HeapScan) Schema() *table.Schema { return s.schema }
+
+// Open positions a fresh scanner.
+func (s *HeapScan) Open() error {
+	s.sc = s.File.NewScanner(s.Pool)
+	return nil
+}
+
+// Next yields the next stored tuple.
+func (s *HeapScan) Next() (table.Tuple, bool, error) {
+	t, ok, err := s.sc.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if len(t) != s.schema.Len() {
+		return nil, false, fmt.Errorf("engine: heap tuple arity %d != schema arity %d", len(t), s.schema.Len())
+	}
+	return t, true, nil
+}
+
+// Close releases the scanner's pinned page.
+func (s *HeapScan) Close() error {
+	if s.sc != nil {
+		s.sc.Close()
+		s.sc = nil
+	}
+	return nil
+}
+
+// Filter passes through tuples satisfying a predicate.
+type Filter struct {
+	In   Operator
+	Pred Pred
+}
+
+// NewFilter wraps in with predicate p.
+func NewFilter(in Operator, p Pred) *Filter { return &Filter{In: in, Pred: p} }
+
+// Schema returns the input schema.
+func (f *Filter) Schema() *table.Schema { return f.In.Schema() }
+
+// Open opens the input.
+func (f *Filter) Open() error { return f.In.Open() }
+
+// Next yields the next qualifying tuple.
+func (f *Filter) Next() (table.Tuple, bool, error) {
+	for {
+		t, ok, err := f.In.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.Pred.Holds(t) {
+			return t, true, nil
+		}
+	}
+}
+
+// Close closes the input.
+func (f *Filter) Close() error { return f.In.Close() }
+
+// Project computes output columns from input tuples. Each output column has
+// a schema Column and a defining expression.
+type Project struct {
+	In    Operator
+	Exprs []Expr
+	Out   *table.Schema
+	buf   table.Tuple
+}
+
+// NewProject builds a generalized projection.
+func NewProject(in Operator, out *table.Schema, exprs []Expr) (*Project, error) {
+	if out.Len() != len(exprs) {
+		return nil, fmt.Errorf("engine: projection schema/expr arity mismatch: %d vs %d", out.Len(), len(exprs))
+	}
+	return &Project{In: in, Exprs: exprs, Out: out}, nil
+}
+
+// NewColumnProject projects the named input columns (by name), keeping their
+// column metadata.
+func NewColumnProject(in Operator, names []string) (*Project, error) {
+	is := in.Schema()
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j := is.ColIndex(n)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: projection references unknown column %q in %v", n, is.Names())
+		}
+		idx[i] = j
+	}
+	exprs := make([]Expr, len(idx))
+	for i, j := range idx {
+		exprs[i] = ColRef{Idx: j, Name: is.Cols[j].Name}
+	}
+	return &Project{In: in, Exprs: exprs, Out: is.Project(idx)}, nil
+}
+
+// Schema returns the output schema.
+func (p *Project) Schema() *table.Schema { return p.Out }
+
+// Open opens the input.
+func (p *Project) Open() error { return p.In.Open() }
+
+// Next computes the next projected tuple.
+func (p *Project) Next() (table.Tuple, bool, error) {
+	t, ok, err := p.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if p.buf == nil {
+		p.buf = make(table.Tuple, len(p.Exprs))
+	}
+	for i, e := range p.Exprs {
+		p.buf[i] = e.Eval(t)
+	}
+	return p.buf, true, nil
+}
+
+// Close closes the input.
+func (p *Project) Close() error { return p.In.Close() }
+
+// Limit passes through at most N tuples (used by examples and tools).
+type Limit struct {
+	In   Operator
+	N    int64
+	seen int64
+}
+
+// NewLimit wraps in with a row limit.
+func NewLimit(in Operator, n int64) *Limit { return &Limit{In: in, N: n} }
+
+// Schema returns the input schema.
+func (l *Limit) Schema() *table.Schema { return l.In.Schema() }
+
+// Open opens the input and resets the counter.
+func (l *Limit) Open() error { l.seen = 0; return l.In.Open() }
+
+// Next yields until the limit is reached.
+func (l *Limit) Next() (table.Tuple, bool, error) {
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	t, ok, err := l.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return t, true, nil
+}
+
+// Close closes the input.
+func (l *Limit) Close() error { return l.In.Close() }

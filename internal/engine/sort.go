@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"repro/internal/storage"
+	"repro/internal/table"
+)
+
+// SortSpec names the columns to order by, in priority order. All sorts are
+// ascending; the confidence operator only needs grouping, not direction.
+type SortSpec struct {
+	Cols []int
+}
+
+// Compare orders two tuples under the spec.
+func (s SortSpec) Compare(a, b table.Tuple) int { return table.CompareOn(a, b, s.Cols) }
+
+// Sort materializes and orders its input using the external sorter, so that
+// inputs beyond the memory budget spill to disk. The paper's lazy plans are
+// dominated by exactly this step: "the time needed ... to compute and store
+// on disk the answer tuples ... ordered as required by our operator" (§VII).
+type Sort struct {
+	In     Operator
+	Spec   SortSpec
+	Budget int    // tuples held in memory; 0 = storage.DefaultSortBudget
+	TmpDir string // "" = os.TempDir()
+
+	it     storage.TupleIterator
+	spills int
+}
+
+// NewSort builds a sort operator.
+func NewSort(in Operator, spec SortSpec) *Sort { return &Sort{In: in, Spec: spec} }
+
+// Schema returns the input schema.
+func (s *Sort) Schema() *table.Schema { return s.In.Schema() }
+
+// Spills reports how many runs the last Open spilled to disk.
+func (s *Sort) Spills() int { return s.spills }
+
+// Open drains and sorts the input.
+func (s *Sort) Open() error {
+	if err := s.In.Open(); err != nil {
+		return err
+	}
+	sorter := storage.NewExternalSorter(s.Spec.Compare, s.Budget, s.TmpDir)
+	for {
+		t, ok, err := s.In.Next()
+		if err != nil {
+			s.In.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := sorter.Add(t.Clone()); err != nil {
+			s.In.Close()
+			return err
+		}
+	}
+	if err := s.In.Close(); err != nil {
+		return err
+	}
+	it, err := sorter.Finish()
+	if err != nil {
+		return err
+	}
+	s.it = it
+	s.spills = sorter.Spills()
+	return nil
+}
+
+// Next yields tuples in sorted order.
+func (s *Sort) Next() (table.Tuple, bool, error) {
+	if s.it == nil {
+		return nil, false, nil
+	}
+	return s.it.Next()
+}
+
+// Close releases the sorted stream (removing any spill files).
+func (s *Sort) Close() error {
+	if s.it == nil {
+		return nil
+	}
+	err := s.it.Close()
+	s.it = nil
+	return err
+}

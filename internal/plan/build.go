@@ -1,0 +1,244 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// selectivity factors for cardinality estimation; exact values only need to
+// rank relations sensibly (selective selections first for lazy plans).
+const (
+	eqSelectivity    = 0.02
+	rangeSelectivity = 0.30
+)
+
+// estimate predicts the post-selection cardinality of a relation occurrence.
+func estimate(c *Catalog, q *query.Query, ref query.RelRef) float64 {
+	est := float64(c.Rows(ref.Base))
+	for _, s := range q.Sels {
+		if s.Rel != ref.Name {
+			continue
+		}
+		if s.Op == engine.OpEq {
+			est *= eqSelectivity
+		} else {
+			est *= rangeSelectivity
+		}
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// LazyOrder picks a greedy join order: start from the smallest estimated
+// relation and repeatedly join the smallest relation connected to the
+// current set (falling back to the smallest remaining one for disconnected
+// queries). This is the "better join order" of the paper's lazy plan
+// (Fig. 7c): the selective Cust is joined before the large Item.
+func LazyOrder(c *Catalog, q *query.Query) []query.RelRef {
+	remaining := append([]query.RelRef(nil), q.Rels...)
+	var out []query.RelRef
+	attrs := make(map[string]bool)
+	for len(remaining) > 0 {
+		best := -1
+		bestConnected := false
+		var bestEst float64
+		for i, r := range remaining {
+			connected := len(out) == 0
+			for _, a := range r.Attrs {
+				if attrs[a] {
+					connected = true
+					break
+				}
+			}
+			est := estimate(c, q, r)
+			if best == -1 || (connected && !bestConnected) ||
+				(connected == bestConnected && est < bestEst) {
+				best, bestConnected, bestEst = i, connected, est
+			}
+		}
+		r := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		out = append(out, r)
+		for _, a := range r.Attrs {
+			attrs[a] = true
+		}
+	}
+	return out
+}
+
+// HierarchicalOrder derives the join order imposed by the query tree
+// (deepest subtrees first), the order safe plans and the paper's eager
+// plans use — e.g. Ord ⋈ Item before Cust for the Introduction's query
+// (Fig. 2, Fig. 7a).
+func HierarchicalOrder(q *query.Query, t *query.Tree) []query.RelRef {
+	var names []string
+	var walk func(n *query.Tree)
+	walk = func(n *query.Tree) {
+		if n.IsLeaf() {
+			names = append(names, n.Leaf.Name)
+			return
+		}
+		// Deepest child first.
+		kids := append([]*query.Tree(nil), n.Children...)
+		for i := 0; i < len(kids); i++ {
+			deepest := i
+			for j := i + 1; j < len(kids); j++ {
+				if depth(kids[j]) > depth(kids[deepest]) {
+					deepest = j
+				}
+			}
+			kids[i], kids[deepest] = kids[deepest], kids[i]
+			walk(kids[i])
+		}
+	}
+	walk(t)
+	out := make([]query.RelRef, 0, len(names))
+	for _, n := range names {
+		r, ok := q.RelByName(n)
+		if !ok {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func depth(t *query.Tree) int {
+	if t.IsLeaf() {
+		return 1
+	}
+	d := 0
+	for _, c := range t.Children {
+		if cd := depth(c); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// neededAttrs returns the data attributes an intermediate over the joined
+// set must keep: the head attributes plus every attribute shared with a
+// not-yet-joined relation (§V.B's "projection on the query's selection
+// attributes and all the join attributes needed for the joins that are not
+// underneath").
+func neededAttrs(q *query.Query, joined map[string]bool) map[string]bool {
+	need := make(map[string]bool)
+	for _, h := range q.Head {
+		need[h] = true
+	}
+	for _, r := range q.Rels {
+		if joined[r.Name] {
+			continue
+		}
+		for _, a := range r.Attrs {
+			// a is needed if some joined relation also has it.
+			for _, jr := range q.Rels {
+				if joined[jr.Name] && jr.HasAttr(a) {
+					need[a] = true
+				}
+			}
+		}
+	}
+	return need
+}
+
+// leafPipeline builds scan → filter → project for one relation occurrence.
+// The projection keeps the occurrence's needed attributes plus its V/P
+// columns; selections are applied before attributes are dropped.
+func leafPipeline(c *Catalog, q *query.Query, ref query.RelRef) (engine.Operator, error) {
+	op, err := c.Scan(ref)
+	if err != nil {
+		return nil, err
+	}
+	var preds engine.And
+	s := op.Schema()
+	for _, sel := range q.Sels {
+		if sel.Rel != ref.Name {
+			continue
+		}
+		idx := s.ColIndex(sel.Attr)
+		if idx < 0 {
+			return nil, fmt.Errorf("plan: selection attribute %s missing from %s", sel.Attr, ref.Name)
+		}
+		preds = append(preds, engine.Cmp{L: engine.ColRef{Idx: idx, Name: sel.Attr}, Op: sel.Op, R: engine.Const{V: sel.Val}})
+	}
+	if len(preds) > 0 {
+		op = engine.NewFilter(op, preds)
+	}
+	// Project to the attributes the leaf still needs: every attribute it
+	// shares with some other relation (to join with the intermediate built
+	// so far, or with relations joined later) plus head attributes.
+	need := make(map[string]bool)
+	for _, h := range q.Head {
+		need[h] = true
+	}
+	for _, a := range ref.Attrs {
+		for _, other := range q.Rels {
+			if other.Name != ref.Name && other.HasAttr(a) {
+				need[a] = true
+			}
+		}
+	}
+	var names []string
+	for _, a := range ref.Attrs {
+		if need[a] {
+			names = append(names, a)
+		}
+	}
+	names = append(names, "V("+ref.Name+")", "P("+ref.Name+")")
+	return engine.NewColumnProject(op, names)
+}
+
+// joinPipeline equi-joins two operators on their shared data attributes and
+// projects the result to the needed attributes plus all V/P columns.
+func joinPipeline(q *query.Query, left, right engine.Operator, joined map[string]bool) (engine.Operator, error) {
+	ls, rs := left.Schema(), right.Schema()
+	var lk, rk []int
+	for i, lc := range ls.Cols {
+		if lc.Role != table.RoleData {
+			continue
+		}
+		j := rs.ColIndex(lc.Name)
+		if j >= 0 && rs.Cols[j].Role == table.RoleData {
+			lk = append(lk, i)
+			rk = append(rk, j)
+		}
+	}
+	j, err := engine.NewHashJoin(left, right, lk, rk)
+	if err != nil {
+		return nil, err
+	}
+	// Project: needed data attrs (first occurrence wins, removing the
+	// duplicated join columns) + every V/P column.
+	need := neededAttrs(q, joined)
+	js := j.Schema()
+	var names []string
+	seen := make(map[string]bool)
+	for _, c := range js.Cols {
+		switch c.Role {
+		case table.RoleData:
+			if need[c.Name] && !seen[c.Name] {
+				names = append(names, c.Name)
+				seen[c.Name] = true
+			}
+		default:
+			names = append(names, c.Name)
+		}
+	}
+	return engine.NewColumnProject(j, names)
+}
+
+// describeOrder renders a join order for plan explanations.
+func describeOrder(refs []query.RelRef) string {
+	names := make([]string, len(refs))
+	for i, r := range refs {
+		names[i] = r.Name
+	}
+	return strings.Join(names, " ⋈ ")
+}

@@ -1,0 +1,94 @@
+// Package plan builds and runs query plans for confidence computation on
+// tuple-independent probabilistic databases. It implements the plan space
+// of paper §V.B — lazy plans (confidence computed once, at the top), eager
+// plans (probability-computation operators pushed to every table and join,
+// Fig. 7a), hybrid plans (operators pushed past selected joins, Fig. 7b) —
+// plus the MystiQ-style safe plans of Dalvi/Suciu (Fig. 2) as the
+// state-of-the-art baseline the paper compares against.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// Catalog maps base table names to tuple-independent tables. It is the
+// "database" side of the planner; the sprout facade wraps it.
+type Catalog struct {
+	tables map[string]*table.ProbTable
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{tables: make(map[string]*table.ProbTable)} }
+
+// Add registers a base table.
+func (c *Catalog) Add(t *table.ProbTable) error {
+	if _, dup := c.tables[t.Name]; dup {
+		return fmt.Errorf("plan: table %s already registered", t.Name)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// MustAdd is Add for fixtures.
+func (c *Catalog) MustAdd(t *table.ProbTable) {
+	if err := c.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Table returns a registered base table.
+func (c *Catalog) Table(name string) (*table.ProbTable, bool) {
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Names lists the registered table names in sorted order.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rows returns the cardinality of a base table (0 for unknown tables).
+func (c *Catalog) Rows(name string) int {
+	if t, ok := c.tables[name]; ok {
+		return t.Rel.Len()
+	}
+	return 0
+}
+
+// Scan builds an operator reading one relation occurrence: the base table
+// with data columns positionally renamed to the occurrence's attribute
+// names and V/P columns renamed to the occurrence name. Renaming is what
+// makes the paper's alias trick for self-joins work (two copies of Nation
+// with attributes n1key/n2key, §VI on TPC-H query 7).
+func (c *Catalog) Scan(ref query.RelRef) (engine.Operator, error) {
+	base, ok := c.tables[ref.Base]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown base table %q", ref.Base)
+	}
+	bs := base.Rel.Schema
+	dataIdx := bs.DataIndexes()
+	if len(ref.Attrs) != len(dataIdx) {
+		return nil, fmt.Errorf("plan: occurrence %s has %d attributes but base %s has %d data columns",
+			ref.Name, len(ref.Attrs), ref.Base, len(dataIdx))
+	}
+	cols := make([]table.Column, 0, len(dataIdx)+2)
+	exprs := make([]engine.Expr, 0, len(dataIdx)+2)
+	for i, j := range dataIdx {
+		cols = append(cols, table.DataCol(ref.Attrs[i], bs.Cols[j].Kind))
+		exprs = append(exprs, engine.ColRef{Idx: j, Name: ref.Attrs[i]})
+	}
+	vi, pi := bs.VarIndex(ref.Base), bs.ProbIndex(ref.Base)
+	cols = append(cols, table.VarCol(ref.Name), table.ProbCol(ref.Name))
+	exprs = append(exprs, engine.ColRef{Idx: vi, Name: "V"}, engine.ColRef{Idx: pi, Name: "P"})
+	return engine.NewProject(engine.NewMemScan(base.Rel), table.NewSchema(cols...), exprs)
+}

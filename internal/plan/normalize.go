@@ -1,0 +1,40 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/conf"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// normalizeAnswer reorders the columns of a computed answer to the query's
+// head order followed by the conf column, so that every plan style returns
+// identically shaped results regardless of its internal join order.
+func normalizeAnswer(rel *table.Relation, q *query.Query) (*table.Relation, error) {
+	want := append(append([]string(nil), q.Head...), conf.ConfCol)
+	if len(want) != rel.Schema.Len() {
+		return nil, fmt.Errorf("plan: answer schema %v does not match head %v + conf", rel.Schema.Names(), q.Head)
+	}
+	idx := make([]int, len(want))
+	identity := true
+	for i, name := range want {
+		j := rel.Schema.ColIndex(name)
+		if j < 0 {
+			return nil, fmt.Errorf("plan: answer lacks column %q (has %v)", name, rel.Schema.Names())
+		}
+		idx[i] = j
+		if j != i {
+			identity = false
+		}
+	}
+	if identity {
+		return rel, nil
+	}
+	out := table.NewRelation(rel.Schema.Project(idx))
+	out.Rows = make([]table.Tuple, len(rel.Rows))
+	for i, row := range rel.Rows {
+		out.Rows[i] = row.Project(idx)
+	}
+	return out, nil
+}

@@ -1,0 +1,464 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/conf"
+	"repro/internal/engine"
+	"repro/internal/fd"
+	"repro/internal/prob"
+	"repro/internal/query"
+	"repro/internal/signature"
+	"repro/internal/table"
+)
+
+// fig1Catalog builds the Fig. 1 database: Cust (x1..x4), Ord (y1..y6),
+// Item (z1..z6). Variable ids: x=1..4, y=11..16, z=21..26.
+func fig1Catalog() (*Catalog, *prob.Assignment) {
+	a := prob.NewAssignment()
+	cat := NewCatalog()
+
+	cust := table.NewProbTable("Cust", table.DataCol("ckey", table.KindInt), table.DataCol("cname", table.KindString))
+	names := []string{"Joe", "Dan", "Li", "Mo"}
+	for i := 0; i < 4; i++ {
+		v := prob.Var(1 + i)
+		p := 0.1 * float64(i+1)
+		a.MustSet(v, p)
+		cust.MustAddRow(v, p, table.Int(int64(i+1)), table.Str(names[i]))
+	}
+	cat.MustAdd(cust)
+
+	ord := table.NewProbTable("Ord",
+		table.DataCol("okey", table.KindInt), table.DataCol("ckey", table.KindInt), table.DataCol("odate", table.KindString))
+	ordRows := []struct {
+		okey, ckey int64
+		odate      string
+		p          float64
+	}{
+		{1, 1, "1995-01-10", 0.1}, {2, 1, "1996-01-09", 0.2}, {3, 2, "1994-11-11", 0.3},
+		{4, 2, "1993-01-08", 0.4}, {5, 3, "1995-08-15", 0.5}, {6, 3, "1996-12-25", 0.6},
+	}
+	for i, r := range ordRows {
+		v := prob.Var(11 + i)
+		a.MustSet(v, r.p)
+		ord.MustAddRow(v, r.p, table.Int(r.okey), table.Int(r.ckey), table.Str(r.odate))
+	}
+	cat.MustAdd(ord)
+
+	item := table.NewProbTable("Item",
+		table.DataCol("okey", table.KindInt), table.DataCol("discount", table.KindFloat), table.DataCol("ckey", table.KindInt))
+	itemRows := []struct {
+		okey int64
+		disc float64
+		ckey int64
+		p    float64
+	}{
+		{1, 0.1, 1, 0.1}, {1, 0.2, 1, 0.2}, {3, 0.4, 2, 0.3},
+		{3, 0.1, 2, 0.4}, {4, 0.4, 2, 0.5}, {5, 0.1, 3, 0.6},
+	}
+	for i, r := range itemRows {
+		v := prob.Var(21 + i)
+		a.MustSet(v, r.p)
+		item.MustAddRow(v, r.p, table.Int(r.okey), table.Float(r.disc), table.Int(r.ckey))
+	}
+	cat.MustAdd(item)
+	return cat, a
+}
+
+func introQ() *query.Query {
+	return &query.Query{
+		Name: "Q",
+		Head: []string{"odate"},
+		Rels: []query.RelRef{
+			query.Rel("Cust", "ckey", "cname"),
+			query.Rel("Ord", "okey", "ckey", "odate"),
+			query.Rel("Item", "okey", "discount", "ckey"),
+		},
+		Sels: []query.Selection{
+			{Rel: "Cust", Attr: "cname", Op: engine.OpEq, Val: table.Str("Joe")},
+			{Rel: "Item", Attr: "discount", Op: engine.OpGt, Val: table.Float(0)},
+		},
+	}
+}
+
+func tpchFDs() *fd.Set {
+	s := fd.NewSet()
+	s.AddKey("Cust", []string{"ckey"}, []string{"ckey", "cname"})
+	s.AddKey("Ord", []string{"okey"}, []string{"okey", "ckey", "odate"})
+	return s
+}
+
+// TestFig1AllStyles: every plan style computes the paper's answer —
+// (1995-01-10, 0.0028) — for the Introduction's query Q.
+func TestFig1AllStyles(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		spec  Spec
+		sigma *fd.Set
+	}{
+		{"lazy-noFD", Spec{Style: Lazy}, fd.NewSet()},
+		{"lazy-FD", Spec{Style: Lazy}, tpchFDs()},
+		{"eager-noFD", Spec{Style: Eager}, fd.NewSet()},
+		{"eager-FD", Spec{Style: Eager}, tpchFDs()},
+		{"hybrid-noFD", Spec{Style: Hybrid}, fd.NewSet()},
+		{"hybrid-FD", Spec{Style: Hybrid}, tpchFDs()},
+		{"mystiq", Spec{Style: SafeMystiQ}, fd.NewSet()},
+	} {
+		cat, _ := fig1Catalog()
+		res, err := Run(cat, introQ(), tc.sigma, tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Rows.Len() != 1 {
+			t.Fatalf("%s: got %d rows, want 1: %v", tc.name, res.Rows.Len(), res.Rows.Rows)
+		}
+		row := res.Rows.Rows[0]
+		odate := row[res.Rows.Schema.MustColIndex("odate")].S
+		c := row[res.Rows.Schema.MustColIndex(conf.ConfCol)].F
+		if odate != "1995-01-10" {
+			t.Errorf("%s: odate = %s", tc.name, odate)
+		}
+		// MystiQ's formula carries the 1.001 fudge factor: allow slack.
+		eps := 1e-9
+		if tc.spec.Style == SafeMystiQ {
+			eps = 0.01
+		}
+		if !prob.ApproxEqual(c, 0.0028, eps) {
+			t.Errorf("%s: conf = %g, want 0.0028", tc.name, c)
+		}
+	}
+}
+
+// TestDropSelectionMultipleAnswers: removing the cname selection yields one
+// distinct odate per customer with orders+items; all styles agree.
+func TestDropSelectionMultipleAnswers(t *testing.T) {
+	q := introQ()
+	q.Sels = q.Sels[1:] // keep only discount > 0
+	cat, _ := fig1Catalog()
+	base, err := Run(cat, q, fd.NewSet(), Spec{Style: Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Rows.Len() == 0 {
+		t.Fatal("expected answers")
+	}
+	for _, spec := range []Spec{{Style: Eager}, {Style: Hybrid}, {Style: SafeMystiQ}, {Style: Lazy}} {
+		cat2, _ := fig1Catalog()
+		res, err := Run(cat2, q.Clone(), tpchFDs(), spec)
+		if err != nil {
+			t.Fatalf("%v: %v", spec.Style, err)
+		}
+		if err := sameAnswers(base.Rows, res.Rows, 0.01); err != nil {
+			t.Errorf("%v disagrees with lazy: %v", spec.Style, err)
+		}
+	}
+}
+
+// sameAnswers compares two (head..., conf) relations modulo row order.
+func sameAnswers(a, b *table.Relation, eps float64) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("row counts differ: %d vs %d", a.Len(), b.Len())
+	}
+	key := func(r table.Tuple) string {
+		parts := make([]string, len(r)-1)
+		for i := 0; i < len(r)-1; i++ {
+			parts[i] = r[i].String()
+		}
+		return strings.Join(parts, "|")
+	}
+	am := make(map[string]float64)
+	for _, r := range a.Rows {
+		am[key(r)] = r[len(r)-1].F
+	}
+	for _, r := range b.Rows {
+		want, ok := am[key(r)]
+		if !ok {
+			return fmt.Errorf("unexpected tuple %v", r)
+		}
+		if !prob.ApproxEqual(r[len(r)-1].F, want, eps) {
+			return fmt.Errorf("tuple %v: conf %g vs %g", r, r[len(r)-1].F, want)
+		}
+	}
+	return nil
+}
+
+// TestNonHierarchicalRejected: Q' without FDs has no tractable plan; with
+// the TPC-H FDs it runs and matches Q's answer (§IV: "under this FD, the
+// two queries Q and Q′ have the same answer").
+func TestQPrimeNeedsFDs(t *testing.T) {
+	qp := &query.Query{
+		Name: "Q'",
+		Head: []string{"odate"},
+		Rels: []query.RelRef{
+			query.Rel("Cust", "ckey", "cname"),
+			query.Rel("Ord", "okey", "ckey", "odate"),
+			query.Rel("Item", "okey", "discount"),
+		},
+		Sels: []query.Selection{
+			{Rel: "Cust", Attr: "cname", Op: engine.OpEq, Val: table.Str("Joe")},
+			{Rel: "Item", Attr: "discount", Op: engine.OpGt, Val: table.Float(0)},
+		},
+	}
+	cat, _ := fig1Catalog()
+	if _, err := Run(cat, qp, fd.NewSet(), Spec{Style: Lazy}); err == nil {
+		t.Error("Q' without FDs must be rejected as intractable")
+	}
+	// The Item base table of Fig. 1 has a ckey column; Q' reads it without
+	// the ckey attribute. Build an Item occurrence matching Q' by renaming:
+	// the third data column becomes an unused attribute name.
+	qp.Rels[2] = query.Rel("Item", "okey", "discount", "itemck")
+	res, err := Run(cat, qp, tpchFDs(), Spec{Style: Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.Len() != 1 || !prob.ApproxEqual(res.Rows.Rows[0][1].F, 0.0028, 1e-9) {
+		t.Errorf("Q' under FDs should match Q's answer: %v", res.Rows.Rows)
+	}
+}
+
+// TestRestrictExV6 reproduces Example V.6's node p: restricting the query
+// signature (Cust*(Ord*Item*)*)* to {Cust, Ord} splits the invalid
+// propagation into [Cust*, Ord*].
+func TestRestrictExV6(t *testing.T) {
+	full, err := signature.Plain(introQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := Restrict(full, full, map[string]bool{"Cust": true, "Ord": true})
+	if len(ops) != 2 {
+		t.Fatalf("ops = %v, want [Cust*, Ord*]", ops)
+	}
+	got := []string{ops[0].String(), ops[1].String()}
+	if got[0] != "Cust*" || got[1] != "Ord*" {
+		t.Errorf("ops = %v, want [Cust* Ord*]", got)
+	}
+	// Restricting to {Ord, Item} keeps the propagation: minimal cover of
+	// {Ord, Item} is (Ord*Item*)*, fully inside the subplan.
+	ops = Restrict(full, full, map[string]bool{"Ord": true, "Item": true})
+	if len(ops) != 1 || strings.ReplaceAll(ops[0].String(), " ", "") != "(Ord*Item*)*" {
+		t.Errorf("ops = %v, want [(Ord*Item*)*]", ops)
+	}
+}
+
+func TestReplace(t *testing.T) {
+	full, err := signature.Plain(introQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordStar := signature.NewStar(signature.Table("Ord"))
+	got := Replace(full, ordStar, signature.Table("Ord"))
+	if strings.ReplaceAll(got.String(), " ", "") != "(Cust*(OrdItem*)*)*" {
+		t.Errorf("Replace = %s", got)
+	}
+	// Replacing a missing target is the identity.
+	same := Replace(full, signature.Table("Nope"), signature.Table("X"))
+	if !signature.Equal(same, full) {
+		t.Errorf("Replace of absent target changed the signature: %s", same)
+	}
+}
+
+func TestLazyOrderPrefersSelective(t *testing.T) {
+	cat, _ := fig1Catalog()
+	order := LazyOrder(cat, introQ())
+	if order[0].Name != "Cust" {
+		t.Errorf("lazy order should start with the selective Cust, got %v", describeOrder(order))
+	}
+}
+
+func TestHierarchicalOrderDeepestFirst(t *testing.T) {
+	q := introQ()
+	tree, err := query.TreeFor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := HierarchicalOrder(q, tree)
+	if len(order) != 3 || order[0].Name != "Ord" || order[1].Name != "Item" || order[2].Name != "Cust" {
+		t.Errorf("hierarchical order = %s, want Ord ⋈ Item ⋈ Cust", describeOrder(order))
+	}
+}
+
+// TestScanRename: aliases rename data columns positionally.
+func TestScanRename(t *testing.T) {
+	cat, _ := fig1Catalog()
+	op, err := cat.Scan(query.Alias("Cust2", "Cust", "c2key", "c2name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := op.Schema()
+	if s.ColIndex("c2key") != 0 || s.VarIndex("Cust2") < 0 {
+		t.Errorf("alias schema = %v", s)
+	}
+	if _, err := cat.Scan(query.Rel("Cust", "onlyone")); err == nil {
+		t.Error("attribute count mismatch must be rejected")
+	}
+	if _, err := cat.Scan(query.Rel("Nope", "a")); err == nil {
+		t.Error("unknown base table must be rejected")
+	}
+}
+
+// worldOracle evaluates q on the catalog per possible world and returns the
+// exact confidence of each distinct head tuple.
+func worldOracle(t *testing.T, cat *Catalog, q *query.Query, a *prob.Assignment) map[string]float64 {
+	t.Helper()
+	worlds, err := prob.EnumerateWorlds(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, w := range worlds {
+		for key := range evalInWorld(t, cat, q, w.Truth) {
+			out[key] += w.P
+		}
+	}
+	return out
+}
+
+// evalInWorld evaluates the deterministic query in one world.
+func evalInWorld(t *testing.T, cat *Catalog, q *query.Query, truth map[prob.Var]bool) map[string]bool {
+	t.Helper()
+	// Materialize world-restricted relations keyed by occurrence name.
+	rels := make(map[string][]map[string]table.Value)
+	for _, ref := range q.Rels {
+		base, ok := cat.Table(ref.Base)
+		if !ok {
+			t.Fatalf("missing base %s", ref.Base)
+		}
+		bs := base.Rel.Schema
+		vi := bs.VarIndex(ref.Base)
+		dataIdx := bs.DataIndexes()
+		for _, row := range base.Rel.Rows {
+			if !truth[row[vi].AsVar()] {
+				continue
+			}
+			m := make(map[string]table.Value)
+			for i, j := range dataIdx {
+				m[ref.Attrs[i]] = row[j]
+			}
+			rels[ref.Name] = append(rels[ref.Name], m)
+		}
+	}
+	// Apply selections.
+	for _, sel := range q.Sels {
+		var kept []map[string]table.Value
+		for _, m := range rels[sel.Rel] {
+			if sel.Op.Holds(table.Compare(m[sel.Attr], sel.Val)) {
+				kept = append(kept, m)
+			}
+		}
+		rels[sel.Rel] = kept
+	}
+	// Nested-loop join everything.
+	acc := []map[string]table.Value{{}}
+	for _, ref := range q.Rels {
+		var next []map[string]table.Value
+		for _, partial := range acc {
+			for _, m := range rels[ref.Name] {
+				merged := make(map[string]table.Value, len(partial)+len(m))
+				ok := true
+				for k, v := range partial {
+					merged[k] = v
+				}
+				for k, v := range m {
+					if old, exists := merged[k]; exists && !table.Equal(old, v) {
+						ok = false
+						break
+					}
+					merged[k] = v
+				}
+				if ok {
+					next = append(next, merged)
+				}
+			}
+		}
+		acc = next
+	}
+	out := make(map[string]bool)
+	for _, m := range acc {
+		parts := make([]string, len(q.Head))
+		for i, h := range q.Head {
+			parts[i] = m[h].String()
+		}
+		out[strings.Join(parts, "|")] = true
+	}
+	return out
+}
+
+// TestQuickPlansMatchWorldOracle: on random small databases, every plan
+// style agrees with the possible-world semantics for the intro query.
+func TestQuickPlansMatchWorldOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cat, a := randomSmallCatalog(r)
+		q := introQ()
+		q.Sels = nil // keep all tuples: more interesting lineage
+		oracle := worldOracle(t, cat, q, a)
+		for _, spec := range []Spec{{Style: Lazy}, {Style: Eager}, {Style: Hybrid}} {
+			res, err := Run(cat, q.Clone(), tpchFDs(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rows.Len() != len(oracle) {
+				t.Logf("seed %d %v: %d rows vs oracle %d", seed, spec.Style, res.Rows.Len(), len(oracle))
+				return false
+			}
+			for _, row := range res.Rows.Rows {
+				key := row[0].String()
+				if !prob.ApproxEqual(row[1].F, oracle[key], 1e-9) {
+					t.Logf("seed %d %v: tuple %s conf %g oracle %g", seed, spec.Style, key, row[1].F, oracle[key])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomSmallCatalog builds a small random Cust/Ord/Item database with
+// keyed Cust (ckey) and Ord (okey), ≤ 16 variables total.
+func randomSmallCatalog(r *rand.Rand) (*Catalog, *prob.Assignment) {
+	a := prob.NewAssignment()
+	cat := NewCatalog()
+	next := prob.Var(1)
+	newVar := func() prob.Var {
+		v := next
+		next++
+		a.MustSet(v, 0.1+0.8*r.Float64())
+		return v
+	}
+	cust := table.NewProbTable("Cust", table.DataCol("ckey", table.KindInt), table.DataCol("cname", table.KindString))
+	nCust := 1 + r.Intn(2)
+	for i := 0; i < nCust; i++ {
+		cust.MustAddRow(newVar(), a.P(next-1), table.Int(int64(i+1)), table.Str("n"))
+	}
+	cat.MustAdd(cust)
+	ord := table.NewProbTable("Ord",
+		table.DataCol("okey", table.KindInt), table.DataCol("ckey", table.KindInt), table.DataCol("odate", table.KindString))
+	nOrd := 1 + r.Intn(3)
+	for i := 0; i < nOrd; i++ {
+		ord.MustAddRow(newVar(), a.P(next-1), table.Int(int64(i+1)), table.Int(int64(1+r.Intn(nCust))), table.Str("d"+string(rune('0'+r.Intn(2)))))
+	}
+	cat.MustAdd(ord)
+	item := table.NewProbTable("Item",
+		table.DataCol("okey", table.KindInt), table.DataCol("discount", table.KindFloat), table.DataCol("ckey", table.KindInt))
+	nItem := r.Intn(5)
+	for i := 0; i < nItem; i++ {
+		ok := int64(1 + r.Intn(nOrd))
+		// ckey must match the order's ckey for the join to make sense.
+		var ck int64
+		for _, row := range ord.Rel.Rows {
+			if row[0].I == ok {
+				ck = row[1].I
+			}
+		}
+		item.MustAddRow(newVar(), a.P(next-1), table.Int(ok), table.Float(0.1), table.Int(ck))
+	}
+	cat.MustAdd(item)
+	return cat, a
+}

@@ -1,0 +1,316 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/conf"
+	"repro/internal/engine"
+	"repro/internal/fd"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// runSafe evaluates q with a MystiQ-style safe plan (Fig. 2): the join
+// order follows the hierarchy of the query tree (deepest subqueries first),
+// every join and leaf is capped by an independent projection π^ind that
+// eliminates duplicates and aggregates their probabilities, and — unlike
+// SPROUT — no variable columns exist: correctness rests entirely on the
+// restrictive join order guaranteeing that duplicates are independent.
+// Probabilities are aggregated with MystiQ's 1-POWER(10, SUM(log10(1.001-p)))
+// formula, whose runtime failures on large groups (§VII) are reproduced as
+// errors.
+func runSafe(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) {
+	// Prefer the head-aware tree of the original query: its labels carry
+	// the actual join attributes. The FD-reduct tree (used when the
+	// original structure is non-hierarchical, e.g. Q18) drops attributes
+	// functionally determined by the head, which is fine there because the
+	// reduct keeps the join attributes that still matter.
+	tree, err := query.TreeFor(q)
+	if err != nil {
+		tree, err = treeForOrder(q, sigma)
+		if err != nil {
+			return nil, fmt.Errorf("plan: no safe plan for %s: %w", q.Name, err)
+		}
+	}
+	t0 := time.Now()
+	head := make(map[string]bool, len(q.Head))
+	for _, h := range q.Head {
+		head[h] = true
+	}
+	b := &safeBuilder{cat: c, q: q, head: head}
+	op, err := b.node(tree, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Final independent projection onto the head attributes.
+	op, err = b.indProject(op, q.Head)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := engine.Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	// MystiQ's aggregate fails at runtime on groups of many near-certain
+	// events (log-sum underflow) — surface that as an error, as in §VII.
+	pi := rel.Schema.ColIndex(safeProbCol)
+	for _, row := range rel.Rows {
+		if math.IsNaN(row[pi].F) || math.IsInf(row[pi].F, 0) {
+			return nil, fmt.Errorf("plan: MystiQ runtime error: probability aggregate under/overflowed (query %s)", q.Name)
+		}
+	}
+	// Rename the probability column to conf for a uniform Result shape.
+	out := table.NewRelation(func() *table.Schema {
+		cols := append([]table.Column(nil), rel.Schema.Cols...)
+		cols[pi] = table.DataCol(conf.ConfCol, table.KindFloat)
+		return table.NewSchema(cols...)
+	}())
+	out.Rows = rel.Rows
+	out, err = normalizeAnswer(out, q)
+	if err != nil {
+		return nil, err
+	}
+	total := time.Since(t0)
+	return &Result{
+		Rows: out,
+		Stats: Stats{
+			Plan:           fmt.Sprintf("mystiq safe plan over tree %s", tree),
+			Signature:      "(safe plan; no signature)",
+			TupleTime:      total,
+			ProbTime:       0, // interleaved with tuple computation in safe plans
+			AnswerTuples:   b.maxIntermediate,
+			DistinctTuples: int64(out.Len()),
+			Scans:          b.aggregations,
+		},
+	}, nil
+}
+
+// safeProbCol is the single probability column safe plans carry.
+const safeProbCol = "P"
+
+type safeBuilder struct {
+	cat             *Catalog
+	q               *query.Query
+	head            map[string]bool
+	maxIntermediate int64
+	aggregations    int
+}
+
+// node compiles a query (sub)tree into an operator whose schema is the
+// node's kept attributes plus the P column.
+func (b *safeBuilder) node(t *query.Tree, parentLabel []string) (engine.Operator, error) {
+	if t.IsLeaf() {
+		// The tree may come from an FD-reduct, whose leaves carry
+		// closure-extended attribute sets; scan the original occurrence.
+		ref, ok := b.q.RelByName(t.Leaf.Name)
+		if !ok {
+			return nil, fmt.Errorf("plan: tree leaf %s not in query", t.Leaf.Name)
+		}
+		return b.leaf(ref, parentLabel)
+	}
+	keep := b.keepAttrs(t)
+	// Children in hierarchy order: deepest first, like the safe plans
+	// MystiQ produces (Fig. 2 joins Ord ⋈ Item before Cust).
+	kids := append([]*query.Tree(nil), t.Children...)
+	for i := 0; i < len(kids); i++ {
+		deepest := i
+		for j := i + 1; j < len(kids); j++ {
+			if depth(kids[j]) > depth(kids[deepest]) {
+				deepest = j
+			}
+		}
+		kids[i], kids[deepest] = kids[deepest], kids[i]
+	}
+	cur, err := b.node(kids[0], t.Label)
+	if err != nil {
+		return nil, err
+	}
+	for _, kid := range kids[1:] {
+		right, err := b.node(kid, t.Label)
+		if err != nil {
+			return nil, err
+		}
+		cur, err = b.join(cur, right, keep)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// keepAttrs returns the node's label attributes plus head attributes
+// available in its subtree.
+func (b *safeBuilder) keepAttrs(t *query.Tree) []string {
+	inSubtree := make(map[string]bool)
+	var walk func(n *query.Tree)
+	walk = func(n *query.Tree) {
+		if n.IsLeaf() {
+			if ref, ok := b.q.RelByName(n.Leaf.Name); ok {
+				for _, a := range ref.Attrs {
+					inSubtree[a] = true
+				}
+			}
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t)
+	var keep []string
+	seen := make(map[string]bool)
+	add := func(a string) {
+		if inSubtree[a] && !seen[a] {
+			keep = append(keep, a)
+			seen[a] = true
+		}
+	}
+	if !t.IsLeaf() {
+		for _, a := range t.Label {
+			add(a)
+		}
+	} else if ref, ok := b.q.RelByName(t.Leaf.Name); ok {
+		for _, a := range ref.Attrs {
+			if b.head[a] {
+				add(a)
+			}
+		}
+	}
+	for _, h := range b.q.Head {
+		add(h)
+	}
+	return keep
+}
+
+// leaf compiles scan → filter → projection to kept attrs + P, followed by
+// π^ind.
+func (b *safeBuilder) leaf(ref query.RelRef, parentLabel []string) (engine.Operator, error) {
+	op, err := b.cat.Scan(ref)
+	if err != nil {
+		return nil, err
+	}
+	s := op.Schema()
+	var preds engine.And
+	for _, sel := range b.q.Sels {
+		if sel.Rel != ref.Name {
+			continue
+		}
+		idx := s.ColIndex(sel.Attr)
+		if idx < 0 {
+			return nil, fmt.Errorf("plan: selection attribute %s missing from %s", sel.Attr, ref.Name)
+		}
+		preds = append(preds, engine.Cmp{L: engine.ColRef{Idx: idx, Name: sel.Attr}, Op: sel.Op, R: engine.Const{V: sel.Val}})
+	}
+	if len(preds) > 0 {
+		op = engine.NewFilter(op, preds)
+	}
+	// Keep parent label attrs present in this leaf plus head attrs.
+	seen := make(map[string]bool)
+	var keep []string
+	for _, a := range parentLabel {
+		if ref.HasAttr(a) && !seen[a] {
+			keep = append(keep, a)
+			seen[a] = true
+		}
+	}
+	for _, a := range ref.Attrs {
+		if b.head[a] && !seen[a] {
+			keep = append(keep, a)
+			seen[a] = true
+		}
+	}
+	// Drop the variable column, rename P(ref) to the bare P column: MystiQ
+	// works on probabilistic tables without variable columns (§V).
+	names := append(append([]string(nil), keep...), "P("+ref.Name+")")
+	proj, err := engine.NewColumnProject(op, names)
+	if err != nil {
+		return nil, err
+	}
+	ps := proj.Schema()
+	cols := append([]table.Column(nil), ps.Cols...)
+	cols[len(cols)-1] = table.DataCol(safeProbCol, table.KindFloat)
+	var exprs []engine.Expr
+	for i, c := range ps.Cols {
+		exprs = append(exprs, engine.ColRef{Idx: i, Name: c.Name})
+	}
+	renamed, err := engine.NewProject(proj, table.NewSchema(cols...), exprs)
+	if err != nil {
+		return nil, err
+	}
+	return b.indProject(renamed, keep)
+}
+
+// join combines two safe subplans: equi-join on shared attributes,
+// multiply probabilities, project to keep, π^ind.
+func (b *safeBuilder) join(left, right engine.Operator, keep []string) (engine.Operator, error) {
+	ls, rs := left.Schema(), right.Schema()
+	var lk, rk []int
+	for i, lc := range ls.Cols {
+		if lc.Name == safeProbCol {
+			continue
+		}
+		j := rs.ColIndex(lc.Name)
+		if j >= 0 && rs.Cols[j].Name != safeProbCol {
+			lk = append(lk, i)
+			rk = append(rk, j)
+		}
+	}
+	j, err := engine.NewHashJoin(left, right, lk, rk)
+	if err != nil {
+		return nil, err
+	}
+	js := j.Schema()
+	lpi := ls.ColIndex(safeProbCol)
+	rpi := len(ls.Cols) + rs.ColIndex(safeProbCol)
+	var exprs []engine.Expr
+	var cols []table.Column
+	seen := make(map[string]bool)
+	for _, a := range keep {
+		idx := js.ColIndex(a)
+		if idx < 0 || seen[a] {
+			continue
+		}
+		seen[a] = true
+		exprs = append(exprs, engine.ColRef{Idx: idx, Name: a})
+		cols = append(cols, js.Cols[idx])
+	}
+	exprs = append(exprs, engine.Mul{L: engine.ColRef{Idx: lpi, Name: "Pl"}, R: engine.ColRef{Idx: rpi, Name: "Pr"}})
+	cols = append(cols, table.DataCol(safeProbCol, table.KindFloat))
+	proj, err := engine.NewProject(j, table.NewSchema(cols...), exprs)
+	if err != nil {
+		return nil, err
+	}
+	mat, err := engine.Collect(proj)
+	if err != nil {
+		return nil, err
+	}
+	if int64(mat.Len()) > b.maxIntermediate {
+		b.maxIntermediate = int64(mat.Len())
+	}
+	return b.indProject(engine.NewMemScan(mat), keep)
+}
+
+// indProject is MystiQ's independent projection: group by the kept
+// attributes and aggregate the probabilities of the (assumed independent)
+// duplicates with the log-based formula.
+func (b *safeBuilder) indProject(in engine.Operator, keep []string) (engine.Operator, error) {
+	b.aggregations++
+	s := in.Schema()
+	var groupBy []int
+	for _, a := range keep {
+		idx := s.ColIndex(a)
+		if idx < 0 {
+			return nil, fmt.Errorf("plan: π^ind attribute %s missing from %v", a, s.Names())
+		}
+		groupBy = append(groupBy, idx)
+	}
+	pi := s.ColIndex(safeProbCol)
+	if pi < 0 {
+		return nil, fmt.Errorf("plan: π^ind input lacks P column: %v", s.Names())
+	}
+	return engine.GroupSorted(in, groupBy, []engine.AggSpec{
+		{Kind: engine.AggLogOr, Col: pi, Out: table.DataCol(safeProbCol, table.KindFloat)},
+	}), nil
+}

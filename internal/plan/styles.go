@@ -1,0 +1,306 @@
+package plan
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/conf"
+	"repro/internal/engine"
+	"repro/internal/fd"
+	"repro/internal/query"
+	"repro/internal/signature"
+	"repro/internal/table"
+)
+
+// Style selects the plan family of §V.B / Fig. 7.
+type Style int
+
+// Plan styles.
+const (
+	// Lazy computes the answer tuples with an optimizer-chosen join order
+	// and runs the confidence operator once, at the very top (Fig. 7c).
+	Lazy Style = iota
+	// Eager pushes probability-computation operators onto every table and
+	// after every join, following the hierarchical join order (Fig. 7a).
+	Eager
+	// Hybrid joins a prefix of the relations, applies the valid operators
+	// there, and finishes lazily (Fig. 7b).
+	Hybrid
+	// SafeMystiQ is the baseline: MystiQ's safe plans, evaluated without
+	// variable columns (Fig. 2, §VII).
+	SafeMystiQ
+)
+
+// String names the style.
+func (s Style) String() string {
+	switch s {
+	case Lazy:
+		return "lazy"
+	case Eager:
+		return "eager"
+	case Hybrid:
+		return "hybrid"
+	case SafeMystiQ:
+		return "mystiq"
+	default:
+		return "?"
+	}
+}
+
+// Spec configures a plan run.
+type Spec struct {
+	Style Style
+	// HybridPrefix is, for Hybrid, the number of relations (in lazy join
+	// order) joined before the eager operator application; 0 defaults to
+	// len(rels)-1 (aggregate before the last join).
+	HybridPrefix int
+	// Conf tunes the confidence operator's sorts.
+	Conf conf.Options
+}
+
+// Stats reports the execution breakdown the paper's figures use.
+type Stats struct {
+	Plan           string        // human-readable plan description
+	Signature      string        // signature used for confidence computation
+	TupleTime      time.Duration // computing + materializing answer tuples
+	ProbTime       time.Duration // confidence computation
+	AnswerTuples   int64         // answer tuples before duplicate elimination
+	DistinctTuples int64         // distinct answer tuples
+	Scans          int           // operator scans (aggregation + final)
+}
+
+// Total returns the end-to-end wall-clock time.
+func (s *Stats) Total() time.Duration { return s.TupleTime + s.ProbTime }
+
+// Result is a computed answer: distinct head tuples plus their confidence
+// in the conf column.
+type Result struct {
+	Rows  *table.Relation
+	Stats Stats
+}
+
+// Run executes q on the catalog under the given FDs with the requested plan
+// style. The signature is the most precise one available (FD-refined when
+// the reduct is hierarchical, plain otherwise); queries with neither are
+// rejected as intractable (#P-hard in general).
+func Run(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	sig, err := signature.Best(q, sigma)
+	if err != nil {
+		return nil, fmt.Errorf("plan: %s is not tractable (no hierarchical signature): %w", q.Name, err)
+	}
+	switch spec.Style {
+	case Lazy:
+		return runLazy(c, q, sig, spec)
+	case Eager:
+		return runStaged(c, q, sigma, sig, spec, len(q.Rels), true)
+	case Hybrid:
+		prefix := spec.HybridPrefix
+		if prefix <= 0 || prefix > len(q.Rels) {
+			prefix = len(q.Rels) - 1
+		}
+		return runStaged(c, q, sigma, sig, spec, prefix, false)
+	case SafeMystiQ:
+		return runSafe(c, q, sigma, spec)
+	default:
+		return nil, fmt.Errorf("plan: unknown style %d", spec.Style)
+	}
+}
+
+// Answer materializes the answer tuples of q under the lazy join order:
+// head data columns plus the V/P column pairs of every relation — exactly
+// the input the confidence operator consumes. Exposed for the benchmark
+// harness (Fig. 13 measures the operator in isolation on this relation).
+func Answer(c *Catalog, q *query.Query) (*table.Relation, error) {
+	return answerPipeline(c, q, LazyOrder(c, q))
+}
+
+// answerPipeline joins the relations in the given order, returning the
+// materialized answer with head data attributes and all V/P columns.
+func answerPipeline(c *Catalog, q *query.Query, order []query.RelRef) (*table.Relation, error) {
+	joined := make(map[string]bool)
+	var op engine.Operator
+	for i, ref := range order {
+		leaf, err := leafPipeline(c, q, ref)
+		if err != nil {
+			return nil, err
+		}
+		joined[ref.Name] = true
+		if i == 0 {
+			op = leaf
+			continue
+		}
+		op, err = joinPipeline(q, op, leaf, joined)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return engine.Collect(op)
+}
+
+// runLazy is Fig. 7(c): compute all answer tuples first (greedy selective
+// join order), then one confidence operator over the materialized answer.
+func runLazy(c *Catalog, q *query.Query, sig signature.Sig, spec Spec) (*Result, error) {
+	order := LazyOrder(c, q)
+	t0 := time.Now()
+	answer, err := answerPipeline(c, q, order)
+	if err != nil {
+		return nil, err
+	}
+	tupleTime := time.Since(t0)
+
+	t1 := time.Now()
+	out, cstats, err := conf.ComputeStats(answer, sig, spec.Conf)
+	if err != nil {
+		return nil, err
+	}
+	probTime := time.Since(t1)
+	out, err = normalizeAnswer(out, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Rows: out,
+		Stats: Stats{
+			Plan:           fmt.Sprintf("lazy: %s; conf[%s] on top", describeOrder(order), sig),
+			Signature:      sig.String(),
+			TupleTime:      tupleTime,
+			ProbTime:       probTime,
+			AnswerTuples:   int64(answer.Len()),
+			DistinctTuples: int64(out.Len()),
+			Scans:          cstats.Scans,
+		},
+	}, nil
+}
+
+// runStaged implements eager and hybrid plans: relations are joined one at
+// a time; after each of the first `eagerStages` intermediates (and each
+// leaf, for fully eager plans), the §V.B-valid probability-computation
+// operators are applied and the running signature updated. Whatever
+// signature remains at the top is finished by the ordinary operator.
+func runStaged(c *Catalog, q *query.Query, sigma *fd.Set, sig signature.Sig, spec Spec, eagerStages int, hierOrder bool) (*Result, error) {
+	full := sig
+	cur := sig
+	var order []query.RelRef
+	if hierOrder {
+		tree, err := treeForOrder(q, sigma)
+		if err != nil {
+			return nil, err
+		}
+		order = HierarchicalOrder(q, tree)
+	} else {
+		order = LazyOrder(c, q)
+	}
+
+	t0 := time.Now()
+	var probTime time.Duration
+	scans := 0
+	var answerTuples int64
+	joined := make(map[string]bool)
+	var rel *table.Relation
+	var applied []string
+
+	applyOps := func() error {
+		ops := Restrict(full, cur, joined)
+		for _, op := range ops {
+			if _, bare := op.(signature.Table); bare {
+				continue
+			}
+			pt0 := time.Now()
+			next, rep, n, err := conf.Aggregate(rel, op, spec.Conf)
+			if err != nil {
+				return err
+			}
+			probTime += time.Since(pt0)
+			scans += n
+			rel = next
+			cur = Replace(cur, op, signature.Table(rep))
+			applied = append(applied, "["+op.String()+"]")
+		}
+		return nil
+	}
+
+	for i, ref := range order {
+		leaf, err := leafPipeline(c, q, ref)
+		if err != nil {
+			return nil, err
+		}
+		joined[ref.Name] = true
+		if i == 0 {
+			rel, err = engine.Collect(leaf)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			op, err := joinPipeline(q, engine.NewMemScan(rel), leaf, joined)
+			if err != nil {
+				return nil, err
+			}
+			rel, err = engine.Collect(op)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if int64(rel.Len()) > answerTuples {
+			answerTuples = int64(rel.Len())
+		}
+		if i < eagerStages {
+			if err := applyOps(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Finish: whatever aggregation remains runs as the top operator.
+	var out *table.Relation
+	pt0 := time.Now()
+	if bare, ok := cur.(signature.Table); ok {
+		var err error
+		out, err = conf.FinalizeBare(rel, string(bare))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var cstats *conf.Stats
+		var err error
+		out, cstats, err = conf.ComputeStats(rel, cur, spec.Conf)
+		if err != nil {
+			return nil, err
+		}
+		scans += cstats.Scans
+	}
+	probTime += time.Since(pt0)
+	out, err := normalizeAnswer(out, q)
+	if err != nil {
+		return nil, err
+	}
+	total := time.Since(t0)
+
+	styleName := "eager"
+	if eagerStages < len(order) {
+		styleName = fmt.Sprintf("hybrid(prefix=%d)", eagerStages)
+	}
+	return &Result{
+		Rows: out,
+		Stats: Stats{
+			Plan:           fmt.Sprintf("%s: %s; ops %v; top conf[%s]", styleName, describeOrder(order), applied, cur),
+			Signature:      full.String(),
+			TupleTime:      total - probTime,
+			ProbTime:       probTime,
+			AnswerTuples:   answerTuples,
+			DistinctTuples: int64(out.Len()),
+			Scans:          scans,
+		},
+	}, nil
+}
+
+// treeForOrder returns the query tree used for hierarchy-driven join
+// orders, preferring the FD-reduct tree.
+func treeForOrder(q *query.Query, sigma *fd.Set) (*query.Tree, error) {
+	if _, tree, err := fd.HierarchicalReduct(q, sigma); err == nil {
+		return tree, nil
+	}
+	return query.TreeFor(q)
+}

@@ -1,0 +1,154 @@
+package prob
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OneOF is an expression tree in one-occurrence form: every variable occurs
+// at most once, conjunction connects independent subexpressions, and
+// disjunction connects subexpressions over disjoint variable sets (paper
+// §I, §III). Probability evaluation maps AND to product and OR to the
+// independent-disjunction formula, and is linear in the number of variables
+// (Prop. III.5 context).
+type OneOF struct {
+	// Exactly one of the following shapes:
+	Leaf     Var      // valid when Kind == OneOFLeaf
+	Children []*OneOF // operands for And/Or
+	Kind     OneOFKind
+}
+
+// OneOFKind discriminates the node shapes of a 1OF tree.
+type OneOFKind int
+
+// Node kinds of a 1OF expression tree.
+const (
+	OneOFLeaf OneOFKind = iota
+	OneOFAnd
+	OneOFOr
+)
+
+// Leaf1OF builds a variable leaf.
+func Leaf1OF(v Var) *OneOF { return &OneOF{Kind: OneOFLeaf, Leaf: v} }
+
+// And1OF builds a conjunction node.
+func And1OF(children ...*OneOF) *OneOF { return &OneOF{Kind: OneOFAnd, Children: children} }
+
+// Or1OF builds a disjunction node.
+func Or1OF(children ...*OneOF) *OneOF { return &OneOF{Kind: OneOFOr, Children: children} }
+
+// Prob evaluates the probability of the 1OF tree in one pass: product at
+// AND nodes, independent-OR at OR nodes, Pr[x] at leaves.
+func (t *OneOF) Prob(a *Assignment) float64 {
+	switch t.Kind {
+	case OneOFLeaf:
+		return a.P(t.Leaf)
+	case OneOFAnd:
+		p := 1.0
+		for _, c := range t.Children {
+			p *= c.Prob(a)
+		}
+		return p
+	case OneOFOr:
+		comp := 1.0
+		for _, c := range t.Children {
+			comp *= 1 - c.Prob(a)
+		}
+		return 1 - comp
+	default:
+		panic(fmt.Sprintf("prob: unknown 1OF kind %d", t.Kind))
+	}
+}
+
+// Vars appends the variables of the tree to dst in syntactic order.
+func (t *OneOF) Vars(dst []Var) []Var {
+	switch t.Kind {
+	case OneOFLeaf:
+		return append(dst, t.Leaf)
+	default:
+		for _, c := range t.Children {
+			dst = c.Vars(dst)
+		}
+		return dst
+	}
+}
+
+// CheckOneOccurrence verifies the defining invariant of 1OF: each variable
+// occurs at most once in the tree.
+func (t *OneOF) CheckOneOccurrence() error {
+	seen := make(map[Var]bool)
+	for _, v := range t.Vars(nil) {
+		if seen[v] {
+			return fmt.Errorf("prob: variable %v occurs more than once; not a 1OF", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// DNF expands the 1OF tree into an equivalent DNF (for cross-validation in
+// tests; exponential in general).
+func (t *OneOF) DNF() *DNF {
+	return &DNF{Clauses: t.dnfClauses()}
+}
+
+func (t *OneOF) dnfClauses() []Clause {
+	switch t.Kind {
+	case OneOFLeaf:
+		return []Clause{NewClause(t.Leaf)}
+	case OneOFOr:
+		var out []Clause
+		for _, c := range t.Children {
+			out = append(out, c.dnfClauses()...)
+		}
+		return out
+	case OneOFAnd:
+		acc := []Clause{{}}
+		for _, child := range t.Children {
+			cs := child.dnfClauses()
+			next := make([]Clause, 0, len(acc)*len(cs))
+			for _, a := range acc {
+				for _, b := range cs {
+					merged := make([]Var, 0, len(a)+len(b))
+					merged = append(merged, a...)
+					merged = append(merged, b...)
+					next = append(next, NewClause(merged...))
+				}
+			}
+			acc = next
+		}
+		return acc
+	default:
+		panic("prob: unknown 1OF kind")
+	}
+}
+
+// String renders the tree with the paper's factored notation, e.g.
+// x1∧(y1∧(z1∨z2)).
+func (t *OneOF) String() string {
+	switch t.Kind {
+	case OneOFLeaf:
+		return t.Leaf.String()
+	case OneOFAnd:
+		parts := make([]string, len(t.Children))
+		for i, c := range t.Children {
+			parts[i] = c.paren()
+		}
+		return strings.Join(parts, "∧")
+	case OneOFOr:
+		parts := make([]string, len(t.Children))
+		for i, c := range t.Children {
+			parts[i] = c.paren()
+		}
+		return strings.Join(parts, "∨")
+	default:
+		panic("prob: unknown 1OF kind")
+	}
+}
+
+func (t *OneOF) paren() string {
+	if t.Kind == OneOFLeaf || len(t.Children) == 1 {
+		return t.String()
+	}
+	return "(" + t.String() + ")"
+}

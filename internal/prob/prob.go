@@ -1,0 +1,136 @@
+// Package prob implements the probabilistic foundation of SPROUT:
+// independent Boolean random variables, probability arithmetic over
+// independent events, DNF lineage formulas, exact probability oracles
+// (Shannon expansion and possible-world enumeration), and one-occurrence
+// form (1OF) expression trees whose probability is computable in time
+// linear in the number of variables (paper §II.A, §III).
+package prob
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Var identifies an independent Boolean random variable. The paper (§II.A)
+// draws variables from a finite set X; we represent them as small integers,
+// exactly like SPROUT's integer-encoded variable columns (§V).
+//
+// Var 0 is reserved as "no variable" (a deterministic, always-true tuple).
+type Var int32
+
+// NoVar marks tuples without an associated random variable; such tuples are
+// present in every possible world with probability 1.
+const NoVar Var = 0
+
+// Valid reports whether v names an actual random variable.
+func (v Var) Valid() bool { return v > 0 }
+
+// String renders a variable as x<id>, matching the paper's notation.
+func (v Var) String() string {
+	if v == NoVar {
+		return "⊤"
+	}
+	return fmt.Sprintf("x%d", int32(v))
+}
+
+// Assignment maps variables to probabilities of their "true" assignment.
+// Probabilities must lie in (0, 1] per the data model of §II.A.
+type Assignment struct {
+	p map[Var]float64
+}
+
+// NewAssignment returns an empty probability assignment.
+func NewAssignment() *Assignment {
+	return &Assignment{p: make(map[Var]float64)}
+}
+
+// Set records Pr[v = true] = p. It returns an error if p is outside (0, 1]
+// or v is invalid, mirroring the schema constraint on P-columns.
+func (a *Assignment) Set(v Var, p float64) error {
+	if !v.Valid() {
+		return fmt.Errorf("prob: cannot assign probability to reserved variable %v", v)
+	}
+	if !(p > 0 && p <= 1) || math.IsNaN(p) {
+		return fmt.Errorf("prob: probability %g for %v outside (0,1]", p, v)
+	}
+	a.p[v] = p
+	return nil
+}
+
+// MustSet is Set for test fixtures; it panics on invalid input.
+func (a *Assignment) MustSet(v Var, p float64) {
+	if err := a.Set(v, p); err != nil {
+		panic(err)
+	}
+}
+
+// P returns Pr[v = true]. Unassigned variables default to 1 (deterministic),
+// and NoVar is always 1.
+func (a *Assignment) P(v Var) float64 {
+	if v == NoVar {
+		return 1
+	}
+	if p, ok := a.p[v]; ok {
+		return p
+	}
+	return 1
+}
+
+// Vars returns the assigned variables in increasing order.
+func (a *Assignment) Vars() []Var {
+	vs := make([]Var, 0, len(a.p))
+	for v := range a.p {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Len returns the number of assigned variables.
+func (a *Assignment) Len() int { return len(a.p) }
+
+// Or computes the probability of the disjunction of two independent events
+// with probabilities p and q: 1 - (1-p)(1-q). This is the `prob` aggregate
+// of the paper's Fig. 5 applied pairwise.
+func Or(p, q float64) float64 { return 1 - (1-p)*(1-q) }
+
+// OrAll folds Or over a slice of independent event probabilities.
+func OrAll(ps []float64) float64 {
+	c := 1.0
+	for _, p := range ps {
+		c *= 1 - p
+	}
+	return 1 - c
+}
+
+// And computes the probability of the conjunction of independent events.
+func And(p, q float64) float64 { return p * q }
+
+// MystiQOr reproduces MystiQ's numerically fragile disjunction aggregate,
+// 1 - POWER(10.000, SUM(log10(1.001 - p))), described in §VII ("Query
+// Engines"): for large n the sum of logarithms of very small complements
+// under- or overflows and MystiQ aborts at runtime. We model the failure by
+// returning an error when the accumulated log-sum leaves float64's usable
+// exponent range, which is what made queries 1, 4, 12 and several Boolean
+// variants fail in the paper's experiments.
+func MystiQOr(ps []float64) (float64, error) {
+	sum := 0.0
+	for _, p := range ps {
+		c := 1.001 - p
+		if c <= 0 {
+			return 0, fmt.Errorf("prob: MystiQ aggregate: log of non-positive complement %g", c)
+		}
+		sum += math.Log10(c)
+	}
+	if sum < -300 { // 10^sum underflows well before float64's limit in Postgres' POWER
+		return 0, fmt.Errorf("prob: MystiQ aggregate: runtime error, log-sum %g underflows POWER", sum)
+	}
+	return 1 - math.Pow(10, sum), nil
+}
+
+// ApproxEqual reports whether two probabilities agree within eps. Exact
+// confidence computation over float64 accumulates rounding; tests use 1e-9.
+func ApproxEqual(p, q, eps float64) bool {
+	return math.Abs(p-q) <= eps
+}

@@ -1,0 +1,68 @@
+package prob
+
+import "fmt"
+
+// MaxWorldVars bounds the possible-world oracle; 2^24 worlds is already far
+// beyond what tests need, and the bound guards against accidental blowups.
+const MaxWorldVars = 24
+
+// World is one truth assignment of all variables of an Assignment, together
+// with its probability Pr[f] = Π p or (1-p) (paper §II.A).
+type World struct {
+	Truth map[Var]bool
+	P     float64
+}
+
+// EnumerateWorlds materializes every possible world of the given assignment.
+// It is the brute-force semantics of a tuple-independent database: each of
+// the 2^n truth assignments of the n variables is one world. The sum of all
+// world probabilities is 1. Only usable for small n (test oracle).
+func EnumerateWorlds(a *Assignment) ([]World, error) {
+	vars := a.Vars()
+	n := len(vars)
+	if n > MaxWorldVars {
+		return nil, fmt.Errorf("prob: refusing to enumerate 2^%d worlds (max %d vars)", n, MaxWorldVars)
+	}
+	worlds := make([]World, 0, 1<<uint(n))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		truth := make(map[Var]bool, n)
+		p := 1.0
+		for i, v := range vars {
+			t := mask&(1<<uint(i)) != 0
+			truth[v] = t
+			if t {
+				p *= a.P(v)
+			} else {
+				p *= 1 - a.P(v)
+			}
+		}
+		worlds = append(worlds, World{Truth: truth, P: p})
+	}
+	return worlds, nil
+}
+
+// ProbByWorlds computes Pr[φ] = Σ_{f implies φ} Pr[f] by enumerating worlds.
+// This is the definitional (exponential) semantics from §II.A and the
+// ultimate correctness oracle for the whole system.
+func ProbByWorlds(d *DNF, a *Assignment) (float64, error) {
+	// Enumerate only over the variables the formula mentions plus nothing
+	// else: variables outside φ marginalize out.
+	sub := NewAssignment()
+	for _, v := range d.Vars() {
+		// Unassigned variables are deterministic with p = 1.
+		if err := sub.Set(v, a.P(v)); err != nil {
+			return 0, err
+		}
+	}
+	worlds, err := EnumerateWorlds(sub)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, w := range worlds {
+		if d.Eval(w.Truth) {
+			total += w.P
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,419 @@
+// Package query models conjunctive queries without self-joins in the form
+// π_A σ_φ (R1 ⋈ … ⋈ Rn) of paper §II.B: φ is a conjunction of unary
+// predicates (attribute–constant comparisons) and the join conditions are
+// implied by shared attribute names across relations ("we assume that the
+// join attributes have the same name in the joined tables"). The package
+// implements the hierarchical test (Def. II.1) and the tree representation
+// of hierarchical queries (Fig. 3), which internal/signature turns into
+// query signatures.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/table"
+)
+
+// RelRef is one relation occurrence. Name is the occurrence name used for
+// variable columns (V(Name), P(Name)); Base is the stored table it reads
+// (Base == Name except for the alias trick of §IV, where self-joins with
+// mutually exclusive selections are treated as two relations, e.g. Q7's two
+// copies of Nation).
+type RelRef struct {
+	Name  string
+	Base  string
+	Attrs []string
+}
+
+// Rel builds a relation reference whose base equals its name.
+func Rel(name string, attrs ...string) RelRef {
+	return RelRef{Name: name, Base: name, Attrs: attrs}
+}
+
+// Alias builds a renamed occurrence of a base table. The caller must ensure
+// the aliased occurrences select disjoint sets of tuples (mutual exclusion),
+// which is what makes the self-join harmless (§IV end).
+func Alias(name, base string, attrs ...string) RelRef {
+	return RelRef{Name: name, Base: base, Attrs: attrs}
+}
+
+// HasAttr reports whether the relation has the attribute.
+func (r RelRef) HasAttr(a string) bool {
+	for _, x := range r.Attrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Selection is a unary predicate σ on one relation's attribute.
+type Selection struct {
+	Rel  string // relation occurrence name
+	Attr string
+	Op   engine.CmpOp
+	Val  table.Value
+}
+
+// String renders the selection.
+func (s Selection) String() string {
+	return fmt.Sprintf("%s.%s%s%s", s.Rel, s.Attr, s.Op, s.Val)
+}
+
+// Query is a conjunctive query without self-joins. An empty Head makes the
+// query Boolean.
+type Query struct {
+	Name string // optional label (catalog id)
+	Head []string
+	Rels []RelRef
+	Sels []Selection
+}
+
+// IsBoolean reports whether the query has an empty projection list.
+func (q *Query) IsBoolean() bool { return len(q.Head) == 0 }
+
+// Clone deep-copies the query.
+func (q *Query) Clone() *Query {
+	c := &Query{Name: q.Name, Head: append([]string(nil), q.Head...), Sels: append([]Selection(nil), q.Sels...)}
+	for _, r := range q.Rels {
+		c.Rels = append(c.Rels, RelRef{Name: r.Name, Base: r.Base, Attrs: append([]string(nil), r.Attrs...)})
+	}
+	return c
+}
+
+// Validate checks structural well-formedness: no repeated occurrence names
+// (no self-joins except via aliases), head and selection attributes must
+// exist.
+func (q *Query) Validate() error {
+	if len(q.Rels) == 0 {
+		return fmt.Errorf("query: no relations")
+	}
+	seen := make(map[string]bool)
+	for _, r := range q.Rels {
+		if seen[r.Name] {
+			return fmt.Errorf("query: relation occurrence %q repeated (self-joins need distinct aliases)", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	for _, h := range q.Head {
+		if len(q.RelsWith(h)) == 0 {
+			return fmt.Errorf("query: head attribute %q not in any relation", h)
+		}
+	}
+	for _, s := range q.Sels {
+		found := false
+		for _, r := range q.Rels {
+			if r.Name == s.Rel && r.HasAttr(s.Attr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("query: selection %v references unknown relation/attribute", s)
+		}
+	}
+	return nil
+}
+
+// RelByName returns the relation occurrence with the given name.
+func (q *Query) RelByName(name string) (RelRef, bool) {
+	for _, r := range q.Rels {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return RelRef{}, false
+}
+
+// RelsWith returns the names of relations containing attribute a, in query
+// order.
+func (q *Query) RelsWith(a string) []string {
+	var out []string
+	for _, r := range q.Rels {
+		if r.HasAttr(a) {
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}
+
+// JoinAttrs returns the attributes occurring in at least two relations, in
+// deterministic order.
+func (q *Query) JoinAttrs() []string {
+	count := make(map[string]int)
+	var order []string
+	for _, r := range q.Rels {
+		for _, a := range r.Attrs {
+			if count[a] == 0 {
+				order = append(order, a)
+			}
+			count[a]++
+		}
+	}
+	var out []string
+	for _, a := range order {
+		if count[a] >= 2 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// headSet returns the head attributes as a set.
+func (q *Query) headSet() map[string]bool {
+	s := make(map[string]bool, len(q.Head))
+	for _, h := range q.Head {
+		s[h] = true
+	}
+	return s
+}
+
+// EffectiveJoinAttrs returns the join attributes that participate in the
+// hierarchical test: attributes shared by ≥2 relations and not in the
+// projection list ("the attributes that occur in joins and in the
+// projection list are not used for deciding the hierarchical property",
+// §II.B).
+func (q *Query) EffectiveJoinAttrs() []string {
+	head := q.headSet()
+	var out []string
+	for _, a := range q.JoinAttrs() {
+		if !head[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// IsHierarchical applies Definition II.1 using the effective join
+// attributes: for any two join attributes occurring in the same relation,
+// the relation set of one must contain the relation set of the other.
+func (q *Query) IsHierarchical() bool {
+	attrs := q.EffectiveJoinAttrs()
+	rels := make(map[string]map[string]bool, len(attrs))
+	for _, a := range attrs {
+		set := make(map[string]bool)
+		for _, r := range q.RelsWith(a) {
+			set[r] = true
+		}
+		rels[a] = set
+	}
+	for _, r := range q.Rels {
+		var inRel []string
+		for _, a := range attrs {
+			if r.HasAttr(a) {
+				inRel = append(inRel, a)
+			}
+		}
+		for i := 0; i < len(inRel); i++ {
+			for j := i + 1; j < len(inRel); j++ {
+				a, b := rels[inRel[i]], rels[inRel[j]]
+				if !subset(a, b) && !subset(b, a) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func subset(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the query in the paper's π σ ⋈ notation.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("π{" + strings.Join(q.Head, ",") + "}(")
+	if len(q.Sels) > 0 {
+		parts := make([]string, len(q.Sels))
+		for i, s := range q.Sels {
+			parts[i] = s.String()
+		}
+		b.WriteString("σ{" + strings.Join(parts, ",") + "}(")
+	}
+	for i, r := range q.Rels {
+		if i > 0 {
+			b.WriteString(" ⋈ ")
+		}
+		b.WriteString(r.Name + "(" + strings.Join(r.Attrs, ",") + ")")
+	}
+	if len(q.Sels) > 0 {
+		b.WriteString(")")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Tree is the tree representation of a hierarchical query (Fig. 3): leaves
+// are relations, inner nodes are labelled with join attributes occurring in
+// all descendant relations. Label carries the *accumulated* attributes
+// (ancestors included), matching the paper's figure where the node below
+// root "ckey" is labelled "ckey, okey".
+type Tree struct {
+	Label    []string // sorted accumulated node attributes; nil for leaves
+	Leaf     *RelRef  // non-nil for leaf nodes
+	Children []*Tree
+}
+
+// IsLeaf reports whether the node is a relation leaf.
+func (t *Tree) IsLeaf() bool { return t.Leaf != nil }
+
+// String renders the tree as Label(children...) / relation names.
+func (t *Tree) String() string {
+	if t.IsLeaf() {
+		return t.Leaf.Name
+	}
+	parts := make([]string, len(t.Children))
+	for i, c := range t.Children {
+		parts[i] = c.String()
+	}
+	return "{" + strings.Join(t.Label, ",") + "}(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relations lists the leaf relation names in tree order.
+func (t *Tree) Relations() []string {
+	if t.IsLeaf() {
+		return []string{t.Leaf.Name}
+	}
+	var out []string
+	for _, c := range t.Children {
+		out = append(out, c.Relations()...)
+	}
+	return out
+}
+
+// BuildTree constructs the tree representation of the query, treating the
+// given attributes as join attributes (callers pass EffectiveJoinAttrs for
+// the head-aware tree, or JoinAttrs for the fully Boolean structure). It
+// fails when the query is not hierarchical w.r.t. those attributes.
+func BuildTree(q *Query, joinAttrs []string) (*Tree, error) {
+	isJoin := make(map[string]bool, len(joinAttrs))
+	for _, a := range joinAttrs {
+		isJoin[a] = true
+	}
+	rels := make([]*RelRef, len(q.Rels))
+	for i := range q.Rels {
+		r := q.Rels[i]
+		rels[i] = &r
+	}
+	return buildTree(rels, isJoin, nil)
+}
+
+func buildTree(rels []*RelRef, isJoin map[string]bool, used []string) (*Tree, error) {
+	usedSet := make(map[string]bool, len(used))
+	for _, a := range used {
+		usedSet[a] = true
+	}
+	if len(rels) == 1 {
+		return &Tree{Leaf: rels[0]}, nil
+	}
+	// A = join attributes present in every relation of the set and not yet
+	// used by an ancestor.
+	var shared []string
+	for _, a := range rels[0].Attrs {
+		if usedSet[a] || !isJoin[a] {
+			continue
+		}
+		inAll := true
+		for _, r := range rels[1:] {
+			if !r.HasAttr(a) {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			shared = append(shared, a)
+		}
+	}
+	label := append(append([]string(nil), used...), shared...)
+	sort.Strings(label)
+	newUsed := append(append([]string(nil), used...), shared...)
+	newUsedSet := make(map[string]bool, len(newUsed))
+	for _, a := range newUsed {
+		newUsedSet[a] = true
+	}
+
+	// Partition the relations into connected components via the remaining
+	// join attributes.
+	comp := make([]int, len(rels))
+	for i := range comp {
+		comp[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if comp[i] != i {
+			comp[i] = find(comp[i])
+		}
+		return comp[i]
+	}
+	union := func(i, j int) { comp[find(i)] = find(j) }
+	attrOwner := make(map[string]int)
+	for i, r := range rels {
+		for _, a := range r.Attrs {
+			if !isJoin[a] || newUsedSet[a] {
+				continue
+			}
+			if j, ok := attrOwner[a]; ok {
+				union(i, j)
+			} else {
+				attrOwner[a] = i
+			}
+		}
+	}
+	groups := make(map[int][]*RelRef)
+	var order []int
+	for i, r := range rels {
+		root := find(i)
+		if _, ok := groups[root]; !ok {
+			order = append(order, root)
+		}
+		groups[root] = append(groups[root], r)
+	}
+	if len(order) == 1 {
+		names := make([]string, len(rels))
+		for i, r := range rels {
+			names[i] = r.Name
+		}
+		return nil, fmt.Errorf("query: not hierarchical: relations {%s} cannot be separated below attributes {%s}",
+			strings.Join(names, ","), strings.Join(newUsed, ","))
+	}
+	node := &Tree{Label: label}
+	for _, root := range order {
+		child, err := buildTree(groups[root], isJoin, newUsed)
+		if err != nil {
+			return nil, err
+		}
+		node.Children = append(node.Children, child)
+	}
+	return node, nil
+}
+
+// TreeFor builds the head-aware tree of the query (the one used for
+// confidence computation of non-Boolean queries: head attributes are fixed
+// within each bag of duplicates and therefore do not act as join
+// attributes).
+func TreeFor(q *Query) (*Tree, error) {
+	return BuildTree(q, q.EffectiveJoinAttrs())
+}
+
+// FullTree builds the tree over the complete join structure (head
+// attributes included). It is the structure behind the "plain" signatures
+// quoted in the paper for non-Boolean queries, e.g. (Cust*(Ord*Item*)*)*
+// for Ex. IV.4 where the head attribute okey still labels an inner node.
+// Falls back to the head-aware tree if the full structure is not
+// hierarchical but the head-aware one is.
+func FullTree(q *Query) (*Tree, error) {
+	t, err := BuildTree(q, q.JoinAttrs())
+	if err == nil {
+		return t, nil
+	}
+	return TreeFor(q)
+}

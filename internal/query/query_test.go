@@ -1,0 +1,314 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/table"
+)
+
+// introQ is the running query of the paper's Introduction:
+// π_odate σ_{cname='Joe', discount>0}(Cust ⋈_ckey Ord ⋈_{okey,ckey} Item).
+func introQ() *Query {
+	return &Query{
+		Name: "Q",
+		Head: []string{"odate"},
+		Rels: []RelRef{
+			Rel("Cust", "ckey", "cname"),
+			Rel("Ord", "okey", "ckey", "odate"),
+			Rel("Item", "okey", "discount", "ckey"),
+		},
+		Sels: []Selection{
+			{Rel: "Cust", Attr: "cname", Op: engine.OpEq, Val: table.Str("Joe")},
+			{Rel: "Item", Attr: "discount", Op: engine.OpGt, Val: table.Float(0)},
+		},
+	}
+}
+
+// introQPrime is Q' from the Introduction: Item loses its ckey attribute,
+// making the query the prototypical hard (non-hierarchical) pattern.
+func introQPrime() *Query {
+	return &Query{
+		Name: "Q'",
+		Head: []string{"odate"},
+		Rels: []RelRef{
+			Rel("Cust", "ckey", "cname"),
+			Rel("Ord", "okey", "ckey", "odate"),
+			Rel("Item", "okey", "discount"),
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	q := introQ()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := introQ()
+	bad.Head = []string{"nope"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown head attribute should fail validation")
+	}
+	dup := introQ()
+	dup.Rels = append(dup.Rels, Rel("Cust", "ckey"))
+	if err := dup.Validate(); err == nil {
+		t.Error("repeated occurrence should fail validation (no self-joins)")
+	}
+	badSel := introQ()
+	badSel.Sels = []Selection{{Rel: "Cust", Attr: "zz", Op: engine.OpEq, Val: table.Int(1)}}
+	if err := badSel.Validate(); err == nil {
+		t.Error("selection on unknown attribute should fail")
+	}
+	empty := &Query{}
+	if err := empty.Validate(); err == nil {
+		t.Error("query without relations should fail")
+	}
+}
+
+func TestJoinAttrs(t *testing.T) {
+	q := introQ()
+	got := q.JoinAttrs()
+	want := []string{"ckey", "okey"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("JoinAttrs = %v, want %v", got, want)
+	}
+	// odate is in the head and only occurs in Ord, so effective join attrs
+	// equal the join attrs here.
+	eff := q.EffectiveJoinAttrs()
+	if len(eff) != 2 {
+		t.Errorf("EffectiveJoinAttrs = %v", eff)
+	}
+}
+
+func TestHeadJoinAttrExcluded(t *testing.T) {
+	// okey joins Ord and Item but is projected: it must not participate in
+	// the hierarchical test (§II.B).
+	q := &Query{
+		Head: []string{"okey"},
+		Rels: []RelRef{
+			Rel("Ord", "okey", "ckey"),
+			Rel("Item", "okey", "discount"),
+			Rel("Cust", "ckey", "cname"),
+		},
+	}
+	eff := q.EffectiveJoinAttrs()
+	if len(eff) != 1 || eff[0] != "ckey" {
+		t.Errorf("EffectiveJoinAttrs = %v, want [ckey]", eff)
+	}
+	if !q.IsHierarchical() {
+		t.Error("query should be hierarchical once head attrs are ignored")
+	}
+}
+
+// TestIntroQHierarchical: "We can check that Q is hierarchical: ckey
+// participates in both joins, whereas okey participates only in one join."
+func TestIntroQHierarchical(t *testing.T) {
+	if !introQ().IsHierarchical() {
+		t.Error("intro query Q must be hierarchical")
+	}
+}
+
+// TestIntroQPrimeNonHierarchical: "Q′ is non-hierarchical, because each of
+// the two join attributes of Ord participates in a different join."
+func TestIntroQPrimeNonHierarchical(t *testing.T) {
+	if introQPrime().IsHierarchical() {
+		t.Error("intro query Q' must be non-hierarchical")
+	}
+	if _, err := TreeFor(introQPrime()); err == nil {
+		t.Error("tree construction must fail for non-hierarchical Q'")
+	}
+}
+
+// TestIntroQTree reproduces Fig. 3: root ckey with children Cust and the
+// node {ckey,okey} over Ord and Item.
+func TestIntroQTree(t *testing.T) {
+	tree, err := TreeFor(introQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.IsLeaf() {
+		t.Fatal("root must be an inner node")
+	}
+	if len(tree.Label) != 1 || tree.Label[0] != "ckey" {
+		t.Errorf("root label = %v, want [ckey]", tree.Label)
+	}
+	if len(tree.Children) != 2 {
+		t.Fatalf("root should have 2 children, got %d", len(tree.Children))
+	}
+	cust := tree.Children[0]
+	if !cust.IsLeaf() || cust.Leaf.Name != "Cust" {
+		t.Errorf("first child should be leaf Cust, got %v", cust)
+	}
+	inner := tree.Children[1]
+	if inner.IsLeaf() || len(inner.Label) != 2 || inner.Label[0] != "ckey" || inner.Label[1] != "okey" {
+		t.Errorf("inner node label = %v, want [ckey okey] (accumulated)", inner.Label)
+	}
+	rels := inner.Relations()
+	if len(rels) != 2 || rels[0] != "Ord" || rels[1] != "Item" {
+		t.Errorf("inner relations = %v", rels)
+	}
+	if s := tree.String(); !strings.Contains(s, "Cust") || !strings.Contains(s, "ckey") {
+		t.Errorf("tree String() = %q", s)
+	}
+}
+
+// TestRemovingCkeyBreaksHierarchy: "If we remove ckey from either Ord or
+// Item, we obtain a non-hierarchical query" (Ex. II.2).
+func TestRemovingCkeyBreaksHierarchy(t *testing.T) {
+	for _, victim := range []string{"Ord", "Item"} {
+		q := introQ()
+		for i := range q.Rels {
+			if q.Rels[i].Name != victim {
+				continue
+			}
+			var attrs []string
+			for _, a := range q.Rels[i].Attrs {
+				if a != "ckey" {
+					attrs = append(attrs, a)
+				}
+			}
+			q.Rels[i].Attrs = attrs
+		}
+		if q.IsHierarchical() {
+			t.Errorf("removing ckey from %s should break the hierarchy", victim)
+		}
+	}
+}
+
+func TestUnconnectedSubqueriesProductTree(t *testing.T) {
+	// R(a) ⋈ S(a) and T(b) ⋈ U(b): relational product of two hierarchical
+	// subqueries; root label is empty (Fig. 4's A̅ = ∅ case).
+	q := &Query{
+		Rels: []RelRef{Rel("R", "a"), Rel("S", "a"), Rel("T", "b"), Rel("U", "b")},
+	}
+	if !q.IsHierarchical() {
+		t.Fatal("product of hierarchical queries is hierarchical")
+	}
+	tree, err := TreeFor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Label) != 0 {
+		t.Errorf("root label should be empty, got %v", tree.Label)
+	}
+	if len(tree.Children) != 2 {
+		t.Errorf("root should split into 2 components, got %d", len(tree.Children))
+	}
+}
+
+func TestSingleRelationTree(t *testing.T) {
+	q := &Query{Head: []string{"cname"}, Rels: []RelRef{Rel("Cust", "ckey", "cname")}}
+	tree, err := TreeFor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.IsLeaf() || tree.Leaf.Name != "Cust" {
+		t.Errorf("single-relation tree should be a leaf, got %v", tree)
+	}
+}
+
+func TestFullTreeKeepsHeadJoinAttr(t *testing.T) {
+	// Ex. IV.4's query: π_okey(Item ⋈ Ord ⋈ Cust). The full tree keeps okey
+	// as an inner node (its plain signature is (Cust*(Ord*Item*)*)*).
+	q := &Query{
+		Head: []string{"okey"},
+		Rels: []RelRef{
+			Rel("Item", "ckey", "okey", "discount"),
+			Rel("Ord", "okey", "ckey", "odate"),
+			Rel("Cust", "ckey", "cname"),
+		},
+	}
+	tree, err := FullTree(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root: ckey; children {Item,Ord} under {ckey,okey} and Cust.
+	if len(tree.Label) != 1 || tree.Label[0] != "ckey" {
+		t.Fatalf("root label = %v", tree.Label)
+	}
+	foundInner := false
+	for _, c := range tree.Children {
+		if !c.IsLeaf() && len(c.Label) == 2 && c.Label[1] == "okey" {
+			foundInner = true
+		}
+	}
+	if !foundInner {
+		t.Errorf("full tree should keep the okey node: %v", tree)
+	}
+}
+
+func TestFullTreeFallsBackToHeadAware(t *testing.T) {
+	// Non-hierarchical full structure, hierarchical once head is ignored:
+	// π_okey(Item(okey,discount) ⋈ Ord(okey,ckey) ⋈ Cust(ckey,cname)).
+	q := &Query{
+		Head: []string{"okey"},
+		Rels: []RelRef{
+			Rel("Item", "okey", "discount"),
+			Rel("Ord", "okey", "ckey"),
+			Rel("Cust", "ckey", "cname"),
+		},
+	}
+	if !q.IsHierarchical() {
+		t.Fatal("head-aware structure should be hierarchical")
+	}
+	tree, err := FullTree(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fallback tree must not use okey as an inner-node attribute.
+	var walk func(*Tree) bool
+	walk = func(n *Tree) bool {
+		if n.IsLeaf() {
+			return false
+		}
+		for _, a := range n.Label {
+			if a == "okey" {
+				return true
+			}
+		}
+		for _, c := range n.Children {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	if walk(tree) {
+		t.Errorf("fallback tree must ignore head attr okey: %v", tree)
+	}
+}
+
+func TestAliasesAndClone(t *testing.T) {
+	q := &Query{
+		Head: []string{"n1name"},
+		Rels: []RelRef{
+			Alias("Nation1", "Nation", "n1key", "n1name"),
+			Alias("Nation2", "Nation", "n2key", "n2name"),
+			Rel("Supp", "n1key", "skey"),
+		},
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := q.Clone()
+	c.Rels[0].Attrs[0] = "zz"
+	if q.Rels[0].Attrs[0] != "n1key" {
+		t.Error("Clone must deep-copy attribute slices")
+	}
+	if r, ok := q.RelByName("Nation2"); !ok || r.Base != "Nation" {
+		t.Error("RelByName/Alias wrong")
+	}
+	if _, ok := q.RelByName("zzz"); ok {
+		t.Error("RelByName should miss")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	s := introQ().String()
+	for _, frag := range []string{"π{odate}", "Cust", "⋈", "cname=Joe", "discount>0"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package signature
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConservative: star-forcing turns the FD-refined intro signature back
+// into the paper's conservative one.
+func TestConservative(t *testing.T) {
+	refined := NewStar(NewConcat(
+		Table("Cust"),
+		NewStar(NewConcat(Table("Ord"), NewStar(Table("Item")))),
+	))
+	got := Conservative(refined)
+	if s := strings.ReplaceAll(got.String(), " ", ""); s != "(Cust*(Ord*Item*)*)*" {
+		t.Errorf("Conservative = %s, want (Cust*(Ord*Item*)*)*", s)
+	}
+	// Idempotent.
+	if !Equal(Conservative(got), got) {
+		t.Error("Conservative must be idempotent")
+	}
+	// Scan counts grow as expected: 1 -> 3.
+	if NumScans(refined) != 1 || NumScans(got) != 3 {
+		t.Errorf("scans: refined %d, conservative %d", NumScans(refined), NumScans(got))
+	}
+}
+
+func TestConservativeBareTable(t *testing.T) {
+	got := Conservative(Table("R"))
+	if !Equal(got, NewStar(Table("R"))) {
+		t.Errorf("Conservative(R) = %s, want R*", got)
+	}
+}
+
+// TestConservativePreservesTables: the table set is untouched.
+func TestConservativePreservesTables(t *testing.T) {
+	s := NewConcat(Table("A"), NewStar(NewConcat(Table("B"), NewStar(Table("C")))))
+	got := Conservative(s)
+	a, b := Tables(s), Tables(got)
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Errorf("tables changed: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,142 @@
+package signature
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ScanTree is the 1scanTree of §V.C: one node per variable column of the
+// operator's input, derived from a signature with the 1scan property by
+// replacing each inner node of the hierarchical representation with one of
+// its children that is a bare (unstarred) table.
+type ScanTree struct {
+	Table    string
+	Children []*ScanTree
+}
+
+// BuildScanTree constructs the 1scanTree of a 1scan signature. It fails on
+// signatures without the 1scan property — those must first be reduced by
+// aggregation scans (see internal/conf's scheduler).
+func BuildScanTree(s Sig) (*ScanTree, error) {
+	if !OneScan(s) {
+		return nil, fmt.Errorf("signature: %s lacks the 1scan property (#scans=%d)", s, NumScans(s))
+	}
+	node, extra, err := buildScan(s)
+	if err != nil {
+		return nil, err
+	}
+	if node == nil {
+		return nil, fmt.Errorf("signature: empty signature")
+	}
+	if len(extra) != 0 {
+		// A top-level concatenation without a bare table cannot happen for
+		// 1scan signatures reached through NewConcat/NewStar, but guard it.
+		node.Children = append(node.Children, extra...)
+	}
+	return node, nil
+}
+
+// buildScan returns the representative node for s plus any sibling subtrees
+// that must hang off the caller's representative (for concatenations, the
+// first bare table is the representative and all other components become
+// its children).
+func buildScan(s Sig) (*ScanTree, []*ScanTree, error) {
+	switch x := s.(type) {
+	case Table:
+		return &ScanTree{Table: string(x)}, nil, nil
+	case Star:
+		return buildScanStarInner(x.Inner)
+	case Concat:
+		return buildScanConcat(x)
+	default:
+		return nil, nil, fmt.Errorf("signature: unknown signature shape %T", s)
+	}
+}
+
+func buildScanStarInner(inner Sig) (*ScanTree, []*ScanTree, error) {
+	// Stars only express multiplicity; the node structure comes from the
+	// inner expression.
+	return buildScan(inner)
+}
+
+func buildScanConcat(c Concat) (*ScanTree, []*ScanTree, error) {
+	// The representative is the first bare table of the concatenation
+	// ("replace each inner node with one of its children that is a table
+	// name"); every other component becomes a child subtree. A
+	// concatenation without a bare table can only occur outside any star
+	// (relational products like R*S*, which Def. V.8 still classifies as
+	// 1scan): there the first component's representative doubles as the
+	// root, which is sound because every left partition pairs with the
+	// complete right partitions in a product.
+	repIdx := -1
+	for i, comp := range c {
+		if _, ok := comp.(Table); ok {
+			repIdx = i
+			break
+		}
+	}
+	var rep *ScanTree
+	if repIdx >= 0 {
+		rep = &ScanTree{Table: string(c[repIdx].(Table))}
+	} else {
+		repIdx = 0
+		root, extra, err := buildScan(c[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		rep = root
+		rep.Children = append(rep.Children, extra...)
+	}
+	for i, comp := range c {
+		if i == repIdx {
+			continue
+		}
+		child, extra, err := buildScan(comp)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Children = append(rep.Children, child)
+		rep.Children = append(rep.Children, extra...)
+	}
+	return rep, nil, nil
+}
+
+// Preorder lists the table names of the tree in preorder — the order of
+// the variable columns in the operator's required sort order (§V.C: "the
+// sort order ... is given by the columns that hold input data followed by
+// the variable columns corresponding to the table names in any preorder
+// traversal of the 1scanTree").
+func (t *ScanTree) Preorder() []string {
+	var out []string
+	var walk func(n *ScanTree)
+	walk = func(n *ScanTree) {
+		out = append(out, n.Table)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// Size returns the number of nodes.
+func (t *ScanTree) Size() int {
+	n := 1
+	for _, c := range t.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// String serializes the tree as Root(child, child(...)), matching the
+// paper's R1(R2(R3), R4(R5)) notation of Ex. V.12.
+func (t *ScanTree) String() string {
+	if len(t.Children) == 0 {
+		return t.Table
+	}
+	parts := make([]string, len(t.Children))
+	for i, c := range t.Children {
+		parts[i] = c.String()
+	}
+	return t.Table + "(" + strings.Join(parts, ", ") + ")"
+}

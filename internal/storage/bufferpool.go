@@ -1,0 +1,105 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Frame is a buffer-pool slot holding one page of one file.
+type Frame struct {
+	page Page
+	key  frameKey
+	pins int
+	lru  *list.Element
+}
+
+// Page returns the in-memory page held by the frame.
+func (f *Frame) Page() *Page { return &f.page }
+
+type frameKey struct {
+	file   *HeapFile
+	pageNo int64
+}
+
+// BufferPool caches heap-file pages with pin counting and LRU replacement.
+// It is the read path of every table scan; the paper's warm-cache timings
+// correspond to scans that fully hit the pool.
+type BufferPool struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[frameKey]*Frame
+	lru      *list.List // unpinned frames, front = least recently used
+	hits     int64
+	misses   int64
+}
+
+// NewBufferPool creates a pool with room for capacity pages.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		capacity: capacity,
+		frames:   make(map[frameKey]*Frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Fetch pins the requested page into the pool, reading it from disk on a
+// miss (evicting the least recently used unpinned page when full).
+func (bp *BufferPool) Fetch(h *HeapFile, pageNo int64) (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	key := frameKey{h, pageNo}
+	if fr, ok := bp.frames[key]; ok {
+		bp.hits++
+		if fr.lru != nil {
+			bp.lru.Remove(fr.lru)
+			fr.lru = nil
+		}
+		fr.pins++
+		return fr, nil
+	}
+	bp.misses++
+	var fr *Frame
+	if len(bp.frames) >= bp.capacity {
+		victim := bp.lru.Front()
+		if victim == nil {
+			return nil, fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", bp.capacity)
+		}
+		fr = victim.Value.(*Frame)
+		bp.lru.Remove(victim)
+		delete(bp.frames, fr.key)
+		fr.lru = nil
+	} else {
+		fr = &Frame{}
+	}
+	if err := h.ReadPage(pageNo, &fr.page); err != nil {
+		return nil, err
+	}
+	fr.key = key
+	fr.pins = 1
+	bp.frames[key] = fr
+	return fr, nil
+}
+
+// Unpin releases a pin; at zero pins the frame becomes evictable.
+func (bp *BufferPool) Unpin(fr *Frame) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr.pins <= 0 {
+		panic("storage: unpin of unpinned frame")
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		fr.lru = bp.lru.PushBack(fr)
+	}
+}
+
+// Stats returns cumulative hit/miss counters.
+func (bp *BufferPool) Stats() (hits, misses int64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses
+}

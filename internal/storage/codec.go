@@ -1,0 +1,87 @@
+// Package storage provides the secondary-storage substrate underneath the
+// query engine: binary tuple serialization, 8 KiB slotted pages, heap files,
+// a pinning LRU buffer pool, and an external merge sort. The paper's
+// operator is explicitly a *secondary-storage* operator (§V): answer tuples
+// are sorted (spilling to disk when large) and then consumed in sequential
+// scans; this package supplies those mechanics.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/table"
+)
+
+// EncodeTuple appends the binary encoding of a tuple to dst. The format is
+// self-describing: a uvarint field count, then per field a kind byte and a
+// kind-specific payload (varint for ints/bools, fixed 8 bytes for floats,
+// uvarint-length-prefixed bytes for strings).
+func EncodeTuple(dst []byte, t table.Tuple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = append(dst, byte(v.Kind))
+		switch v.Kind {
+		case table.KindNull:
+		case table.KindInt, table.KindBool:
+			dst = binary.AppendVarint(dst, v.I)
+		case table.KindFloat:
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
+			dst = append(dst, buf[:]...)
+		case table.KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		default:
+			panic(fmt.Sprintf("storage: cannot encode kind %v", v.Kind))
+		}
+	}
+	return dst
+}
+
+// DecodeTuple decodes one tuple from buf, returning the tuple and the number
+// of bytes consumed.
+func DecodeTuple(buf []byte) (table.Tuple, int, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("storage: corrupt tuple header")
+	}
+	off := sz
+	t := make(table.Tuple, n)
+	for i := range t {
+		if off >= len(buf) {
+			return nil, 0, fmt.Errorf("storage: truncated tuple at field %d", i)
+		}
+		kind := table.Kind(buf[off])
+		off++
+		switch kind {
+		case table.KindNull:
+			t[i] = table.Null()
+		case table.KindInt, table.KindBool:
+			iv, s := binary.Varint(buf[off:])
+			if s <= 0 {
+				return nil, 0, fmt.Errorf("storage: corrupt int field %d", i)
+			}
+			off += s
+			t[i] = table.Value{Kind: kind, I: iv}
+		case table.KindFloat:
+			if off+8 > len(buf) {
+				return nil, 0, fmt.Errorf("storage: truncated float field %d", i)
+			}
+			t[i] = table.Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])))
+			off += 8
+		case table.KindString:
+			l, s := binary.Uvarint(buf[off:])
+			if s <= 0 || off+s+int(l) > len(buf) {
+				return nil, 0, fmt.Errorf("storage: corrupt string field %d", i)
+			}
+			off += s
+			t[i] = table.Str(string(buf[off : off+int(l)]))
+			off += int(l)
+		default:
+			return nil, 0, fmt.Errorf("storage: unknown kind byte %d in field %d", kind, i)
+		}
+	}
+	return t, off, nil
+}

@@ -1,0 +1,214 @@
+package storage
+
+import (
+	"container/heap"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// TupleCompare orders two tuples; negative/zero/positive like bytes.Compare.
+type TupleCompare func(a, b table.Tuple) int
+
+// TupleIterator is the minimal pull interface shared with the executor.
+type TupleIterator interface {
+	Next() (table.Tuple, bool, error)
+	Close() error
+}
+
+// ExternalSorter sorts an unbounded tuple stream under a bounded in-memory
+// budget: it accumulates tuples, sorts and spills full buffers as sorted
+// runs (heap files), and merges the runs with a k-way loser-free heap merge.
+// This is the sort that feeds the paper's confidence operator, which
+// requires its input "sorted by the data columns followed by the variable
+// columns in preorder of the 1scanTree" (§V.C).
+type ExternalSorter struct {
+	cmp       TupleCompare
+	budget    int // max tuples held in memory before spilling
+	tmpDir    string
+	buf       []table.Tuple
+	runs      []*HeapFile
+	spills    int
+	finished  bool
+	seq       int
+	tmpPrefix string
+}
+
+// DefaultSortBudget is the default number of tuples buffered in memory.
+const DefaultSortBudget = 1 << 16
+
+// NewExternalSorter creates a sorter. budget <= 0 selects
+// DefaultSortBudget; tmpDir == "" selects os.TempDir().
+func NewExternalSorter(cmp TupleCompare, budget int, tmpDir string) *ExternalSorter {
+	if budget <= 0 {
+		budget = DefaultSortBudget
+	}
+	if tmpDir == "" {
+		tmpDir = os.TempDir()
+	}
+	return &ExternalSorter{cmp: cmp, budget: budget, tmpDir: tmpDir, tmpPrefix: fmt.Sprintf("sproutsort-%d-", os.Getpid())}
+}
+
+// Spills reports how many runs were written to disk (0 = pure in-memory sort).
+func (s *ExternalSorter) Spills() int { return s.spills }
+
+// Add buffers one tuple, spilling a sorted run when the budget is exceeded.
+func (s *ExternalSorter) Add(t table.Tuple) error {
+	if s.finished {
+		return fmt.Errorf("storage: Add after Finish")
+	}
+	s.buf = append(s.buf, t)
+	if len(s.buf) >= s.budget {
+		return s.spill()
+	}
+	return nil
+}
+
+func (s *ExternalSorter) sortBuf() {
+	sort.SliceStable(s.buf, func(i, j int) bool { return s.cmp(s.buf[i], s.buf[j]) < 0 })
+}
+
+func (s *ExternalSorter) spill() error {
+	s.sortBuf()
+	path := filepath.Join(s.tmpDir, fmt.Sprintf("%srun%d.heap", s.tmpPrefix, s.seq))
+	s.seq++
+	run, err := CreateHeapFile(path)
+	if err != nil {
+		return err
+	}
+	for _, t := range s.buf {
+		if err := run.Append(t); err != nil {
+			run.Remove()
+			return err
+		}
+	}
+	if err := run.FinishWrites(); err != nil {
+		run.Remove()
+		return err
+	}
+	s.runs = append(s.runs, run)
+	s.spills++
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Finish completes the sort and returns an iterator over the sorted stream.
+// The iterator's Close removes any temp runs.
+func (s *ExternalSorter) Finish() (TupleIterator, error) {
+	if s.finished {
+		return nil, fmt.Errorf("storage: Finish called twice")
+	}
+	s.finished = true
+	if len(s.runs) == 0 {
+		s.sortBuf()
+		return &memIter{rows: s.buf}, nil
+	}
+	if len(s.buf) > 0 {
+		if err := s.spill(); err != nil {
+			return nil, err
+		}
+	}
+	return newMergeIter(s.runs, s.cmp)
+}
+
+// memIter iterates an in-memory sorted buffer.
+type memIter struct {
+	rows []table.Tuple
+	pos  int
+}
+
+func (m *memIter) Next() (table.Tuple, bool, error) {
+	if m.pos >= len(m.rows) {
+		return nil, false, nil
+	}
+	t := m.rows[m.pos]
+	m.pos++
+	return t, true, nil
+}
+
+func (m *memIter) Close() error { return nil }
+
+// mergeIter performs a k-way merge over sorted runs.
+type mergeIter struct {
+	cmp  TupleCompare
+	runs []*HeapFile
+	h    mergeHeap
+}
+
+type mergeEntry struct {
+	t    table.Tuple
+	scan *Scanner
+	run  int // tie-break to keep the merge stable
+}
+
+type mergeHeap struct {
+	entries []mergeEntry
+	cmp     TupleCompare
+}
+
+func (h *mergeHeap) Len() int { return len(h.entries) }
+func (h *mergeHeap) Less(i, j int) bool {
+	c := h.cmp(h.entries[i].t, h.entries[j].t)
+	if c != 0 {
+		return c < 0
+	}
+	return h.entries[i].run < h.entries[j].run
+}
+func (h *mergeHeap) Swap(i, j int)      { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *mergeHeap) Push(x interface{}) { h.entries = append(h.entries, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() interface{} {
+	n := len(h.entries)
+	e := h.entries[n-1]
+	h.entries = h.entries[:n-1]
+	return e
+}
+
+func newMergeIter(runs []*HeapFile, cmp TupleCompare) (*mergeIter, error) {
+	m := &mergeIter{cmp: cmp, runs: runs, h: mergeHeap{cmp: cmp}}
+	for i, r := range runs {
+		sc := r.NewScanner(nil)
+		t, ok, err := sc.Next()
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		if ok {
+			m.h.entries = append(m.h.entries, mergeEntry{t: t, scan: sc, run: i})
+		}
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+func (m *mergeIter) Next() (table.Tuple, bool, error) {
+	if m.h.Len() == 0 {
+		return nil, false, nil
+	}
+	top := m.h.entries[0]
+	out := top.t
+	nt, ok, err := top.scan.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		m.h.entries[0].t = nt
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return out, true, nil
+}
+
+func (m *mergeIter) Close() error {
+	var firstErr error
+	for _, r := range m.runs {
+		if err := r.Remove(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	m.runs = nil
+	return firstErr
+}

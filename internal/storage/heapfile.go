@@ -1,0 +1,206 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/table"
+)
+
+// HeapFile is an unordered collection of pages in an OS file — the on-disk
+// representation of a relation. Writes append tuples into the last page,
+// allocating new pages as needed; reads go through a BufferPool so that
+// repeated scans hit memory, mimicking the warm-cache setup of the paper's
+// experiments (§VII).
+type HeapFile struct {
+	f        *os.File
+	path     string
+	numPages int64
+	writePg  *Page // tail page being filled, nil when file is read-only
+	writeNo  int64
+	tuples   int64
+}
+
+// CreateHeapFile creates (truncating) a heap file at path.
+func CreateHeapFile(path string) (*HeapFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create heap file: %w", err)
+	}
+	h := &HeapFile{f: f, path: path, writePg: new(Page), writeNo: 0, numPages: 0}
+	h.writePg.Reset()
+	return h, nil
+}
+
+// OpenHeapFile opens an existing heap file for reading.
+func OpenHeapFile(path string) (*HeapFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open heap file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s size %d not page-aligned", path, st.Size())
+	}
+	return &HeapFile{f: f, path: path, numPages: st.Size() / PageSize}, nil
+}
+
+// Path returns the file path.
+func (h *HeapFile) Path() string { return h.path }
+
+// NumPages returns the number of full pages written so far (excluding the
+// in-progress tail page).
+func (h *HeapFile) NumPages() int64 { return h.numPages }
+
+// NumTuples returns the number of tuples appended via Append (write mode).
+func (h *HeapFile) NumTuples() int64 { return h.tuples }
+
+// Append encodes and stores a tuple.
+func (h *HeapFile) Append(t table.Tuple) error {
+	if h.writePg == nil {
+		return fmt.Errorf("storage: heap file %s is read-only", h.path)
+	}
+	rec := EncodeTuple(nil, t)
+	if _, err := h.writePg.Insert(rec); err != nil {
+		if !IsPageFull(err) {
+			return err
+		}
+		if err := h.flushWritePage(); err != nil {
+			return err
+		}
+		if _, err := h.writePg.Insert(rec); err != nil {
+			return err
+		}
+	}
+	h.tuples++
+	return nil
+}
+
+func (h *HeapFile) flushWritePage() error {
+	if _, err := h.f.WriteAt(h.writePg.Bytes(), h.writeNo*PageSize); err != nil {
+		return fmt.Errorf("storage: flush page %d: %w", h.writeNo, err)
+	}
+	h.writeNo++
+	h.numPages = h.writeNo
+	h.writePg.Reset()
+	return nil
+}
+
+// FinishWrites flushes the tail page and switches the file to read mode.
+func (h *HeapFile) FinishWrites() error {
+	if h.writePg == nil {
+		return nil
+	}
+	if h.writePg.NumSlots() > 0 {
+		if err := h.flushWritePage(); err != nil {
+			return err
+		}
+	}
+	h.writePg = nil
+	return nil
+}
+
+// ReadPage reads page no into dst.
+func (h *HeapFile) ReadPage(no int64, dst *Page) error {
+	if no < 0 || no >= h.numPages {
+		return fmt.Errorf("storage: page %d out of range [0,%d)", no, h.numPages)
+	}
+	if _, err := h.f.ReadAt(dst.Bytes(), no*PageSize); err != nil && err != io.EOF {
+		return fmt.Errorf("storage: read page %d: %w", no, err)
+	}
+	return nil
+}
+
+// Close closes the underlying file (flushing pending writes first).
+func (h *HeapFile) Close() error {
+	if err := h.FinishWrites(); err != nil {
+		h.f.Close()
+		return err
+	}
+	return h.f.Close()
+}
+
+// Remove closes and deletes the file; used for temp spill files.
+func (h *HeapFile) Remove() error {
+	if err := h.f.Close(); err != nil {
+		os.Remove(h.path)
+		return err
+	}
+	return os.Remove(h.path)
+}
+
+// Scanner iterates the tuples of a heap file in storage order, fetching
+// pages through a buffer pool when one is supplied.
+type Scanner struct {
+	h      *HeapFile
+	pool   *BufferPool
+	page   *Page
+	pinned *Frame
+	pageNo int64
+	slot   int
+}
+
+// NewScanner returns a scanner positioned before the first tuple. pool may
+// be nil, in which case pages are read directly (used by temp files that are
+// scanned exactly once).
+func (h *HeapFile) NewScanner(pool *BufferPool) *Scanner {
+	return &Scanner{h: h, pool: pool, pageNo: -1}
+}
+
+// Next returns the next tuple, or ok=false at end of file.
+func (s *Scanner) Next() (table.Tuple, bool, error) {
+	for {
+		if s.page != nil && s.slot < s.page.NumSlots() {
+			rec, err := s.page.Record(s.slot)
+			if err != nil {
+				return nil, false, err
+			}
+			s.slot++
+			t, _, err := DecodeTuple(rec)
+			if err != nil {
+				return nil, false, err
+			}
+			return t, true, nil
+		}
+		// Advance to the next page.
+		if s.pinned != nil {
+			s.pool.Unpin(s.pinned)
+			s.pinned = nil
+		}
+		s.pageNo++
+		if s.pageNo >= s.h.numPages {
+			s.page = nil
+			return nil, false, nil
+		}
+		if s.pool != nil {
+			fr, err := s.pool.Fetch(s.h, s.pageNo)
+			if err != nil {
+				return nil, false, err
+			}
+			s.pinned = fr
+			s.page = fr.Page()
+		} else {
+			if s.page == nil {
+				s.page = new(Page)
+			}
+			if err := s.h.ReadPage(s.pageNo, s.page); err != nil {
+				return nil, false, err
+			}
+		}
+		s.slot = 0
+	}
+}
+
+// Close releases any pinned page.
+func (s *Scanner) Close() {
+	if s.pinned != nil {
+		s.pool.Unpin(s.pinned)
+		s.pinned = nil
+	}
+}

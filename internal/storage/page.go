@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the size of every page, matching PostgreSQL's default 8 KiB.
+const PageSize = 8192
+
+// Page layout:
+//
+//	[0:2)  uint16 slot count
+//	[2:4)  uint16 free-space offset (start of tuple data region, grows down)
+//	then the slot array (4 bytes per slot: uint16 offset, uint16 length)
+//	growing up from byte 4, and tuple payloads growing down from PageSize.
+//
+// This is the classic slotted-page organization used by disk-based DBMSs.
+type Page struct {
+	buf [PageSize]byte
+}
+
+const pageHeaderSize = 4
+const slotSize = 4
+
+// Reset makes the page empty.
+func (p *Page) Reset() {
+	binary.LittleEndian.PutUint16(p.buf[0:2], 0)
+	binary.LittleEndian.PutUint16(p.buf[2:4], PageSize)
+}
+
+// NumSlots returns the number of tuples stored in the page.
+func (p *Page) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p.buf[0:2]))
+}
+
+func (p *Page) freeOffset() int {
+	return int(binary.LittleEndian.Uint16(p.buf[2:4]))
+}
+
+// FreeSpace returns the number of payload bytes that still fit (accounting
+// for the new slot entry).
+func (p *Page) FreeSpace() int {
+	free := p.freeOffset() - (pageHeaderSize + p.NumSlots()*slotSize) - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert stores an encoded tuple and returns its slot number. It fails when
+// the page lacks space (caller then allocates a new page) or the record
+// exceeds what any empty page can hold.
+func (p *Page) Insert(rec []byte) (int, error) {
+	if len(rec) > PageSize-pageHeaderSize-slotSize {
+		return 0, fmt.Errorf("storage: record of %d bytes exceeds page capacity", len(rec))
+	}
+	if len(rec) > p.FreeSpace() {
+		return 0, errPageFull
+	}
+	n := p.NumSlots()
+	newOff := p.freeOffset() - len(rec)
+	copy(p.buf[newOff:], rec)
+	slotPos := pageHeaderSize + n*slotSize
+	binary.LittleEndian.PutUint16(p.buf[slotPos:], uint16(newOff))
+	binary.LittleEndian.PutUint16(p.buf[slotPos+2:], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n+1))
+	binary.LittleEndian.PutUint16(p.buf[2:4], uint16(newOff))
+	return n, nil
+}
+
+var errPageFull = fmt.Errorf("storage: page full")
+
+// IsPageFull reports whether err signals that the record did not fit.
+func IsPageFull(err error) bool { return err == errPageFull }
+
+// Record returns the payload bytes of slot i (aliasing the page buffer).
+func (p *Page) Record(i int) ([]byte, error) {
+	if i < 0 || i >= p.NumSlots() {
+		return nil, fmt.Errorf("storage: slot %d out of range (page has %d)", i, p.NumSlots())
+	}
+	slotPos := pageHeaderSize + i*slotSize
+	off := int(binary.LittleEndian.Uint16(p.buf[slotPos:]))
+	length := int(binary.LittleEndian.Uint16(p.buf[slotPos+2:]))
+	if off+length > PageSize {
+		return nil, fmt.Errorf("storage: corrupt slot %d", i)
+	}
+	return p.buf[off : off+length], nil
+}
+
+// Bytes exposes the raw page for I/O.
+func (p *Page) Bytes() []byte { return p.buf[:] }

@@ -1,0 +1,89 @@
+package tpch
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/storage"
+	"repro/internal/table"
+)
+
+// WriteHeapFiles persists every generated table as a page-structured heap
+// file under dir (one <Table>.heap per table), exercising the
+// secondary-storage layer on the write path. cmd/sprout-gen is a thin
+// wrapper around this.
+func (d *Data) WriteHeapFiles(dir string) error {
+	for _, tb := range d.Tables() {
+		path := filepath.Join(dir, tb.Name+".heap")
+		h, err := storage.CreateHeapFile(path)
+		if err != nil {
+			return err
+		}
+		for _, row := range tb.Rel.Rows {
+			if err := h.Append(row); err != nil {
+				h.Close()
+				return fmt.Errorf("tpch: writing %s: %w", tb.Name, err)
+			}
+		}
+		if err := h.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadHeapFiles reads a directory produced by WriteHeapFiles back into
+// probabilistic tables, scanning each heap file through a shared buffer
+// pool. The schemas come from a reference instance (Generate with any
+// config yields the same schemas), so only tuple data lives on disk.
+func LoadHeapFiles(dir string, poolPages int) (*Data, error) {
+	ref := Generate(Config{SF: 0.0001, Seed: 0}) // schema donor only
+	pool := storage.NewBufferPool(poolPages)
+	out := &Data{}
+	load := func(dst **table.ProbTable, refTable *table.ProbTable) error {
+		path := filepath.Join(dir, refTable.Name+".heap")
+		h, err := storage.OpenHeapFile(path)
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		pt := &table.ProbTable{Name: refTable.Name, Rel: table.NewRelation(refTable.Rel.Schema)}
+		sc := h.NewScanner(pool)
+		defer sc.Close()
+		maxVar := 0
+		for {
+			t, ok, err := sc.Next()
+			if err != nil {
+				return fmt.Errorf("tpch: loading %s: %w", refTable.Name, err)
+			}
+			if !ok {
+				break
+			}
+			if err := pt.Rel.Append(t); err != nil {
+				return fmt.Errorf("tpch: loading %s: %w", refTable.Name, err)
+			}
+			vi := pt.Rel.Schema.VarIndex(pt.Name)
+			if v := int(t[vi].I); v > maxVar {
+				maxVar = v
+			}
+		}
+		if maxVar > out.NumVars {
+			out.NumVars = maxVar
+		}
+		*dst = pt
+		return nil
+	}
+	for _, pair := range []struct {
+		dst *(*table.ProbTable)
+		ref *table.ProbTable
+	}{
+		{&out.Region, ref.Region}, {&out.Nation, ref.Nation}, {&out.Supp, ref.Supp},
+		{&out.Part, ref.Part}, {&out.Psupp, ref.Psupp}, {&out.Cust, ref.Cust},
+		{&out.Ord, ref.Ord}, {&out.Item, ref.Item},
+	} {
+		if err := load(pair.dst, pair.ref); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

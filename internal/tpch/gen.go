@@ -1,0 +1,240 @@
+// Package tpch provides the workload substrate of the paper's evaluation
+// (§VI, §VII): a deterministic TPC-H-like data generator producing
+// tuple-independent probabilistic tables (each tuple carries a Boolean
+// random variable with a randomly chosen probability), the TPC-H key
+// functional dependencies, and the catalog of conjunctive subqueries of the
+// 22 TPC-H queries used in the case study and the experiments.
+//
+// Attribute names are normalized across tables (ckey, okey, skey, pkey,
+// nkey, rkey) following the paper's convention that join attributes share
+// names (§II.B, Fig. 1).
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fd"
+	"repro/internal/plan"
+	"repro/internal/prob"
+	"repro/internal/table"
+)
+
+// Config controls data generation.
+type Config struct {
+	// SF is the TPC-H scale factor; SF 1 corresponds to ~6M lineitems. The
+	// paper uses SF 1; the benchmarks here default to smaller factors with
+	// the same distribution shapes.
+	SF float64
+	// Seed makes generation deterministic.
+	Seed int64
+	// ProbMin/ProbMax bound the randomly drawn tuple probabilities
+	// ("choosing at random a probability distribution", §VII). Zero values
+	// default to (0.01, 1).
+	ProbMin, ProbMax float64
+}
+
+// Data holds the eight generated probabilistic tables.
+type Data struct {
+	Region, Nation, Supp, Part, Psupp, Cust, Ord, Item *table.ProbTable
+	// NumVars is the total number of random variables issued.
+	NumVars int
+}
+
+// Regions and nations follow TPC-H's fixed lists (nation names appear in
+// query selections: FRANCE, GERMANY, CANADA, SAUDI ARABIA, ...).
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nationDefs = []struct {
+	name   string
+	region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1}, {"EGYPT", 4},
+	{"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3}, {"INDIA", 2}, {"INDONESIA", 2},
+	{"IRAN", 4}, {"IRAQ", 4}, {"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0},
+	{"MOROCCO", 0}, {"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3}, {"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+var containers = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP PKG"}
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+var returnFlags = []string{"R", "A", "N"}
+
+// Generate builds the probabilistic TPC-H instance.
+func Generate(cfg Config) *Data {
+	if cfg.SF <= 0 {
+		cfg.SF = 0.01
+	}
+	if cfg.ProbMin <= 0 {
+		cfg.ProbMin = 0.01
+	}
+	if cfg.ProbMax <= 0 || cfg.ProbMax > 1 {
+		cfg.ProbMax = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	d := &Data{}
+	nextVar := prob.Var(0)
+	newVar := func() prob.Var {
+		nextVar++
+		return nextVar
+	}
+	p := func() float64 {
+		return cfg.ProbMin + (cfg.ProbMax-cfg.ProbMin)*r.Float64()
+	}
+	scale := func(n int) int {
+		v := int(float64(n) * cfg.SF)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	date := func(loYear, hiYear int) string {
+		y := loYear + r.Intn(hiYear-loYear+1)
+		m := 1 + r.Intn(12)
+		day := 1 + r.Intn(28)
+		return fmt.Sprintf("%04d-%02d-%02d", y, m, day)
+	}
+
+	// Region(rkey, rname) — 5 rows at every scale.
+	d.Region = table.NewProbTable("Region",
+		table.DataCol("rkey", table.KindInt), table.DataCol("rname", table.KindString))
+	for i, name := range regionNames {
+		d.Region.MustAddRow(newVar(), p(), table.Int(int64(i)), table.Str(name))
+	}
+
+	// Nation(nkey, nname, rkey) — 25 rows.
+	d.Nation = table.NewProbTable("Nation",
+		table.DataCol("nkey", table.KindInt), table.DataCol("nname", table.KindString), table.DataCol("rkey", table.KindInt))
+	for i, n := range nationDefs {
+		d.Nation.MustAddRow(newVar(), p(), table.Int(int64(i)), table.Str(n.name), table.Int(int64(n.region)))
+	}
+
+	// Supp(skey, sname, nkey, sacctbal) — 10k·SF.
+	nSupp := scale(10000)
+	d.Supp = table.NewProbTable("Supp",
+		table.DataCol("skey", table.KindInt), table.DataCol("sname", table.KindString),
+		table.DataCol("nkey", table.KindInt), table.DataCol("sacctbal", table.KindFloat))
+	for i := 0; i < nSupp; i++ {
+		d.Supp.MustAddRow(newVar(), p(),
+			table.Int(int64(i)), table.Str(fmt.Sprintf("Supplier#%09d", i)),
+			table.Int(int64(r.Intn(len(nationDefs)))), table.Float(-999.99+10998.99*r.Float64()))
+	}
+
+	// Part(pkey, pname, brand, container, psize, rprice) — 200k·SF.
+	nPart := scale(200000)
+	d.Part = table.NewProbTable("Part",
+		table.DataCol("pkey", table.KindInt), table.DataCol("pname", table.KindString),
+		table.DataCol("brand", table.KindString), table.DataCol("container", table.KindString),
+		table.DataCol("psize", table.KindInt), table.DataCol("rprice", table.KindFloat))
+	for i := 0; i < nPart; i++ {
+		d.Part.MustAddRow(newVar(), p(),
+			table.Int(int64(i)), table.Str(fmt.Sprintf("Part#%09d", i)),
+			table.Str(fmt.Sprintf("Brand#%d%d", 1+r.Intn(5), 1+r.Intn(5))),
+			table.Str(containers[r.Intn(len(containers))]),
+			table.Int(int64(1+r.Intn(50))), table.Float(900+float64(i%200000)/10))
+	}
+
+	// Psupp(pkey, skey, scost, aqty) — 4 suppliers per part.
+	d.Psupp = table.NewProbTable("Psupp",
+		table.DataCol("pkey", table.KindInt), table.DataCol("skey", table.KindInt),
+		table.DataCol("scost", table.KindFloat), table.DataCol("aqty", table.KindInt))
+	for i := 0; i < nPart; i++ {
+		for j := 0; j < 4; j++ {
+			d.Psupp.MustAddRow(newVar(), p(),
+				table.Int(int64(i)), table.Int(int64((i+j*(nSupp/4+1))%nSupp)),
+				table.Float(1+999*r.Float64()), table.Int(int64(1+r.Intn(9999))))
+		}
+	}
+
+	// Cust(ckey, cname, nkey, cacctbal, mkt) — 150k·SF.
+	nCust := scale(150000)
+	d.Cust = table.NewProbTable("Cust",
+		table.DataCol("ckey", table.KindInt), table.DataCol("cname", table.KindString),
+		table.DataCol("nkey", table.KindInt), table.DataCol("cacctbal", table.KindFloat),
+		table.DataCol("mkt", table.KindString))
+	for i := 0; i < nCust; i++ {
+		d.Cust.MustAddRow(newVar(), p(),
+			table.Int(int64(i)), table.Str(fmt.Sprintf("Customer#%09d", i)),
+			table.Int(int64(r.Intn(len(nationDefs)))), table.Float(-999.99+10998.99*r.Float64()),
+			table.Str(segments[r.Intn(len(segments))]))
+	}
+
+	// Ord(okey, ckey, odate, oprice, opri) — 10 orders per customer.
+	nOrd := nCust * 10
+	d.Ord = table.NewProbTable("Ord",
+		table.DataCol("okey", table.KindInt), table.DataCol("ckey", table.KindInt),
+		table.DataCol("odate", table.KindString), table.DataCol("oprice", table.KindFloat),
+		table.DataCol("opri", table.KindString))
+	for i := 0; i < nOrd; i++ {
+		d.Ord.MustAddRow(newVar(), p(),
+			table.Int(int64(i)), table.Int(int64(r.Intn(nCust))),
+			table.Str(date(1992, 1998)), table.Float(1000+454000*r.Float64()),
+			table.Str(priorities[r.Intn(len(priorities))]))
+	}
+
+	// Item(okey, pkey, skey, qty, price, discount, sdate, smode, rflag) —
+	// 1..7 lineitems per order (≈4 on average, like dbgen).
+	d.Item = table.NewProbTable("Item",
+		table.DataCol("okey", table.KindInt), table.DataCol("pkey", table.KindInt),
+		table.DataCol("skey", table.KindInt), table.DataCol("qty", table.KindInt),
+		table.DataCol("price", table.KindFloat), table.DataCol("discount", table.KindFloat),
+		table.DataCol("sdate", table.KindString), table.DataCol("smode", table.KindString),
+		table.DataCol("rflag", table.KindString))
+	for i := 0; i < nOrd; i++ {
+		n := 1 + r.Intn(7)
+		for j := 0; j < n; j++ {
+			d.Item.MustAddRow(newVar(), p(),
+				table.Int(int64(i)), table.Int(int64(r.Intn(nPart))),
+				table.Int(int64(r.Intn(nSupp))), table.Int(int64(1+r.Intn(50))),
+				table.Float(900+104000*r.Float64()), table.Float(float64(r.Intn(11))/100),
+				table.Str(date(1992, 1998)), table.Str(shipModes[r.Intn(len(shipModes))]),
+				table.Str(returnFlags[r.Intn(len(returnFlags))]))
+		}
+	}
+	d.NumVars = int(nextVar)
+	return d
+}
+
+// Tables lists the generated tables.
+func (d *Data) Tables() []*table.ProbTable {
+	return []*table.ProbTable{d.Region, d.Nation, d.Supp, d.Part, d.Psupp, d.Cust, d.Ord, d.Item}
+}
+
+// Catalog registers all tables into a planner catalog.
+func (d *Data) Catalog() *plan.Catalog {
+	c := plan.NewCatalog()
+	for _, t := range d.Tables() {
+		c.MustAdd(t)
+	}
+	return c
+}
+
+// Assignment collects the variable probabilities of all tables (for small
+// scale factors and oracle testing).
+func (d *Data) Assignment() (*prob.Assignment, error) {
+	a := prob.NewAssignment()
+	for _, t := range d.Tables() {
+		if err := t.Assignment(a); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// FDs returns the TPC-H key functional dependencies (§IV, §VI): every table
+// key determines its remaining attributes. These are the Σ that turn the
+// non-hierarchical queries 2, 11, 18, 20, 21 hierarchical and sharpen the
+// signatures of the hierarchical ones.
+func FDs() *fd.Set {
+	s := fd.NewSet()
+	s.AddKey("Region", []string{"rkey"}, []string{"rkey", "rname"})
+	s.AddKey("Nation", []string{"nkey"}, []string{"nkey", "nname", "rkey"})
+	s.AddKey("Supp", []string{"skey"}, []string{"skey", "sname", "nkey", "sacctbal"})
+	s.AddKey("Part", []string{"pkey"}, []string{"pkey", "pname", "brand", "container", "psize", "rprice"})
+	s.AddKey("Psupp", []string{"pkey", "skey"}, []string{"pkey", "skey", "scost", "aqty"})
+	s.AddKey("Cust", []string{"ckey"}, []string{"ckey", "cname", "nkey", "cacctbal", "mkt"})
+	s.AddKey("Ord", []string{"okey"}, []string{"okey", "ckey", "odate", "oprice", "opri"})
+	return s
+}

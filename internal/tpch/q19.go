@@ -1,0 +1,63 @@
+package tpch
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/fd"
+	"repro/internal/plan"
+	"repro/internal/prob"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// Q19Conjuncts returns the three hierarchical conjunctive queries whose
+// disjunction is TPC-H query 19 ("discounted revenue"). The paper (§VI)
+// observes that the three conjunctions are mutually exclusive — each selects
+// a different brand and container class, hence disjoint sets of independent
+// tuples — so the disjunction's confidence is the independent OR of the
+// three conjunct confidences.
+func Q19Conjuncts() []*query.Query {
+	mk := func(i int, brand, container string, qlo, qhi int64, mode string) *query.Query {
+		return &query.Query{
+			Name: fmt.Sprintf("19c%d", i),
+			Rels: []query.RelRef{relItem(), relPart()},
+			Sels: []query.Selection{
+				sel("Part", "brand", engine.OpEq, table.Str(brand)),
+				sel("Part", "container", engine.OpEq, table.Str(container)),
+				sel("Item", "qty", engine.OpGe, table.Int(qlo)),
+				sel("Item", "qty", engine.OpLe, table.Int(qhi)),
+				sel("Item", "smode", engine.OpEq, table.Str(mode)),
+			},
+		}
+	}
+	return []*query.Query{
+		mk(1, "Brand#12", "SM CASE", 1, 11, "AIR"),
+		mk(2, "Brand#23", "MED BOX", 10, 20, "AIR"),
+		mk(3, "Brand#34", "LG CASE", 20, 30, "AIR"),
+	}
+}
+
+// RunQ19 evaluates the Boolean query 19 as the paper prescribes: each
+// conjunct separately (each is hierarchical), then the confidences combined
+// with the independent-OR formula, which is exact because the conjuncts'
+// selections are mutually exclusive on Part (different brands) and
+// therefore use disjoint variable sets.
+func RunQ19(catalog *plan.Catalog, sigma *fd.Set, spec plan.Spec) (float64, error) {
+	var ps []float64
+	for _, q := range Q19Conjuncts() {
+		res, err := plan.Run(catalog, q, sigma, spec)
+		if err != nil {
+			return 0, fmt.Errorf("tpch: Q19 conjunct %s: %w", q.Name, err)
+		}
+		switch res.Rows.Len() {
+		case 0:
+			// Empty conjunct: contributes probability 0.
+		case 1:
+			ps = append(ps, res.Rows.Rows[0][0].F)
+		default:
+			return 0, fmt.Errorf("tpch: Q19 conjunct %s returned %d rows for a Boolean query", q.Name, res.Rows.Len())
+		}
+	}
+	return prob.OrAll(ps), nil
+}

@@ -1,0 +1,75 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/prob"
+)
+
+// TestQ19ConjunctsHierarchical: each of the three conjunctions of query 19
+// is hierarchical on its own (§VI: "a disjunction of three hierarchical
+// conjunctions that are mutually exclusive").
+func TestQ19ConjunctsHierarchical(t *testing.T) {
+	cs := Q19Conjuncts()
+	if len(cs) != 3 {
+		t.Fatalf("got %d conjuncts", len(cs))
+	}
+	for _, q := range cs {
+		if err := q.Validate(); err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+		}
+		if !q.IsHierarchical() {
+			t.Errorf("%s must be hierarchical", q.Name)
+		}
+	}
+	// Mutual exclusion: the brand selections differ pairwise.
+	brands := make(map[string]bool)
+	for _, q := range cs {
+		for _, s := range q.Sels {
+			if s.Attr == "brand" {
+				brands[s.Val.S] = true
+			}
+		}
+	}
+	if len(brands) != 3 {
+		t.Errorf("conjuncts must select three distinct brands, got %v", brands)
+	}
+}
+
+// TestRunQ19MatchesDirectOr: combining the conjunct confidences with the
+// independent OR equals evaluating each conjunct and OR-ing by hand.
+func TestRunQ19MatchesDirectOr(t *testing.T) {
+	d := Generate(Config{SF: 0.004, Seed: 21})
+	catalog := d.Catalog()
+	sigma := FDs()
+	got, err := RunQ19(catalog, sigma, plan.Spec{Style: plan.Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 || got > 1 {
+		t.Fatalf("Q19 confidence %g outside [0,1]", got)
+	}
+	var ps []float64
+	for _, q := range Q19Conjuncts() {
+		res, err := plan.Run(catalog, q, sigma, plan.Spec{Style: plan.Lazy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows.Len() == 1 {
+			ps = append(ps, res.Rows.Rows[0][0].F)
+		}
+	}
+	want := prob.OrAll(ps)
+	if !prob.ApproxEqual(got, want, 1e-12) {
+		t.Errorf("RunQ19 = %g, direct OR = %g", got, want)
+	}
+	// Plan styles agree on the disjunction too.
+	eager, err := RunQ19(catalog, sigma, plan.Spec{Style: plan.Eager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prob.ApproxEqual(got, eager, 1e-9) {
+		t.Errorf("lazy %g vs eager %g on Q19", got, eager)
+	}
+}

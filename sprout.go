@@ -1,0 +1,343 @@
+// Package sprout is a from-scratch Go reproduction of SPROUT — the
+// secondary-storage operator for exact confidence computation on
+// tuple-independent probabilistic databases introduced by Olteanu, Huang and
+// Koch ("SPROUT: Lazy vs. Eager Query Plans for Tuple-Independent
+// Probabilistic Databases", ICDE 2009).
+//
+// A tuple-independent probabilistic database attaches an independent Boolean
+// random variable (with a marginal probability) to every tuple. A conjunctive
+// query then has, for each distinct answer tuple, a confidence: the total
+// probability of the possible worlds in which the tuple is in the answer.
+// SPROUT computes these confidences exactly and efficiently for hierarchical
+// queries — and, via functional-dependency-based rewriting, for many
+// non-hierarchical ones — by deriving a *query signature* that factorizes the
+// answer's lineage into one-occurrence form and evaluating it in a small
+// number of sort+scan passes over the answer.
+//
+// # Quick start
+//
+//	db := sprout.NewDB()
+//	cust := db.MustCreateTable("Cust",
+//	    sprout.IntCol("ckey"), sprout.StringCol("cname"))
+//	cust.MustInsert(0.1, sprout.Int(1), sprout.String("Joe"))
+//	...
+//	q := sprout.NewQuery("Q").
+//	    Select("odate").
+//	    From("Cust", "ckey", "cname").
+//	    From("Ord", "okey", "ckey", "odate").
+//	    From("Item", "okey", "discount", "ckey").
+//	    Where("Cust", "cname", sprout.Eq, sprout.String("Joe"))
+//	res, err := db.Run(q, sprout.Lazy)
+//
+// Plan styles follow the paper: Lazy computes answer tuples first and runs
+// the confidence operator once at the top; Eager pushes
+// probability-computation operators onto every table and join; Hybrid mixes
+// the two; MystiQ evaluates the safe-plan baseline the paper compares
+// against.
+package sprout
+
+import (
+	"fmt"
+
+	"repro/internal/conf"
+	"repro/internal/engine"
+	"repro/internal/fd"
+	"repro/internal/plan"
+	"repro/internal/prob"
+	"repro/internal/query"
+	"repro/internal/signature"
+	"repro/internal/table"
+)
+
+// PlanStyle selects how confidence computation is placed in the query plan
+// (paper §V.B, Fig. 7).
+type PlanStyle = plan.Style
+
+// Plan styles.
+const (
+	// Lazy computes all answer tuples first, then runs the confidence
+	// operator once (Fig. 7c) — the paper's usually-fastest choice.
+	Lazy = plan.Lazy
+	// Eager pushes confidence computation onto every table and join
+	// (Fig. 7a), mirroring the structure of safe plans.
+	Eager = plan.Eager
+	// Hybrid applies the valid probability-computation operators after a
+	// prefix of the joins and finishes lazily (Fig. 7b).
+	Hybrid = plan.Hybrid
+	// MystiQ is the safe-plan baseline of Dalvi and Suciu as implemented by
+	// the MystiQ middleware: restrictive join orders, duplicate elimination
+	// after every join, probabilities aggregated without variable columns.
+	MystiQ = plan.SafeMystiQ
+)
+
+// CmpOp is a comparison operator for selections.
+type CmpOp = engine.CmpOp
+
+// Selection comparison operators.
+const (
+	Eq = engine.OpEq
+	Ne = engine.OpNe
+	Lt = engine.OpLt
+	Le = engine.OpLe
+	Gt = engine.OpGt
+	Ge = engine.OpGe
+)
+
+// Value is a typed constant (column value or selection operand).
+type Value = table.Value
+
+// Int wraps an integer value.
+func Int(v int64) Value { return table.Int(v) }
+
+// Float wraps a float value.
+func Float(v float64) Value { return table.Float(v) }
+
+// String wraps a string value.
+func String(v string) Value { return table.Str(v) }
+
+// Bool wraps a boolean value.
+func Bool(v bool) Value { return table.Bool(v) }
+
+// ColumnDef declares one data column of a table.
+type ColumnDef struct {
+	Name string
+	Kind table.Kind
+}
+
+// IntCol declares an integer column.
+func IntCol(name string) ColumnDef { return ColumnDef{Name: name, Kind: table.KindInt} }
+
+// FloatCol declares a float column.
+func FloatCol(name string) ColumnDef { return ColumnDef{Name: name, Kind: table.KindFloat} }
+
+// StringCol declares a string column.
+func StringCol(name string) ColumnDef { return ColumnDef{Name: name, Kind: table.KindString} }
+
+// DB is a tuple-independent probabilistic database: a set of tables whose
+// tuples carry independent Boolean random variables, plus the declared
+// functional dependencies used for signature refinement (§IV).
+type DB struct {
+	catalog *plan.Catalog
+	sigma   *fd.Set
+	nextVar prob.Var
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{catalog: plan.NewCatalog(), sigma: fd.NewSet()}
+}
+
+// Table is one tuple-independent table of a DB.
+type Table struct {
+	db *DB
+	pt *table.ProbTable
+}
+
+// CreateTable registers a new table with the given data columns. The
+// variable and probability columns of the paper's data model (§II.A) are
+// managed internally: Insert assigns a fresh Boolean random variable to
+// every tuple.
+func (db *DB) CreateTable(name string, cols ...ColumnDef) (*Table, error) {
+	dataCols := make([]table.Column, len(cols))
+	for i, c := range cols {
+		dataCols[i] = table.DataCol(c.Name, c.Kind)
+	}
+	pt := table.NewProbTable(name, dataCols...)
+	if err := db.catalog.Add(pt); err != nil {
+		return nil, err
+	}
+	return &Table{db: db, pt: pt}, nil
+}
+
+// MustCreateTable is CreateTable for program setup; it panics on error.
+func (db *DB) MustCreateTable(name string, cols ...ColumnDef) *Table {
+	t, err := db.CreateTable(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Insert appends a tuple that exists with probability p, assigning it a
+// fresh Boolean random variable.
+func (t *Table) Insert(p float64, values ...Value) error {
+	t.db.nextVar++
+	return t.pt.AddRow(t.db.nextVar, p, values...)
+}
+
+// MustInsert is Insert for program setup; it panics on error.
+func (t *Table) MustInsert(p float64, values ...Value) {
+	if err := t.Insert(p, values...); err != nil {
+		panic(err)
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.pt.Name }
+
+// Len returns the number of tuples.
+func (t *Table) Len() int { return t.pt.Rel.Len() }
+
+// AddTable registers an externally built probabilistic table (e.g. from the
+// TPC-H generator). Variable ids must not collide with those issued by
+// Insert; use either mechanism per DB.
+func (db *DB) AddTable(pt *table.ProbTable) error { return db.catalog.Add(pt) }
+
+// DeclareKey declares that key functionally determines all other attributes
+// of the named table — the schema knowledge that refines signatures and
+// rescues non-hierarchical queries (§IV). attrs must list the table's full
+// attribute set as used in queries.
+func (db *DB) DeclareKey(tableName string, key []string, attrs []string) {
+	db.sigma.AddKey(tableName, key, attrs)
+}
+
+// DeclareFD declares a general functional dependency lhs → rhs.
+func (db *DB) DeclareFD(tableName string, lhs, rhs []string) {
+	db.sigma.Add(fd.FD{Rel: tableName, LHS: lhs, RHS: rhs})
+}
+
+// FDs exposes the declared dependency set.
+func (db *DB) FDs() *fd.Set { return db.sigma }
+
+// Catalog exposes the underlying planner catalog (for the benchmark
+// harness and tools).
+func (db *DB) Catalog() *plan.Catalog { return db.catalog }
+
+// Query is a conjunctive query without self-joins in the paper's form
+// π_A σ_φ (R1 ⋈ … ⋈ Rn): relations join on equally named attributes and φ
+// is a conjunction of attribute-constant comparisons.
+type Query struct {
+	q *query.Query
+}
+
+// NewQuery starts building a named query.
+func NewQuery(name string) *Query {
+	return &Query{q: &query.Query{Name: name}}
+}
+
+// Select sets the projection list (empty = Boolean query).
+func (b *Query) Select(attrs ...string) *Query {
+	b.q.Head = append(b.q.Head, attrs...)
+	return b
+}
+
+// From adds a relation occurrence reading the named base table; attrs
+// positionally rename the table's data columns (shared names across
+// occurrences are join conditions).
+func (b *Query) From(tableName string, attrs ...string) *Query {
+	b.q.Rels = append(b.q.Rels, query.Rel(tableName, attrs...))
+	return b
+}
+
+// FromAlias adds a renamed occurrence of a base table — the paper's device
+// for self-joins whose occurrences select disjoint tuples (§IV, TPC-H Q7).
+func (b *Query) FromAlias(occurrence, base string, attrs ...string) *Query {
+	b.q.Rels = append(b.q.Rels, query.Alias(occurrence, base, attrs...))
+	return b
+}
+
+// Where adds a selection σ on one occurrence's attribute.
+func (b *Query) Where(occurrence, attr string, op CmpOp, v Value) *Query {
+	b.q.Sels = append(b.q.Sels, query.Selection{Rel: occurrence, Attr: attr, Op: op, Val: v})
+	return b
+}
+
+// Internal returns the underlying query AST (for tools and tests).
+func (b *Query) Internal() *query.Query { return b.q }
+
+// String renders the query in π σ ⋈ notation.
+func (b *Query) String() string { return b.q.String() }
+
+// IsHierarchical reports whether the query is hierarchical (Def. II.1) —
+// tractable on any tuple-independent database without FD support.
+func (b *Query) IsHierarchical() bool { return b.q.IsHierarchical() }
+
+// Row is one answer: the head values and the exact confidence.
+type Row struct {
+	Values     []Value
+	Confidence float64
+}
+
+// Result holds the distinct answer tuples with confidences plus execution
+// statistics.
+type Result struct {
+	Columns []string
+	Rows    []Row
+	Stats   plan.Stats
+}
+
+// Run evaluates the query with the given plan style. It fails for queries
+// that are not tractable (no hierarchical signature exists even under the
+// database's declared FDs; such queries are #P-hard in general, §II).
+func (db *DB) Run(q *Query, style PlanStyle) (*Result, error) {
+	return db.RunSpec(q, plan.Spec{Style: style})
+}
+
+// RunSpec evaluates with full plan control (hybrid prefix, sort budgets).
+func (db *DB) RunSpec(q *Query, spec plan.Spec) (*Result, error) {
+	res, err := plan.Run(db.catalog, q.q, db.sigma, spec)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Columns: append(append([]string(nil), q.q.Head...), conf.ConfCol),
+		Stats:   res.Stats,
+	}
+	for _, row := range res.Rows.Rows {
+		n := len(row)
+		out.Rows = append(out.Rows, Row{
+			Values:     append([]Value(nil), row[:n-1]...),
+			Confidence: row[n-1].F,
+		})
+	}
+	return out, nil
+}
+
+// Signature returns the query's signature under the database's FDs — the
+// static structure driving the confidence operator (§III); useful for
+// explaining plans.
+func (db *DB) Signature(q *Query) (string, error) {
+	s, err := signature.Best(q.q, db.sigma)
+	if err != nil {
+		return "", err
+	}
+	return s.String(), nil
+}
+
+// Explain returns a human-readable description of the plan the style would
+// use, without running it to completion on large data — it runs the plan
+// (on the current data) and reports the plan line.
+func (db *DB) Explain(q *Query, style PlanStyle) (string, error) {
+	res, err := db.Run(q, style)
+	if err != nil {
+		return "", err
+	}
+	return res.Stats.Plan, nil
+}
+
+// NumScans reports how many sort+scan passes the confidence operator needs
+// for this query (Prop. V.10): 1 for signatures with the 1scan property.
+func (db *DB) NumScans(q *Query) (int, error) {
+	s, err := signature.Best(q.q, db.sigma)
+	if err != nil {
+		return 0, err
+	}
+	return signature.NumScans(s), nil
+}
+
+// Format renders a result as an aligned text table (for examples/tools).
+func (r *Result) Format() string {
+	out := ""
+	for _, c := range r.Columns {
+		out += fmt.Sprintf("%-22s", c)
+	}
+	out += "\n"
+	for _, row := range r.Rows {
+		for _, v := range row.Values {
+			out += fmt.Sprintf("%-22s", v.String())
+		}
+		out += fmt.Sprintf("%-22.6g", row.Confidence)
+		out += "\n"
+	}
+	return out
+}
