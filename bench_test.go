@@ -9,6 +9,7 @@
 package sprout_test
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/benchutil"
 	"repro/internal/conf"
 	"repro/internal/engine"
+	"repro/internal/fd"
 	"repro/internal/plan"
 	"repro/internal/prob"
 	"repro/internal/signature"
@@ -305,6 +307,47 @@ func BenchmarkAblationJoinChoice(b *testing.B) {
 				b.Fatal(err)
 			}
 			if _, err := engine.Count(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMonteCarloUnsafe measures the Monte Carlo plan on the unsafe
+// query π{odate}(Cust ⋈ Ord ⋈ Item) with no FDs declared — a query no
+// exact style can evaluate (no hierarchical signature exists, §II). The
+// estimator fans the per-date lineage DNFs out to GOMAXPROCS workers;
+// tighter ε grows the per-answer sample count quadratically.
+func BenchmarkMonteCarloUnsafe(b *testing.B) {
+	d := data(b)
+	catalog := d.Catalog()
+	sigma := fd.NewSet()
+	for _, eps := range []float64{0.1, 0.05} {
+		eps := eps
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := plan.Run(catalog, benchutil.UnsafeQuery().Clone(), sigma, plan.Spec{
+					Style: plan.MonteCarlo,
+					MC:    prob.MCOptions{Epsilon: eps, Delta: 0.01, Seed: 1},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Stats.Approximate {
+					b.Fatal("expected an approximate result")
+				}
+			}
+		})
+	}
+	// The estimator is also a valid (if approximate) style for safe
+	// queries; query 18's lazy plan is the exact yardstick.
+	b.Run("safe-query-18", func(b *testing.B) {
+		e := tpch.Catalog()["18"]
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Run(catalog, e.Q.Clone(), tpch.FDsFor(e), plan.Spec{
+				Style: plan.MonteCarlo,
+				MC:    prob.MCOptions{Epsilon: 0.05, Delta: 0.01, Seed: 1},
+			}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,10 +1,17 @@
 // Command sprout-bench regenerates the paper's experiments (Figs. 9-13 and
 // the §VI case study) on freshly generated probabilistic TPC-H data and
-// prints the same rows/series the paper reports.
+// prints the same rows/series the paper reports, plus the Monte Carlo
+// experiment for unsafe queries that have no exact plan.
 //
 // Usage:
 //
-//	sprout-bench [-sf 0.02] [-seed 1] [-exp all|fig9|fig10|fig11|fig12|fig13|casestudy] [-points 9]
+//	sprout-bench [-sf 0.02] [-seed 1] [-exp all|fig9|fig10|fig11|fig12|fig13|mc|casestudy] [-points 9]
+//	sprout-bench -style mc [-query 18] [-eps 0.05] [-delta 0.01]
+//
+// The second form runs a single catalog query under one plan style
+// (lazy|eager|hybrid|mystiq|mc) and prints its execution statistics —
+// -style=mc estimates confidences by Monte Carlo sampling even for queries
+// that also admit exact plans.
 package main
 
 import (
@@ -14,20 +21,63 @@ import (
 	"time"
 
 	"repro/internal/benchutil"
+	"repro/internal/plan"
+	"repro/internal/prob"
 	"repro/internal/tpch"
 )
 
 func main() {
 	sf := flag.Float64("sf", 0.02, "TPC-H scale factor (paper: 1.0)")
 	seed := flag.Int64("seed", 1, "generator seed")
-	exp := flag.String("exp", "all", "experiment: all|fig9|fig10|fig11|fig12|fig13|casestudy")
+	exp := flag.String("exp", "all", "experiment: all|fig9|fig10|fig11|fig12|fig13|mc|casestudy")
 	points := flag.Int("points", 9, "selectivity points for fig11")
+	style := flag.String("style", "", "run one catalog query under a plan style: lazy|eager|hybrid|mystiq|mc")
+	queryName := flag.String("query", "18", "catalog query for -style mode")
+	eps := flag.Float64("eps", 0.05, "Monte Carlo additive error bound ε (-style mode and -exp mc)")
+	delta := flag.Float64("delta", 0.01, "Monte Carlo failure probability δ (-style mode and -exp mc)")
 	flag.Parse()
+	epsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "eps" {
+			epsSet = true
+		}
+	})
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sprout-bench:", err)
+		os.Exit(1)
+	}
+
+	// Reject out-of-range (ε, δ) up front: the estimator would silently
+	// substitute its defaults, making the printed accuracy labels wrong.
+	if *eps <= 0 || *eps >= 1 {
+		fail(fmt.Errorf("-eps must be in (0,1), got %g", *eps))
+	}
+	if *delta <= 0 || *delta >= 1 {
+		fail(fmt.Errorf("-delta must be in (0,1), got %g", *delta))
+	}
+
+	// Validate -style/-query before the (potentially minutes-long) data
+	// generation, so typos fail instantly.
+	var styleMode plan.Style
+	var styleEntry *tpch.Entry
+	if *style != "" {
+		var err error
+		styleMode, err = plan.ParseStyle(*style)
+		if err != nil {
+			fail(err)
+		}
+		e, ok := tpch.Catalog()[*queryName]
+		if !ok || e.Q == nil {
+			fail(fmt.Errorf("unknown or unsupported catalog query %q", *queryName))
+		}
+		styleEntry = e
+	}
+
 	var d *tpch.Data
-	if *exp != "casestudy" {
+	if *exp != "casestudy" || *style != "" {
 		fmt.Printf("generating TPC-H SF=%g (seed %d)...\n", *sf, *seed)
 		t0 := time.Now()
 		d = tpch.Generate(tpch.Config{SF: *sf, Seed: *seed})
@@ -35,9 +85,11 @@ func main() {
 			d.Item.Rel.Len(), d.Ord.Rel.Len(), d.Cust.Rel.Len(), d.NumVars, time.Since(t0).Seconds())
 	}
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "sprout-bench:", err)
-		os.Exit(1)
+	if *style != "" {
+		if err := runStyleMode(d, styleMode, *style, styleEntry, *eps, *delta); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if run("fig9") {
@@ -117,8 +169,51 @@ func main() {
 		fmt.Println()
 	}
 
+	if run("mc") {
+		fmt.Println("== Monte Carlo: unsafe query π{odate}(Cust ⋈ Ord ⋈ Item), no FDs declared ==")
+		fmt.Println("   exact styles reject this query (no hierarchical signature, #P-hard)")
+		// Default sweep, unless the user pinned an ε explicitly.
+		sweep := []float64{0.1, 0.05, 0.02}
+		if epsSet {
+			sweep = []float64{*eps}
+		}
+		rows, err := benchutil.MonteCarloUnsafe(d, sweep, *delta)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-8s %-8s %10s %10s %12s %10s %10s\n", "eps", "delta", "#answers", "#tuples", "samples", "tuples(s)", "prob(s)")
+		for _, r := range rows {
+			fmt.Printf("%-8g %-8g %10d %10d %12d %10.4f %10.4f\n",
+				r.Epsilon, r.Delta, r.Answers, r.Tuples, r.Samples,
+				r.TupleTime.Seconds(), r.ProbTime.Seconds())
+		}
+		fmt.Println()
+	}
+
 	if run("casestudy") {
 		fmt.Println("== §VI case study: TPC-H query classification ==")
 		fmt.Println(benchutil.CaseStudy())
 	}
+}
+
+// runStyleMode evaluates one catalog query under one plan style and prints
+// its execution statistics — the -style=mc path is the interactive way to
+// try the Monte Carlo estimator on any catalog query.
+func runStyleMode(d *tpch.Data, style plan.Style, styleName string, e *tpch.Entry, eps, delta float64) error {
+	res, err := plan.Run(d.Catalog(), e.Q.Clone(), tpch.FDsFor(e), plan.Spec{
+		Style: style,
+		MC:    prob.MCOptions{Epsilon: eps, Delta: delta, Seed: 1},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query %s under %s:\n  %s\n", e.Name, styleName, res.Stats.Plan)
+	fmt.Printf("  tuples %.4fs, prob %.4fs; %d answer tuples, %d distinct\n",
+		res.Stats.TupleTime.Seconds(), res.Stats.ProbTime.Seconds(),
+		res.Stats.AnswerTuples, res.Stats.DistinctTuples)
+	if res.Stats.Approximate {
+		fmt.Printf("  approximate: %d samples, per-answer additive error ≤ %g with probability %g\n",
+			res.Stats.Samples, res.Stats.Epsilon, 1-delta)
+	}
+	return nil
 }

@@ -1,11 +1,11 @@
 // Command sproutq runs one named catalog query (a conjunctive subquery of a
 // TPC-H query, see internal/tpch) against freshly generated data and prints
-// the distinct answers with their exact confidences, plus the plan and
-// signature used.
+// the distinct answers with their confidences (exact, or Monte Carlo
+// estimates under -plan mc), plus the plan and signature used.
 //
 // Usage:
 //
-//	sproutq [-sf 0.005] [-seed 1] [-plan lazy|eager|hybrid|mystiq] [-limit 20] 18
+//	sproutq [-sf 0.005] [-seed 1] [-plan lazy|eager|hybrid|mystiq|mc] [-limit 20] 18
 //	sproutq -list
 package main
 
@@ -22,7 +22,7 @@ import (
 func main() {
 	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
 	seed := flag.Int64("seed", 1, "generator seed")
-	planName := flag.String("plan", "lazy", "plan style: lazy|eager|hybrid|mystiq")
+	planName := flag.String("plan", "lazy", "plan style: lazy|eager|hybrid|mystiq|mc")
 	limit := flag.Int("limit", 20, "max answer rows to print")
 	list := flag.Bool("list", false, "list catalog queries and exit")
 	flag.Parse()
@@ -56,18 +56,9 @@ func main() {
 		fail(fmt.Errorf("query %s is unsupported: %s", e.Name, e.Unsupported))
 	}
 
-	var style plan.Style
-	switch *planName {
-	case "lazy":
-		style = plan.Lazy
-	case "eager":
-		style = plan.Eager
-	case "hybrid":
-		style = plan.Hybrid
-	case "mystiq":
-		style = plan.SafeMystiQ
-	default:
-		fail(fmt.Errorf("unknown plan style %q", *planName))
+	style, err := plan.ParseStyle(*planName)
+	if err != nil {
+		fail(err)
 	}
 
 	fmt.Printf("query %s: %s\n", e.Name, e.Q)

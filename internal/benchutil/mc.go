@@ -1,0 +1,74 @@
+package benchutil
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/plan"
+	"repro/internal/prob"
+	"repro/internal/query"
+	"repro/internal/tpch"
+)
+
+// UnsafeQuery returns π{odate}(Cust ⋈ Ord ⋈ Item) — the Introduction's
+// query shape on the real TPC-H schema, where Item has no ckey column. Its
+// effective join attributes ckey (Cust, Ord) and okey (Ord, Item) meet in
+// Ord with incomparable relation sets, so without the okey → ckey key
+// dependency no hierarchical signature exists and exact confidence
+// computation is off the table (#P-hard, §II). Run against an empty FD set
+// it is the workload of the Monte Carlo plan: one lineage DNF per order
+// date, estimated in parallel.
+func UnsafeQuery() *query.Query {
+	return &query.Query{
+		Name: "mc-unsafe",
+		Head: []string{"odate"},
+		Rels: []query.RelRef{
+			query.Rel("Cust", "ckey", "cname", "nkey", "cacctbal", "mkt"),
+			query.Rel("Ord", "okey", "ckey", "odate", "oprice", "opri"),
+			query.Rel("Item", "okey", "pkey", "skey", "qty", "price", "discount", "sdate", "smode", "rflag"),
+		},
+	}
+}
+
+// MCRow is one measurement of the Monte Carlo plan on the unsafe query.
+type MCRow struct {
+	Epsilon   float64
+	Delta     float64
+	Answers   int64         // distinct answer tuples (order dates)
+	Tuples    int64         // answer tuples before grouping
+	Samples   int64         // Monte Carlo samples drawn across all answers
+	TupleTime time.Duration // join + materialization
+	ProbTime  time.Duration // lineage collection + estimation
+}
+
+// MonteCarloUnsafe runs the unsafe-query scenario: it first verifies that
+// every exact style rejects the query under an empty FD set (the scenario's
+// premise), then times the Monte Carlo plan across the given ε points.
+func MonteCarloUnsafe(d *tpch.Data, epsilons []float64, delta float64) ([]MCRow, error) {
+	catalog := d.Catalog()
+	sigma := fd.NewSet()
+	if _, err := plan.Run(catalog, UnsafeQuery().Clone(), sigma, plan.Spec{Style: plan.Lazy, RequireExact: true}); err == nil {
+		return nil, fmt.Errorf("benchutil: unsafe query unexpectedly has an exact plan")
+	}
+	var rows []MCRow
+	for _, eps := range epsilons {
+		res, err := plan.Run(catalog, UnsafeQuery().Clone(), sigma, plan.Spec{
+			Style: plan.MonteCarlo,
+			MC:    prob.MCOptions{Epsilon: eps, Delta: delta, Seed: 1},
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MCRow{
+			Epsilon:   eps,
+			Delta:     delta,
+			Answers:   res.Stats.DistinctTuples,
+			Tuples:    res.Stats.AnswerTuples,
+			Samples:   res.Stats.Samples,
+			TupleTime: res.Stats.TupleTime,
+			ProbTime:  res.Stats.ProbTime,
+		})
+	}
+	return rows, nil
+}

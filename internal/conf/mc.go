@@ -1,0 +1,172 @@
+package conf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/prob"
+	"repro/internal/table"
+)
+
+// This file is the Monte Carlo counterpart of the exact confidence operator
+// (operator.go). The exact operator needs a hierarchical signature and fails
+// on queries without one (#P-hard in general); this operator needs nothing:
+// it reads the same materialized answer relation (data columns plus V/P
+// column pairs), groups it into one lineage DNF per distinct answer, and
+// estimates each answer's confidence with the (ε, δ) samplers of
+// internal/prob. Because it works on raw lineage it is also sound for
+// answers whose duplicate variables are correlated (e.g. self-joins through
+// aliases that do not select disjoint tuples), where the exact operator's
+// independence assumptions would not hold.
+
+// Lineage is the per-answer DNF decomposition of a materialized answer
+// relation: one clause per contributing input-tuple combination (paper §I),
+// one formula per distinct answer, plus the marginal probabilities of every
+// variable mentioned.
+type Lineage struct {
+	// Schema covers the data columns of the input, in input order.
+	Schema *table.Schema
+	// Keys holds the distinct answers projected onto the data columns,
+	// sorted ascending (the operator's deterministic output order).
+	Keys []table.Tuple
+	// DNFs aligns with Keys: DNFs[i] is the lineage of Keys[i].
+	DNFs []*prob.DNF
+	// Assign maps every variable of the input to its marginal probability.
+	Assign *prob.Assignment
+	// Clauses counts lineage clauses across all answers.
+	Clauses int64
+}
+
+// CollectLineage groups an answer relation by its data columns and builds
+// one lineage DNF per distinct answer: each input row contributes the clause
+// conjoining the row's variables (one per source table; deterministic
+// tuples, V = ⊤, drop out). A Boolean answer (no data columns) yields at
+// most one group.
+func CollectLineage(rel *table.Relation) (*Lineage, error) {
+	dataCols := rel.Schema.DataIndexes()
+	var varCols, probCols []int
+	for _, src := range rel.Schema.Sources() {
+		vi, pi := rel.Schema.VarIndex(src), rel.Schema.ProbIndex(src)
+		if pi < 0 {
+			return nil, fmt.Errorf("conf: input has V(%s) but no P(%s): %v", src, src, rel.Schema.Names())
+		}
+		varCols = append(varCols, vi)
+		probCols = append(probCols, pi)
+	}
+
+	l := &Lineage{
+		Schema: rel.Schema.Project(dataCols),
+		Assign: prob.NewAssignment(),
+	}
+
+	// Sort row indexes by the data columns so groups are contiguous and the
+	// output order is deterministic. The Monte Carlo path materializes
+	// everything in memory anyway (the estimator needs random access to each
+	// answer's whole formula), so an in-memory sort — unlike the exact
+	// operator's external sort — is the right tool.
+	order := make([]int, rel.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return table.CompareOn(rel.Rows[order[a]], rel.Rows[order[b]], dataCols) < 0
+	})
+
+	vs := make([]prob.Var, 0, len(varCols))
+	marginal := make(map[prob.Var]float64)
+	// Clause dedup per group via a hash key: DNF.Add's linear scan would
+	// make collection quadratic in the group size, which large answer
+	// groups (thousands of duplicates per answer) cannot afford.
+	seen := make(map[string]struct{})
+	keyBuf := make([]byte, 0, 64)
+	var cur *prob.DNF
+	for n, ri := range order {
+		row := rel.Rows[ri]
+		vs = vs[:0]
+		for k, vi := range varCols {
+			v := row[vi].AsVar()
+			if !v.Valid() {
+				continue
+			}
+			p := row[probCols[k]].F
+			if prev, ok := marginal[v]; ok {
+				if prev != p {
+					return nil, fmt.Errorf("conf: variable %v carries two marginals, %g and %g (corrupt input)", v, prev, p)
+				}
+			} else {
+				marginal[v] = p
+				if err := l.Assign.Set(v, p); err != nil {
+					return nil, fmt.Errorf("conf: row %d: %w", ri, err)
+				}
+			}
+			vs = append(vs, v)
+		}
+		if n == 0 || !table.EqualOn(rel.Rows[order[n-1]], row, dataCols) {
+			cur = prob.NewDNF()
+			l.Keys = append(l.Keys, row.Project(dataCols))
+			l.DNFs = append(l.DNFs, cur)
+			clear(seen)
+		}
+		clause := prob.NewClause(vs...)
+		keyBuf = keyBuf[:0]
+		for _, v := range clause {
+			keyBuf = binary.AppendVarint(keyBuf, int64(v))
+		}
+		if _, dup := seen[string(keyBuf)]; !dup {
+			seen[string(keyBuf)] = struct{}{}
+			cur.Clauses = append(cur.Clauses, clause)
+		}
+	}
+	for _, d := range l.DNFs {
+		l.Clauses += int64(len(d.Clauses))
+	}
+	return l, nil
+}
+
+// MCStats reports what the Monte Carlo operator did.
+type MCStats struct {
+	InputTuples  int64 // rows entering lineage collection
+	OutputTuples int64 // distinct answers
+	Clauses      int64 // lineage clauses across all answers
+	Samples      int64 // Monte Carlo samples drawn across all answers
+	ExactAnswers int64 // answers resolved by an exact shortcut (no sampling)
+	// MaxEpsilon is the weakest per-answer additive guarantee of the run:
+	// equal to the requested ε unless MaxSamples capped some estimate.
+	MaxEpsilon float64
+}
+
+// MonteCarlo estimates per-answer confidences of a materialized answer
+// relation: CollectLineage followed by the partition-parallel estimator
+// driver. The output has the input's data columns plus the conf column,
+// sorted by the data columns; with a fixed opts.Seed it is a deterministic
+// function of the input.
+func MonteCarlo(rel *table.Relation, opts prob.MCOptions) (*table.Relation, *MCStats, error) {
+	l, err := CollectLineage(rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	ests := prob.EstimateAll(l.DNFs, l.Assign, opts)
+
+	outCols := append(append([]table.Column(nil), l.Schema.Cols...), table.DataCol(ConfCol, table.KindFloat))
+	out := table.NewRelation(table.NewSchema(outCols...))
+	stats := &MCStats{
+		InputTuples:  int64(rel.Len()),
+		OutputTuples: int64(len(l.Keys)),
+		Clauses:      l.Clauses,
+	}
+	for i, key := range l.Keys {
+		row := make(table.Tuple, 0, len(outCols))
+		row = append(row, key...)
+		row = append(row, table.Float(ests[i].P))
+		out.Rows = append(out.Rows, row)
+		stats.Samples += int64(ests[i].Samples)
+		if ests[i].Samples == 0 {
+			stats.ExactAnswers++
+		}
+		if ests[i].Epsilon > stats.MaxEpsilon {
+			stats.MaxEpsilon = ests[i].Epsilon
+		}
+	}
+	return out, stats, nil
+}

@@ -9,7 +9,12 @@
 //     subexpressions of a non-1scan signature until the remainder has the
 //     1scan property, one sort+scan per aggregation;
 //   - the literal GRP-sequence semantics of Fig. 5/6 (grp.go), used as a
-//     reference implementation for cross-validation.
+//     reference implementation for cross-validation;
+//   - the Monte Carlo operator (mc.go), which needs no signature at all:
+//     it groups the answer relation into per-answer lineage DNFs and
+//     estimates each confidence with the (ε, δ) samplers of internal/prob
+//     — the engine's answer for queries whose exact confidence computation
+//     is #P-hard.
 package conf
 
 import (

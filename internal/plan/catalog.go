@@ -4,7 +4,10 @@
 // plans (probability-computation operators pushed to every table and join,
 // Fig. 7a), hybrid plans (operators pushed past selected joins, Fig. 7b) —
 // plus the MystiQ-style safe plans of Dalvi/Suciu (Fig. 2) as the
-// state-of-the-art baseline the paper compares against.
+// state-of-the-art baseline the paper compares against, and the Monte
+// Carlo plan (mc.go) that estimates confidences for queries without a
+// hierarchical signature, which every exact style falls back to instead of
+// rejecting such queries.
 package plan
 
 import (

@@ -1,0 +1,53 @@
+package plan
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/conf"
+	"repro/internal/query"
+)
+
+// runMonteCarlo is the approximate plan: answer tuples are computed exactly
+// like the lazy plan (greedy selective join order, all V/P columns carried
+// through), then the Monte Carlo confidence operator groups them into
+// per-answer lineage DNFs and estimates each answer's confidence with the
+// (ε, δ) samplers of internal/prob, fanning answers out to a worker pool.
+// No signature is required, so this plan accepts every conjunctive query —
+// including the #P-hard ones every exact style must reject. note annotates
+// the plan line when the run is a fallback from an exact style.
+func runMonteCarlo(c *Catalog, q *query.Query, spec Spec, note string) (*Result, error) {
+	order := LazyOrder(c, q)
+	t0 := time.Now()
+	answer, err := answerPipeline(c, q, order)
+	if err != nil {
+		return nil, err
+	}
+	tupleTime := time.Since(t0)
+
+	t1 := time.Now()
+	out, mcs, err := conf.MonteCarlo(answer, spec.MC)
+	if err != nil {
+		return nil, err
+	}
+	probTime := time.Since(t1)
+	out, err = normalizeAnswer(out, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Rows: out,
+		Stats: Stats{
+			Plan: fmt.Sprintf("mc%s: %s; estimate conf of %d answers (%d clauses, %d samples, %d exact)",
+				note, describeOrder(order), mcs.OutputTuples, mcs.Clauses, mcs.Samples, mcs.ExactAnswers),
+			Signature:      "(approximate: Monte Carlo over lineage, no signature)",
+			TupleTime:      tupleTime,
+			ProbTime:       probTime,
+			AnswerTuples:   int64(answer.Len()),
+			DistinctTuples: int64(out.Len()),
+			Approximate:    true,
+			Samples:        mcs.Samples,
+			Epsilon:        mcs.MaxEpsilon,
+		},
+	}, nil
+}

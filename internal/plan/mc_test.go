@@ -1,0 +1,170 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/fd"
+	"repro/internal/prob"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// hardDB builds a randomized instance of the prototypical #P-hard pattern
+// R(a) ⋈ S(a,b) ⋈ T(b): bipartite lineage that no hierarchical signature
+// covers (§II). Sizes stay small enough for exact world enumeration.
+func hardDB(rng *rand.Rand) *Catalog {
+	c := NewCatalog()
+	var v prob.Var
+	newVar := func() prob.Var { v++; return v }
+	p := func() float64 { return 0.1 + 0.8*rng.Float64() }
+
+	r := table.NewProbTable("R", table.DataCol("a", table.KindInt), table.DataCol("c", table.KindInt))
+	s := table.NewProbTable("S", table.DataCol("a", table.KindInt), table.DataCol("b", table.KindInt))
+	u := table.NewProbTable("T", table.DataCol("b", table.KindInt))
+	for a := 0; a < 3; a++ {
+		for c := 0; c < 2; c++ {
+			r.MustAddRow(newVar(), p(), table.Int(int64(a)), table.Int(int64(c)))
+		}
+	}
+	for b := 0; b < 3; b++ {
+		u.MustAddRow(newVar(), p(), table.Int(int64(b)))
+	}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if rng.Float64() < 0.6 {
+				s.MustAddRow(newVar(), p(), table.Int(int64(a)), table.Int(int64(b)))
+			}
+		}
+	}
+	c.MustAdd(r)
+	c.MustAdd(s)
+	c.MustAdd(u)
+	return c
+}
+
+// hardQuery is π{c}(R(a,c) ⋈ S(a,b) ⋈ T(b)): S joins R on a and T on b with
+// incomparable relation sets, so no hierarchical signature exists; the head
+// attribute c fans the answer into multiple groups.
+func hardQuery() *query.Query {
+	return &query.Query{
+		Name: "hard",
+		Head: []string{"c"},
+		Rels: []query.RelRef{
+			query.Rel("R", "a", "c"),
+			query.Rel("S", "a", "b"),
+			query.Rel("T", "b"),
+		},
+	}
+}
+
+// TestMonteCarloPlanVsWorlds: the Monte Carlo plan's estimates on the hard
+// Boolean query must land within ε of exact possible-world enumeration, for
+// several randomized instances with fixed seeds.
+func TestMonteCarloPlanVsWorlds(t *testing.T) {
+	const eps = 0.02
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(41 + trial)))
+		c := hardDB(rng)
+		q := hardQuery()
+		res, err := Run(c, q, fd.NewSet(), Spec{
+			Style: MonteCarlo,
+			MC:    prob.MCOptions{Epsilon: eps, Delta: 1e-4, Seed: int64(trial)},
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.Stats.Approximate {
+			t.Error("Monte Carlo plan must mark stats approximate")
+		}
+
+		answer, err := Answer(c, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := conf.CollectLineage(answer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(l.Keys) != res.Rows.Len() {
+			t.Fatalf("trial %d: %d lineage groups vs %d result rows", trial, len(l.Keys), res.Rows.Len())
+		}
+		ci := res.Rows.Schema.MustColIndex(conf.ConfCol)
+		for i := range l.Keys {
+			want, err := prob.ProbByWorlds(l.DNFs[i], l.Assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Rows.Rows[i][ci].F
+			if math.Abs(got-want) > eps {
+				t.Errorf("trial %d answer %d: estimate %g, exact %g for %s",
+					trial, i, got, want, l.DNFs[i])
+			}
+		}
+	}
+}
+
+// TestExactStylesFallBack: every exact style falls back to the Monte Carlo
+// plan on the hard query, annotating the plan line; RequireExact keeps the
+// rejection.
+func TestExactStylesFallBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := hardDB(rng)
+	for _, style := range []Style{Lazy, Eager, Hybrid, SafeMystiQ} {
+		res, err := Run(c, hardQuery(), fd.NewSet(), Spec{Style: style, MC: prob.MCOptions{Seed: 2}})
+		if err != nil {
+			t.Fatalf("%v: fallback failed: %v", style, err)
+		}
+		if !res.Stats.Approximate {
+			t.Errorf("%v: fallback must be approximate", style)
+		}
+		if !strings.Contains(res.Stats.Plan, "fallback") || !strings.Contains(res.Stats.Plan, style.String()) {
+			t.Errorf("%v: plan line should mention the fallback: %q", style, res.Stats.Plan)
+		}
+		if _, err := Run(c, hardQuery(), fd.NewSet(), Spec{Style: style, RequireExact: true}); err == nil {
+			t.Errorf("%v: RequireExact must reject the hard query", style)
+		}
+	}
+}
+
+// TestMonteCarloPlanDeterministic: same seed, same estimates; the worker
+// count must not matter.
+func TestMonteCarloPlanDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := hardDB(rng)
+	run := func(workers int) *Result {
+		res, err := Run(c, hardQuery(), fd.NewSet(), Spec{
+			Style: MonteCarlo,
+			MC:    prob.MCOptions{Seed: 12, Workers: workers},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	ci := a.Rows.Schema.MustColIndex(conf.ConfCol)
+	for i := range a.Rows.Rows {
+		if a.Rows.Rows[i][ci].F != b.Rows.Rows[i][ci].F {
+			t.Errorf("row %d: %g (1 worker) vs %g (8 workers)", i, a.Rows.Rows[i][ci].F, b.Rows.Rows[i][ci].F)
+		}
+	}
+}
+
+// TestUnknownStyleRejected: an invalid style must error even on queries
+// where exact styles would fall back to Monte Carlo.
+func TestUnknownStyleRejected(t *testing.T) {
+	c := hardDB(rand.New(rand.NewSource(1)))
+	if _, err := Run(c, hardQuery(), fd.NewSet(), Spec{Style: Style(99)}); err == nil {
+		t.Error("unknown style must be rejected, not estimated")
+	}
+	if s, err := ParseStyle("mc"); err != nil || s != MonteCarlo {
+		t.Errorf("ParseStyle(mc) = %v, %v", s, err)
+	}
+	if _, err := ParseStyle("bogus"); err == nil {
+		t.Error("ParseStyle must reject unknown names")
+	}
+}

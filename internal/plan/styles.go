@@ -7,6 +7,7 @@ import (
 	"repro/internal/conf"
 	"repro/internal/engine"
 	"repro/internal/fd"
+	"repro/internal/prob"
 	"repro/internal/query"
 	"repro/internal/signature"
 	"repro/internal/table"
@@ -29,6 +30,13 @@ const (
 	// SafeMystiQ is the baseline: MystiQ's safe plans, evaluated without
 	// variable columns (Fig. 2, §VII).
 	SafeMystiQ
+	// MonteCarlo computes the answer tuples lazily and estimates each
+	// answer's confidence from its lineage DNF with an (ε, δ) Monte Carlo
+	// sampler (naive or Karp–Luby, internal/prob). It is the only style
+	// that works for queries without a hierarchical signature — general
+	// conjunctive queries are #P-hard (§II) — and is also what the exact
+	// styles fall back to on such queries unless Spec.RequireExact is set.
+	MonteCarlo
 )
 
 // String names the style.
@@ -42,9 +50,22 @@ func (s Style) String() string {
 		return "hybrid"
 	case SafeMystiQ:
 		return "mystiq"
+	case MonteCarlo:
+		return "mc"
 	default:
 		return "?"
 	}
+}
+
+// ParseStyle maps a style name (as printed by Style.String and accepted by
+// the command-line tools) back to the Style.
+func ParseStyle(name string) (Style, error) {
+	for _, s := range []Style{Lazy, Eager, Hybrid, SafeMystiQ, MonteCarlo} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("plan: unknown style %q (want lazy|eager|hybrid|mystiq|mc)", name)
 }
 
 // Spec configures a plan run.
@@ -56,6 +77,13 @@ type Spec struct {
 	HybridPrefix int
 	// Conf tunes the confidence operator's sorts.
 	Conf conf.Options
+	// MC tunes the Monte Carlo estimator (ε, δ, seed, method, workers) for
+	// the MonteCarlo style and for the automatic fallback.
+	MC prob.MCOptions
+	// RequireExact disables the Monte Carlo fallback: queries without a
+	// hierarchical signature are rejected with an error, restoring the
+	// strict behaviour exact styles had before the estimator existed.
+	RequireExact bool
 }
 
 // Stats reports the execution breakdown the paper's figures use.
@@ -67,6 +95,15 @@ type Stats struct {
 	AnswerTuples   int64         // answer tuples before duplicate elimination
 	DistinctTuples int64         // distinct answer tuples
 	Scans          int           // operator scans (aggregation + final)
+	// Approximate marks Monte Carlo results: confidences are (ε, δ)
+	// estimates, not exact probabilities.
+	Approximate bool
+	// Samples is the total number of Monte Carlo samples drawn (0 for
+	// exact plans).
+	Samples int64
+	// Epsilon is the weakest per-answer additive error guarantee of an
+	// approximate run (0 for exact plans).
+	Epsilon float64
 }
 
 // Total returns the end-to-end wall-clock time.
@@ -80,16 +117,30 @@ type Result struct {
 }
 
 // Run executes q on the catalog under the given FDs with the requested plan
-// style. The signature is the most precise one available (FD-refined when
-// the reduct is hierarchical, plain otherwise); queries with neither are
-// rejected as intractable (#P-hard in general).
+// style. Exact styles use the most precise signature available (FD-refined
+// when the reduct is hierarchical, plain otherwise); queries with neither —
+// #P-hard in general — fall back to the Monte Carlo plan, which estimates
+// confidences from per-answer lineage instead of erroring out. Set
+// spec.RequireExact to turn the fallback back into an error.
 func Run(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	switch spec.Style {
+	case MonteCarlo:
+		return runMonteCarlo(c, q, spec, "")
+	case Lazy, Eager, Hybrid, SafeMystiQ:
+		// Known exact styles: validated before the fallback below, so an
+		// unknown style errors rather than silently estimating.
+	default:
+		return nil, fmt.Errorf("plan: unknown style %d", spec.Style)
+	}
 	sig, err := signature.Best(q, sigma)
 	if err != nil {
-		return nil, fmt.Errorf("plan: %s is not tractable (no hierarchical signature): %w", q.Name, err)
+		if spec.RequireExact {
+			return nil, fmt.Errorf("plan: %s is not tractable (no hierarchical signature): %w", q.Name, err)
+		}
+		return runMonteCarlo(c, q, spec, fmt.Sprintf(" (fallback from %s: no hierarchical signature)", spec.Style))
 	}
 	switch spec.Style {
 	case Lazy:

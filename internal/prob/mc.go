@@ -1,0 +1,342 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// This file implements the Monte Carlo side of confidence computation:
+// approximate probability estimation for DNF lineage whose exact evaluation
+// is #P-hard (§II.A). Two samplers are provided — a naive possible-worlds
+// sampler and the Karp–Luby importance sampler (karpluby.go) — behind a
+// single (ε, δ) interface: the returned estimate is within ε of the true
+// probability with probability at least 1-δ. EstimateAll fans a batch of
+// per-answer formulas out to a worker pool with one deterministic RNG per
+// formula, so results are reproducible regardless of scheduling.
+
+// MCMethod selects the sampling estimator.
+type MCMethod int
+
+// Estimation methods.
+const (
+	// MCAuto resolves each formula exactly when a polynomial shortcut
+	// applies (empty, single-clause or variable-disjoint DNF) and otherwise picks
+	// the sampler with the lower (ε, δ) sample bound: Karp–Luby when the
+	// total clause weight U is below 1, the naive sampler otherwise.
+	MCAuto MCMethod = iota
+	// MCNaive always samples full possible worlds, even when an exact
+	// shortcut exists (useful for testing the sampler itself).
+	MCNaive
+	// MCKarpLuby always runs the Karp–Luby estimator.
+	MCKarpLuby
+)
+
+// String names the method.
+func (m MCMethod) String() string {
+	switch m {
+	case MCAuto:
+		return "auto"
+	case MCNaive:
+		return "naive"
+	case MCKarpLuby:
+		return "karp-luby"
+	default:
+		return "?"
+	}
+}
+
+// Default Monte Carlo parameters.
+const (
+	DefaultEpsilon    = 0.05
+	DefaultDelta      = 0.01
+	DefaultMaxSamples = 1 << 22
+)
+
+// MCOptions configures Monte Carlo confidence estimation.
+type MCOptions struct {
+	// Epsilon is the additive error bound: |estimate - Pr[φ]| ≤ Epsilon
+	// with probability ≥ 1-Delta. 0 defaults to DefaultEpsilon.
+	Epsilon float64
+	// Delta is the per-formula failure probability. 0 defaults to
+	// DefaultDelta.
+	Delta float64
+	// Seed makes estimation deterministic: the same seed, options and
+	// input produce bit-identical estimates. 0 is a valid seed.
+	Seed int64
+	// MaxSamples caps the per-formula sample count. When the (ε, δ) bound
+	// asks for more, the estimator runs MaxSamples and reports the weaker
+	// ε it actually guarantees. 0 defaults to DefaultMaxSamples.
+	MaxSamples int
+	// Method forces a sampler; MCAuto (the zero value) picks per formula.
+	Method MCMethod
+	// Workers sizes EstimateAll's worker pool; 0 defaults to GOMAXPROCS.
+	Workers int
+}
+
+func (o MCOptions) withDefaults() MCOptions {
+	if o.Epsilon <= 0 {
+		o.Epsilon = DefaultEpsilon
+	}
+	if o.Delta <= 0 || o.Delta >= 1 {
+		o.Delta = DefaultDelta
+	}
+	if o.MaxSamples <= 0 {
+		o.MaxSamples = DefaultMaxSamples
+	}
+	return o
+}
+
+// MCEstimate is the outcome of estimating one formula.
+type MCEstimate struct {
+	// P is the estimated (or exactly computed) probability, in [0, 1].
+	P float64
+	// Samples is the number of Monte Carlo samples drawn (0 when the
+	// formula was resolved exactly).
+	Samples int
+	// Method records how the estimate was obtained: "exact", "naive" or
+	// "karp-luby".
+	Method string
+	// Epsilon is the additive error guaranteed with probability 1-Delta:
+	// the requested ε, or a weaker bound when MaxSamples capped the run
+	// (0 for exact results).
+	Epsilon float64
+	// Delta is the failure probability backing Epsilon.
+	Delta float64
+}
+
+// SampleBound returns the Hoeffding sample count guaranteeing an additive
+// (ε, δ) bound for the empirical mean of i.i.d. samples in [0, width]:
+// n = ⌈width²·ln(2/δ) / (2ε²)⌉. This is the estimators' stopping rule.
+func SampleBound(eps, delta, width float64) int {
+	n := math.Ceil(width * width * math.Log(2/delta) / (2 * eps * eps))
+	if n < 1 {
+		return 1
+	}
+	if n > float64(math.MaxInt32) {
+		return math.MaxInt32
+	}
+	return int(n)
+}
+
+// achievedEps inverts SampleBound: the additive bound n samples in
+// [0, width] actually guarantee at confidence 1-δ.
+func achievedEps(n int, delta, width float64) float64 {
+	return width * math.Sqrt(math.Log(2/delta)/(2*float64(n)))
+}
+
+// mcCompiled is a DNF lowered to index form for fast repeated evaluation:
+// variables become dense indexes, clauses become index lists, and each
+// clause carries its weight Π p (its probability as an independent
+// conjunction).
+type mcCompiled struct {
+	vars    []Var
+	probs   []float64 // Pr[vars[i] = true]
+	clauses [][]int32 // per clause: indexes into vars
+	weights []float64 // per clause: product of member probabilities
+	cum     []float64 // cumulative weights, for clause sampling
+	U       float64   // total weight Σ weights
+}
+
+func mcCompile(d *DNF, a *Assignment) *mcCompiled {
+	c := &mcCompiled{}
+	idx := make(map[Var]int32)
+	for _, v := range d.Vars() {
+		idx[v] = int32(len(c.vars))
+		c.vars = append(c.vars, v)
+		c.probs = append(c.probs, a.P(v))
+	}
+	c.clauses = make([][]int32, 0, len(d.Clauses))
+	c.weights = make([]float64, 0, len(d.Clauses))
+	c.cum = make([]float64, 0, len(d.Clauses))
+	for _, cl := range d.Clauses {
+		ids := make([]int32, 0, len(cl))
+		w := 1.0
+		for _, v := range cl {
+			if !v.Valid() {
+				continue
+			}
+			i := idx[v]
+			ids = append(ids, i)
+			w *= c.probs[i]
+		}
+		c.clauses = append(c.clauses, ids)
+		c.weights = append(c.weights, w)
+		c.U += w
+		c.cum = append(c.cum, c.U)
+	}
+	return c
+}
+
+// exact resolves the polynomially computable cases: the empty DNF (false),
+// any empty clause (true), a single clause (independent conjunction), and
+// variable-disjoint clauses (independent disjunction of conjunctions).
+func (c *mcCompiled) exact() (float64, bool) {
+	if len(c.clauses) == 0 {
+		return 0, true
+	}
+	for _, cl := range c.clauses {
+		if len(cl) == 0 {
+			return 1, true
+		}
+	}
+	if len(c.clauses) == 1 {
+		return c.weights[0], true
+	}
+	seen := make([]bool, len(c.vars))
+	for _, cl := range c.clauses {
+		for _, i := range cl {
+			if seen[i] {
+				return 0, false
+			}
+			seen[i] = true
+		}
+	}
+	return OrAll(c.weights), true
+}
+
+func clauseTrue(buf []bool, cl []int32) bool {
+	for _, i := range cl {
+		if !buf[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *mcCompiled) evalBuf(buf []bool) bool {
+	for _, cl := range c.clauses {
+		if clauseTrue(buf, cl) {
+			return true
+		}
+	}
+	return false
+}
+
+// sampleNaive draws n full possible worlds over the formula's variables and
+// returns the fraction satisfying it — the definitional estimator, with
+// sample range [0, 1].
+func (c *mcCompiled) sampleNaive(n int, rng *rand.Rand) float64 {
+	buf := make([]bool, len(c.vars))
+	hits := 0
+	for s := 0; s < n; s++ {
+		for i, p := range c.probs {
+			buf[i] = rng.Float64() < p
+		}
+		if c.evalBuf(buf) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// mcEstimate runs one formula through the configured estimator.
+func mcEstimate(c *mcCompiled, o MCOptions, rng *rand.Rand) MCEstimate {
+	method := o.Method
+	if len(c.clauses) == 0 {
+		// The empty DNF is false regardless of method; Karp–Luby in
+		// particular has no clause to sample from (U = 0).
+		return MCEstimate{P: 0, Method: "exact", Delta: o.Delta}
+	}
+	if method == MCAuto {
+		if p, ok := c.exact(); ok {
+			return MCEstimate{P: p, Method: "exact", Delta: o.Delta}
+		}
+		if c.U < 1 {
+			method = MCKarpLuby
+		} else {
+			method = MCNaive
+		}
+	}
+	width := 1.0
+	if method == MCKarpLuby {
+		// The Karp–Luby estimator averages samples in {0, U}; its Hoeffding
+		// range is U. (Pr[φ] ≤ min(U, 1), so U < 1 means fewer samples.)
+		width = c.U
+	}
+	eps := o.Epsilon
+	n := SampleBound(eps, o.Delta, width)
+	if n > o.MaxSamples {
+		n = o.MaxSamples
+		eps = achievedEps(n, o.Delta, width)
+	}
+	var p float64
+	switch method {
+	case MCKarpLuby:
+		p = c.sampleKarpLuby(n, rng)
+	default:
+		p = c.sampleNaive(n, rng)
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	return MCEstimate{P: p, Samples: n, Method: method.String(), Epsilon: eps, Delta: o.Delta}
+}
+
+// MCProb estimates Pr[φ] for a single formula with the given options,
+// seeding the sampler from opts.Seed.
+func MCProb(d *DNF, a *Assignment, opts MCOptions) MCEstimate {
+	o := opts.withDefaults()
+	return mcEstimate(mcCompile(d, a), o, rand.New(rand.NewSource(tupleSeed(o.Seed, 0))))
+}
+
+// tupleSeed derives the RNG seed of the i-th formula from the base seed via
+// a splitmix64-style mix, decorrelating streams of consecutive indexes.
+func tupleSeed(base int64, i int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// EstimateAll estimates every formula of a batch — typically the per-answer
+// lineage of one query — fanning the formulas out to a worker pool of
+// opts.Workers goroutines (default GOMAXPROCS). Each formula gets its own
+// RNG seeded from (opts.Seed, index), so the result is a deterministic
+// function of the input and options, independent of scheduling and worker
+// count. The assignment is read concurrently and must not be mutated during
+// the call.
+func EstimateAll(dnfs []*DNF, a *Assignment, opts MCOptions) []MCEstimate {
+	o := opts.withDefaults()
+	out := make([]MCEstimate, len(dnfs))
+	if len(dnfs) == 0 {
+		return out
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(dnfs) {
+		workers = len(dnfs)
+	}
+	estimate := func(i int) {
+		rng := rand.New(rand.NewSource(tupleSeed(o.Seed, i)))
+		out[i] = mcEstimate(mcCompile(dnfs[i], a), o, rng)
+	}
+	if workers <= 1 {
+		for i := range dnfs {
+			estimate(i)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				estimate(i)
+			}
+		}()
+	}
+	for i := range dnfs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,215 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomMCDNF builds a random DNF over at most maxVars variables together with
+// a random probability assignment.
+func randomMCDNF(rng *rand.Rand, maxVars int) (*DNF, *Assignment) {
+	nVars := 1 + rng.Intn(maxVars)
+	a := NewAssignment()
+	for v := 1; v <= nVars; v++ {
+		a.MustSet(Var(v), 0.05+0.9*rng.Float64())
+	}
+	nClauses := 1 + rng.Intn(6)
+	d := &DNF{}
+	for i := 0; i < nClauses; i++ {
+		width := 1 + rng.Intn(4)
+		vs := make([]Var, 0, width)
+		for j := 0; j < width; j++ {
+			vs = append(vs, Var(1+rng.Intn(nVars)))
+		}
+		d.Add(NewClause(vs...))
+	}
+	return d, a
+}
+
+// TestMCMatchesExactOnRandomDNFs is the property test of the estimators: on
+// randomized small DNFs (≤ 12 variables) both samplers must land within ε
+// of the exact possible-world enumeration of worlds.go. The seed is fixed,
+// so a pass is deterministic; δ is chosen small enough that the expected
+// number of bound violations across the whole run is ≪ 1.
+func TestMCMatchesExactOnRandomDNFs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const eps = 0.05
+	for trial := 0; trial < 40; trial++ {
+		d, a := randomMCDNF(rng, 12)
+		exact, err := ProbByWorlds(d, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The Shannon-expansion oracle must agree with world enumeration.
+		if sh := d.Prob(a); !ApproxEqual(sh, exact, 1e-9) {
+			t.Fatalf("trial %d: Shannon %g vs worlds %g for %s", trial, sh, exact, d)
+		}
+		for _, m := range []MCMethod{MCNaive, MCKarpLuby, MCAuto} {
+			est := MCProb(d, a, MCOptions{Epsilon: eps, Delta: 1e-4, Seed: int64(100 + trial), Method: m})
+			if math.Abs(est.P-exact) > eps {
+				t.Errorf("trial %d (%v): estimate %g, exact %g, |err| %g > ε=%g for %s",
+					trial, m, est.P, exact, math.Abs(est.P-exact), eps, d)
+			}
+			if est.P < 0 || est.P > 1 {
+				t.Errorf("trial %d (%v): estimate %g outside [0,1]", trial, m, est.P)
+			}
+		}
+	}
+}
+
+// TestMCDeterminism: the same seed and options must reproduce the estimate
+// bit for bit, for single formulas and for the parallel batch driver.
+func TestMCDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var dnfs []*DNF
+	a := NewAssignment()
+	for v := 1; v <= 40; v++ {
+		a.MustSet(Var(v), 0.05+0.9*rng.Float64())
+	}
+	for i := 0; i < 24; i++ {
+		d := &DNF{}
+		for c := 0; c < 2+rng.Intn(4); c++ {
+			vs := make([]Var, 0, 3)
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				vs = append(vs, Var(1+rng.Intn(40)))
+			}
+			d.Add(NewClause(vs...))
+		}
+		dnfs = append(dnfs, d)
+	}
+	opts := MCOptions{Epsilon: 0.05, Delta: 0.01, Seed: 99}
+
+	one := MCProb(dnfs[0], a, opts)
+	if again := MCProb(dnfs[0], a, opts); again != one {
+		t.Errorf("MCProb not deterministic: %+v vs %+v", one, again)
+	}
+
+	seq := opts
+	seq.Workers = 1
+	par := opts
+	par.Workers = 8
+	a1 := EstimateAll(dnfs, a, seq)
+	a2 := EstimateAll(dnfs, a, par)
+	a3 := EstimateAll(dnfs, a, par)
+	for i := range dnfs {
+		if a1[i] != a2[i] {
+			t.Errorf("formula %d: sequential %+v != parallel %+v", i, a1[i], a2[i])
+		}
+		if a2[i] != a3[i] {
+			t.Errorf("formula %d: parallel runs disagree: %+v vs %+v", i, a2[i], a3[i])
+		}
+	}
+
+	other := opts
+	other.Seed = 100
+	a4 := EstimateAll(dnfs, a, other)
+	same := true
+	for i := range dnfs {
+		if a1[i].Samples > 0 && a1[i].P != a4[i].P {
+			same = false
+		}
+	}
+	if same {
+		t.Error("changing the seed left every sampled estimate unchanged")
+	}
+}
+
+// TestMCExactShortcuts: MCAuto must resolve the polynomial cases exactly,
+// with zero samples.
+func TestMCExactShortcuts(t *testing.T) {
+	a := NewAssignment()
+	a.MustSet(1, 0.3)
+	a.MustSet(2, 0.5)
+	a.MustSet(3, 0.2)
+
+	cases := []struct {
+		name string
+		d    *DNF
+		want float64
+	}{
+		{"empty DNF", NewDNF(), 0},
+		{"empty clause (true)", NewDNF(NewClause()), 1},
+		{"single clause", NewDNF(NewClause(1, 2)), 0.15},
+		{"disjoint clauses", NewDNF(NewClause(1), NewClause(2), NewClause(3)), OrAll([]float64{0.3, 0.5, 0.2})},
+	}
+	for _, c := range cases {
+		est := MCProb(c.d, a, MCOptions{Seed: 1})
+		if est.Method != "exact" || est.Samples != 0 {
+			t.Errorf("%s: expected exact shortcut, got %+v", c.name, est)
+		}
+		if !ApproxEqual(est.P, c.want, 1e-12) {
+			t.Errorf("%s: P = %g, want %g", c.name, est.P, c.want)
+		}
+	}
+}
+
+// TestMCAutoPicksKarpLubyForSmallU: with overlapping low-weight clauses the
+// total clause weight U is below 1 and MCAuto must choose Karp–Luby (whose
+// Hoeffding width is U < 1, hence fewer samples than the naive bound).
+func TestMCAutoPicksKarpLubyForSmallU(t *testing.T) {
+	a := NewAssignment()
+	for v := 1; v <= 4; v++ {
+		a.MustSet(Var(v), 0.1)
+	}
+	d := NewDNF(NewClause(1, 2), NewClause(2, 3), NewClause(3, 4))
+	est := MCProb(d, a, MCOptions{Epsilon: 0.02, Delta: 0.01, Seed: 5})
+	if est.Method != "karp-luby" {
+		t.Fatalf("U = 0.03 ≪ 1, expected karp-luby, got %+v", est)
+	}
+	if naive := SampleBound(0.02, 0.01, 1); est.Samples >= naive {
+		t.Errorf("karp-luby used %d samples, naive bound is %d — no saving", est.Samples, naive)
+	}
+	exact := d.Prob(a)
+	if math.Abs(est.P-exact) > 0.02 {
+		t.Errorf("estimate %g, exact %g", est.P, exact)
+	}
+}
+
+// TestMCMaxSamplesCap: when the cap truncates the run, the reported ε must
+// widen accordingly.
+func TestMCMaxSamplesCap(t *testing.T) {
+	a := NewAssignment()
+	for v := 1; v <= 6; v++ {
+		a.MustSet(Var(v), 0.5)
+	}
+	d := NewDNF(NewClause(1, 2), NewClause(2, 3), NewClause(4, 5), NewClause(5, 6), NewClause(1, 6))
+	opts := MCOptions{Epsilon: 0.001, Delta: 0.01, Seed: 3, MaxSamples: 1000, Method: MCNaive}
+	est := MCProb(d, a, opts)
+	if est.Samples != 1000 {
+		t.Fatalf("expected the cap to bind: %+v", est)
+	}
+	if est.Epsilon <= 0.001 {
+		t.Errorf("capped run must report a weaker ε, got %g", est.Epsilon)
+	}
+	want := achievedEps(1000, 0.01, 1)
+	if !ApproxEqual(est.Epsilon, want, 1e-12) {
+		t.Errorf("reported ε %g, want %g", est.Epsilon, want)
+	}
+}
+
+// TestSampleBound sanity: tighter ε or δ, or wider range, needs more samples.
+func TestSampleBound(t *testing.T) {
+	base := SampleBound(0.05, 0.01, 1)
+	if SampleBound(0.01, 0.01, 1) <= base {
+		t.Error("smaller ε must need more samples")
+	}
+	if SampleBound(0.05, 0.001, 1) <= base {
+		t.Error("smaller δ must need more samples")
+	}
+	if SampleBound(0.05, 0.01, 2) <= base {
+		t.Error("wider range must need more samples")
+	}
+	if SampleBound(0.05, 0.01, 0.5) >= base {
+		t.Error("narrower range must need fewer samples")
+	}
+}
+
+// TestKarpLubyEmptyDNF: the forced Karp–Luby method has no clause to sample
+// from on the empty DNF (U = 0) and must return the exact 0, not panic.
+func TestKarpLubyEmptyDNF(t *testing.T) {
+	est := MCProb(NewDNF(), NewAssignment(), MCOptions{Method: MCKarpLuby, Seed: 1})
+	if est.P != 0 || est.Method != "exact" {
+		t.Fatalf("empty DNF under forced karp-luby: %+v", est)
+	}
+}

@@ -4,6 +4,13 @@
 // (Shannon expansion and possible-world enumeration), and one-occurrence
 // form (1OF) expression trees whose probability is computable in time
 // linear in the number of variables (paper §II.A, §III).
+//
+// For formulas outside the exactly tractable fragment the package provides
+// Monte Carlo estimation (mc.go, karpluby.go): a naive possible-worlds
+// sampler and the Karp–Luby importance sampler behind a single (ε, δ)
+// interface, plus a partition-parallel driver that estimates a batch of
+// per-answer formulas on a worker pool with deterministic per-formula
+// seeding.
 package prob
 
 import (

@@ -33,7 +33,11 @@
 // the confidence operator once at the top; Eager pushes
 // probability-computation operators onto every table and join; Hybrid mixes
 // the two; MystiQ evaluates the safe-plan baseline the paper compares
-// against.
+// against. MonteCarlo goes beyond the paper: it estimates confidences from
+// per-answer lineage DNFs with an (ε, δ) sampler, answering the
+// conjunctive queries whose exact confidence computation is #P-hard —
+// exact styles fall back to it automatically on such queries unless the
+// RequireExact option is passed.
 package sprout
 
 import (
@@ -68,6 +72,12 @@ const (
 	// the MystiQ middleware: restrictive join orders, duplicate elimination
 	// after every join, probabilities aggregated without variable columns.
 	MystiQ = plan.SafeMystiQ
+	// MonteCarlo estimates confidences from per-answer lineage DNFs with
+	// an (ε, δ) Monte Carlo sampler instead of computing them exactly. It
+	// is the only style that accepts queries without a hierarchical
+	// signature (#P-hard in general) — and what the exact styles fall back
+	// to on such queries unless RequireExact is passed.
+	MonteCarlo = plan.MonteCarlo
 )
 
 // CmpOp is a comparison operator for selections.
@@ -266,11 +276,56 @@ type Result struct {
 	Stats   plan.Stats
 }
 
-// Run evaluates the query with the given plan style. It fails for queries
-// that are not tractable (no hierarchical signature exists even under the
-// database's declared FDs; such queries are #P-hard in general, §II).
-func (db *DB) Run(q *Query, style PlanStyle) (*Result, error) {
-	return db.RunSpec(q, plan.Spec{Style: style})
+// RunOption tunes a Run call beyond the plan style (Monte Carlo accuracy,
+// seeding, exactness requirements).
+type RunOption func(*plan.Spec)
+
+// WithEpsilonDelta sets the Monte Carlo accuracy target: each estimated
+// confidence is within eps of the exact value with probability at least
+// 1-delta. Zero values keep the defaults (0.05, 0.01).
+func WithEpsilonDelta(eps, delta float64) RunOption {
+	return func(s *plan.Spec) {
+		s.MC.Epsilon = eps
+		s.MC.Delta = delta
+	}
+}
+
+// WithSeed fixes the estimator's random seed, making approximate results
+// reproducible: the same seed, query and data give identical estimates.
+func WithSeed(seed int64) RunOption {
+	return func(s *plan.Spec) { s.MC.Seed = seed }
+}
+
+// WithMaxSamples caps the per-answer sample count; capped estimates report
+// the weaker ε they actually achieve via Result.Stats.Epsilon.
+func WithMaxSamples(n int) RunOption {
+	return func(s *plan.Spec) { s.MC.MaxSamples = n }
+}
+
+// WithWorkers sizes the estimator's worker pool (default GOMAXPROCS).
+// Results do not depend on the worker count, only on the seed.
+func WithWorkers(n int) RunOption {
+	return func(s *plan.Spec) { s.MC.Workers = n }
+}
+
+// RequireExact rejects queries without a hierarchical signature instead of
+// falling back to Monte Carlo estimation: Run then fails exactly where the
+// paper's framework ends (#P-hard queries, §II).
+func RequireExact() RunOption {
+	return func(s *plan.Spec) { s.RequireExact = true }
+}
+
+// Run evaluates the query with the given plan style. Queries that are not
+// exactly tractable (no hierarchical signature exists even under the
+// database's declared FDs; #P-hard in general, §II) are answered with
+// Monte Carlo confidence estimates — check Result.Stats.Approximate — or
+// rejected when the RequireExact option is passed.
+func (db *DB) Run(q *Query, style PlanStyle, opts ...RunOption) (*Result, error) {
+	spec := plan.Spec{Style: style}
+	for _, o := range opts {
+		o(&spec)
+	}
+	return db.RunSpec(q, spec)
 }
 
 // RunSpec evaluates with full plan control (hybrid prefix, sort budgets).

@@ -125,7 +125,7 @@ func TestBooleanQuery(t *testing.T) {
 	}
 }
 
-func TestIntractableRejected(t *testing.T) {
+func TestIntractableFallsBackToMonteCarlo(t *testing.T) {
 	db := NewDB()
 	r := db.MustCreateTable("R", IntCol("a"))
 	s := db.MustCreateTable("S", IntCol("a"), IntCol("b"))
@@ -134,13 +134,37 @@ func TestIntractableRejected(t *testing.T) {
 	s.MustInsert(0.5, Int(1), Int(2))
 	u.MustInsert(0.5, Int(2))
 	q := NewQuery("hard").From("R", "a").From("S", "a", "b").From("T", "b")
-	if _, err := db.Run(q, Lazy); err == nil {
-		t.Fatal("the prototypical hard query must be rejected")
+
+	// RequireExact restores the pre-estimator behaviour: the prototypical
+	// hard query R(a) ⋈ S(a,b) ⋈ T(b) is rejected.
+	if _, err := db.Run(q, Lazy, RequireExact()); err == nil {
+		t.Fatal("the prototypical hard query must be rejected under RequireExact")
 	}
-	// Declaring a → b (a key of S) rescues it.
+	// Without it, the exact style falls back to the Monte Carlo plan. The
+	// single answer's lineage is one clause, which the estimator resolves
+	// exactly: 0.5³.
+	res, err := db.Run(q, Lazy)
+	if err != nil {
+		t.Fatalf("Monte Carlo fallback failed: %v", err)
+	}
+	if !res.Stats.Approximate {
+		t.Error("fallback result must be marked approximate")
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	if d := res.Rows[0].Confidence - 0.125; d > 1e-9 || d < -1e-9 {
+		t.Errorf("confidence = %g, want 0.125", res.Rows[0].Confidence)
+	}
+
+	// Declaring a → b (a key of S) rescues exactness.
 	db.DeclareFD("S", []string{"a"}, []string{"b"})
-	if _, err := db.Run(q, Lazy); err != nil {
+	res, err = db.Run(q, Lazy, RequireExact())
+	if err != nil {
 		t.Fatalf("with a→b the query is tractable: %v", err)
+	}
+	if res.Stats.Approximate {
+		t.Error("with a→b the result must be exact")
 	}
 }
 
@@ -201,22 +225,61 @@ func TestAliasSelfJoin(t *testing.T) {
 		Where("Nation1", "n1name", Eq, String("FRANCE")).
 		Where("Nation2", "n2name", Eq, String("GERMANY"))
 	// Nation1 ⋈ Link ⋈ Nation2 is the prototypical hard pattern without
-	// FDs (Link joins both sides on different attributes)...
-	if _, err := db.Run(q, Lazy); err == nil {
-		t.Fatal("link query without FDs must be rejected")
+	// FDs (Link joins both sides on different attributes): exact styles
+	// reject it under RequireExact and estimate it otherwise.
+	if _, err := db.Run(q, Lazy, RequireExact()); err == nil {
+		t.Fatal("link query without FDs must be rejected under RequireExact")
 	}
-	// ...and becomes tractable once n1key → n2key is declared (Link keyed
-	// by its left endpoint), mirroring how TPC-H Q7 is rescued.
-	db.DeclareFD("Link", []string{"n1key"}, []string{"n2key"})
+	want := 0.5 * 0.5 * 0.5
 	res, err := db.Run(q, Lazy)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 1 {
+	if !res.Stats.Approximate || len(res.Rows) != 1 {
+		t.Fatalf("fallback: approximate=%v rows=%+v", res.Stats.Approximate, res.Rows)
+	}
+	if d := res.Rows[0].Confidence - want; d > 1e-9 || d < -1e-9 {
+		t.Errorf("fallback confidence = %g, want %g (single-clause lineage is exact)", res.Rows[0].Confidence, want)
+	}
+	// Declaring n1key → n2key (Link keyed by its left endpoint) makes it
+	// exactly tractable, mirroring how TPC-H Q7 is rescued.
+	db.DeclareFD("Link", []string{"n1key"}, []string{"n2key"})
+	res, err = db.Run(q, Lazy, RequireExact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Approximate || len(res.Rows) != 1 {
 		t.Fatalf("rows = %+v", res.Rows)
 	}
-	want := 0.5 * 0.5 * 0.5
 	if d := res.Rows[0].Confidence - want; d > 1e-9 || d < -1e-9 {
 		t.Errorf("confidence = %g, want %g", res.Rows[0].Confidence, want)
+	}
+}
+
+// TestMonteCarloStyle runs the paper's running example under the explicit
+// MonteCarlo style: the estimate must land within ε of the exact confidence
+// (0.0028), and the same seed must reproduce it exactly.
+func TestMonteCarloStyle(t *testing.T) {
+	db := fig1DB(t)
+	const eps = 0.01
+	res, err := db.Run(introQuery(), MonteCarlo, WithEpsilonDelta(eps, 1e-4), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Approximate {
+		t.Error("MonteCarlo style must mark results approximate")
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Values[0].String() != "1995-01-10" {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	if d := res.Rows[0].Confidence - 0.0028; d > eps || d < -eps {
+		t.Errorf("estimate %g not within ε=%g of 0.0028", res.Rows[0].Confidence, eps)
+	}
+	again, err := db.Run(introQuery(), MonteCarlo, WithEpsilonDelta(eps, 1e-4), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Rows[0].Confidence != res.Rows[0].Confidence {
+		t.Errorf("same seed gave %g then %g", res.Rows[0].Confidence, again.Rows[0].Confidence)
 	}
 }
