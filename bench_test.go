@@ -10,6 +10,7 @@ package sprout_test
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"sync"
@@ -350,6 +351,59 @@ func BenchmarkMonteCarloUnsafe(b *testing.B) {
 			}); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkOBDDUnsafe compares the OBDD style against the Monte Carlo
+// style on the unsafe query π{odate}(Cust ⋈ Ord ⋈ Item) with no FDs — the
+// query where PR 1 could only estimate. The generated data satisfies
+// okey → ckey even undeclared, so the per-date lineage is read-once: the
+// OBDD compiles linearly and returns *exact* confidences, typically faster
+// than sampling; the mc sub-benchmark reports the estimates' actual mean
+// absolute error against the OBDD truth as the "mc-abs-err" metric.
+func BenchmarkOBDDUnsafe(b *testing.B) {
+	d := data(b)
+	catalog := d.Catalog()
+	sigma := fd.NewSet()
+	spec := func(style plan.Style) plan.Spec {
+		return plan.Spec{
+			Style: style,
+			MC:    prob.MCOptions{Epsilon: 0.05, Delta: 0.01, Seed: 1},
+		}
+	}
+	b.Run("obdd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := plan.Run(catalog, benchutil.UnsafeQuery().Clone(), sigma, spec(plan.OBDD))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.Approximate {
+				b.Fatal("read-once lineage should compile exactly under the default budget")
+			}
+			b.ReportMetric(float64(res.Stats.OBDDNodes), "obdd-nodes")
+		}
+	})
+	b.Run("mc", func(b *testing.B) {
+		exact, err := plan.Run(catalog, benchutil.UnsafeQuery().Clone(), sigma, spec(plan.OBDD))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if exact.Stats.Approximate {
+			b.Fatal("OBDD baseline must be exact for mc-abs-err to measure true error")
+		}
+		ci := exact.Rows.Schema.MustColIndex(conf.ConfCol)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := plan.Run(catalog, benchutil.UnsafeQuery().Clone(), sigma, spec(plan.MonteCarlo))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sum float64
+			for r := range res.Rows.Rows {
+				sum += math.Abs(res.Rows.Rows[r][ci].F - exact.Rows.Rows[r][ci].F)
+			}
+			b.ReportMetric(sum/float64(res.Rows.Len()), "mc-abs-err")
 		}
 	})
 }

@@ -1,40 +1,71 @@
 // Command sprout-bench regenerates the paper's experiments (Figs. 9-13 and
 // the §VI case study) on freshly generated probabilistic TPC-H data and
-// prints the same rows/series the paper reports, plus the Monte Carlo
-// experiment for unsafe queries that have no exact plan.
+// prints the same rows/series the paper reports, plus the Monte Carlo and
+// OBDD experiments for unsafe queries that have no exact plan.
 //
 // Usage:
 //
-//	sprout-bench [-sf 0.02] [-seed 1] [-exp all|fig9|fig10|fig11|fig12|fig13|mc|casestudy] [-points 9]
+//	sprout-bench [-sf 0.02] [-seed 1] [-exp all|fig9|fig10|fig11|fig12|fig13|mc|obdd|casestudy] [-points 9] [-json]
 //	sprout-bench -style mc [-query 18] [-eps 0.05] [-delta 0.01]
+//	sprout-bench -style obdd [-query 18] [-budget 131072]
 //
-// The second form runs a single catalog query under one plan style
-// (lazy|eager|hybrid|mystiq|mc) and prints its execution statistics —
-// -style=mc estimates confidences by Monte Carlo sampling even for queries
-// that also admit exact plans.
+// The second form runs a single catalog query under one plan style and
+// prints its execution statistics — -style=mc estimates confidences by
+// Monte Carlo sampling and -style=obdd compiles lineage into OBDDs even
+// for queries that also admit sort+scan plans.
+//
+// With -json, every experiment emits machine-readable per-measurement
+// records (experiment, name, style, wall-clock, samples/nodes, and the
+// accuracy fields eps_bound/mean_abs_err/bound_width) as a JSON array on
+// stdout — redirect to BENCH_<rev>.json to track the perf trajectory run
+// over run; the human-readable tables move to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/benchutil"
+	"repro/internal/obdd"
 	"repro/internal/plan"
 	"repro/internal/prob"
 	"repro/internal/tpch"
 )
 
+// record is one machine-readable measurement emitted under -json. The
+// accuracy fields carry distinct semantics and are never conflated: an
+// a-priori (ε, δ) guarantee, a measured deviation from a known-exact
+// answer, and a certified interval width (truth within width/2 of the
+// reported confidence).
+type record struct {
+	Experiment   string  `json:"experiment"`
+	Name         string  `json:"name"`
+	Style        string  `json:"style,omitempty"`
+	WallClockSec float64 `json:"wall_clock_sec"`
+	Answers      int64   `json:"answers,omitempty"`
+	Samples      int64   `json:"samples,omitempty"`
+	Nodes        int64   `json:"nodes,omitempty"`
+	EpsBound     float64 `json:"eps_bound,omitempty"`
+	MeanAbsErr   float64 `json:"mean_abs_err,omitempty"`
+	BoundWidth   float64 `json:"bound_width,omitempty"`
+	Failed       string  `json:"failed,omitempty"`
+}
+
 func main() {
 	sf := flag.Float64("sf", 0.02, "TPC-H scale factor (paper: 1.0)")
 	seed := flag.Int64("seed", 1, "generator seed")
-	exp := flag.String("exp", "all", "experiment: all|fig9|fig10|fig11|fig12|fig13|mc|casestudy")
+	exp := flag.String("exp", "all", "experiment: all|fig9|fig10|fig11|fig12|fig13|mc|obdd|casestudy")
 	points := flag.Int("points", 9, "selectivity points for fig11")
-	style := flag.String("style", "", "run one catalog query under a plan style: lazy|eager|hybrid|mystiq|mc")
+	style := flag.String("style", "", "run one catalog query under a plan style: "+plan.StyleNames())
 	queryName := flag.String("query", "18", "catalog query for -style mode")
 	eps := flag.Float64("eps", 0.05, "Monte Carlo additive error bound ε (-style mode and -exp mc)")
 	delta := flag.Float64("delta", 0.01, "Monte Carlo failure probability δ (-style mode and -exp mc)")
+	budget := flag.Int("budget", 0, "OBDD node budget (-style mode and -exp obdd; 0 = default)")
+	jsonOut := flag.Bool("json", false, "emit per-measurement JSON records on stdout (tables move to stderr)")
 	flag.Parse()
 	epsSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -45,8 +76,31 @@ func main() {
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 
+	// Human-readable output: stdout normally, stderr under -json so stdout
+	// stays a clean JSON document.
+	var out io.Writer = os.Stdout
+	if *jsonOut {
+		out = os.Stderr
+	}
+	say := func(format string, args ...any) { fmt.Fprintf(out, format, args...) }
+
+	records := []record{} // non-nil so -json always emits a JSON array
+	emit := func(r record) { records = append(records, r) }
+	flush := func() {
+		if !*jsonOut {
+			return
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintln(os.Stderr, "sprout-bench:", err)
+			os.Exit(1)
+		}
+	}
+
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "sprout-bench:", err)
+		flush() // under -json, keep stdout a valid array with whatever completed
 		os.Exit(1)
 	}
 
@@ -78,27 +132,30 @@ func main() {
 
 	var d *tpch.Data
 	if *exp != "casestudy" || *style != "" {
-		fmt.Printf("generating TPC-H SF=%g (seed %d)...\n", *sf, *seed)
+		say("generating TPC-H SF=%g (seed %d)...\n", *sf, *seed)
 		t0 := time.Now()
 		d = tpch.Generate(tpch.Config{SF: *sf, Seed: *seed})
-		fmt.Printf("  %d lineitems, %d orders, %d customers, %d variables (%.1fs)\n\n",
+		say("  %d lineitems, %d orders, %d customers, %d variables (%.1fs)\n\n",
 			d.Item.Rel.Len(), d.Ord.Rel.Len(), d.Cust.Rel.Len(), d.NumVars, time.Since(t0).Seconds())
 	}
 
 	if *style != "" {
-		if err := runStyleMode(d, styleMode, *style, styleEntry, *eps, *delta); err != nil {
+		rec, err := runStyleMode(out, d, styleMode, *style, styleEntry, *eps, *delta, *budget)
+		if err != nil {
 			fail(err)
 		}
+		emit(rec)
+		flush()
 		return
 	}
 
 	if run("fig9") {
-		fmt.Println("== Fig. 9: lazy vs eager vs MystiQ plans ==")
+		say("== Fig. 9: lazy vs eager vs MystiQ plans ==\n")
 		rows, err := benchutil.Fig9(d)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("%-6s %12s %12s %12s %10s\n", "query", "mystiq", "eager", "lazy", "myst/lazy")
+		say("%-6s %12s %12s %12s %10s\n", "query", "mystiq", "eager", "lazy", "myst/lazy")
 		for _, r := range rows {
 			m := "FAILED"
 			ratio := "-"
@@ -106,72 +163,88 @@ func main() {
 				m = fmt.Sprintf("%.3fs", r.MystiQ.Seconds())
 				ratio = fmt.Sprintf("%.1fx", r.LazyVsMyst)
 			}
-			fmt.Printf("%-6s %12s %12.3fs %12.3fs %10s\n", r.Query, m, r.Eager.Seconds(), r.Lazy.Seconds(), ratio)
+			say("%-6s %12s %12.3fs %12.3fs %10s\n", r.Query, m, r.Eager.Seconds(), r.Lazy.Seconds(), ratio)
+			emit(record{Experiment: "fig9", Name: r.Query, Style: "mystiq", WallClockSec: r.MystiQ.Seconds(), Failed: r.MystiQErr})
+			emit(record{Experiment: "fig9", Name: r.Query, Style: "eager", WallClockSec: r.Eager.Seconds()})
+			emit(record{Experiment: "fig9", Name: r.Query, Style: "lazy", WallClockSec: r.Lazy.Seconds()})
 		}
-		fmt.Println()
+		say("\n")
 	}
 
 	if run("fig10") {
-		fmt.Println("== Fig. 10: lazy plans, tuple vs probability time ==")
+		say("== Fig. 10: lazy plans, tuple vs probability time ==\n")
 		rows, err := benchutil.Fig10(d)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("%-6s %12s %12s %10s %10s\n", "query", "tuples", "prob", "#answers", "#distinct")
+		say("%-6s %12s %12s %10s %10s\n", "query", "tuples", "prob", "#answers", "#distinct")
 		for _, r := range rows {
-			fmt.Printf("%-6s %12.4fs %12.4fs %10d %10d\n",
+			say("%-6s %12.4fs %12.4fs %10d %10d\n",
 				r.Query, r.TupleTime.Seconds(), r.ProbTime.Seconds(), r.Answers, r.Distinct)
+			emit(record{Experiment: "fig10", Name: r.Query, Style: "lazy",
+				WallClockSec: (r.TupleTime + r.ProbTime).Seconds(), Answers: r.Distinct})
 		}
-		fmt.Println()
+		say("\n")
 	}
 
 	if run("fig11") {
-		fmt.Println("== Fig. 11: rendez-vous of eager and lazy plans (selectivity sweep) ==")
+		say("== Fig. 11: rendez-vous of eager and lazy plans (selectivity sweep) ==\n")
 		rows, err := benchutil.Fig11(d, *points)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("%-12s %10s %10s %10s %10s\n", "selectivity", "lazy(A)", "eager(A)", "lazy(B)", "eager(B)")
+		say("%-12s %10s %10s %10s %10s\n", "selectivity", "lazy(A)", "eager(A)", "lazy(B)", "eager(B)")
 		for _, r := range rows {
-			fmt.Printf("%-12.2f %10.4f %10.4f %10.4f %10.4f\n",
+			say("%-12.2f %10.4f %10.4f %10.4f %10.4f\n",
 				r.Selectivity, r.LazyA.Seconds(), r.EagerA.Seconds(), r.LazyB.Seconds(), r.EagerB.Seconds())
+			sel := fmt.Sprintf("sel=%.2f", r.Selectivity)
+			emit(record{Experiment: "fig11", Name: sel + "/A", Style: "lazy", WallClockSec: r.LazyA.Seconds()})
+			emit(record{Experiment: "fig11", Name: sel + "/A", Style: "eager", WallClockSec: r.EagerA.Seconds()})
+			emit(record{Experiment: "fig11", Name: sel + "/B", Style: "lazy", WallClockSec: r.LazyB.Seconds()})
+			emit(record{Experiment: "fig11", Name: sel + "/B", Style: "eager", WallClockSec: r.EagerB.Seconds()})
 		}
-		fmt.Println()
+		say("\n")
 	}
 
 	if run("fig12") {
-		fmt.Println("== Fig. 12: hybrid versus eager and lazy plans ==")
+		say("== Fig. 12: hybrid versus eager and lazy plans ==\n")
 		rows, err := benchutil.Fig12(d)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("%-6s %10s %10s %10s %14s %14s\n", "query", "eager", "lazy", "hybrid", "eager/hybrid", "lazy/hybrid")
+		say("%-6s %10s %10s %10s %14s %14s\n", "query", "eager", "lazy", "hybrid", "eager/hybrid", "lazy/hybrid")
 		for _, r := range rows {
-			fmt.Printf("%-6s %9.3fs %9.3fs %9.3fs %14.2f %14.2f\n",
+			say("%-6s %9.3fs %9.3fs %9.3fs %14.2f %14.2f\n",
 				r.Query, r.Eager.Seconds(), r.Lazy.Seconds(), r.Hybrid.Seconds(), r.EagerHybrid, r.LazyHybrid)
+			emit(record{Experiment: "fig12", Name: r.Query, Style: "eager", WallClockSec: r.Eager.Seconds()})
+			emit(record{Experiment: "fig12", Name: r.Query, Style: "lazy", WallClockSec: r.Lazy.Seconds()})
+			emit(record{Experiment: "fig12", Name: r.Query, Style: "hybrid", WallClockSec: r.Hybrid.Seconds()})
 		}
-		fmt.Println()
+		say("\n")
 	}
 
 	if run("fig13") {
-		fmt.Println("== Fig. 13: influence of FDs on the operator ==")
+		say("== Fig. 13: influence of FDs on the operator ==\n")
 		rows, err := benchutil.Fig13(d)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("%-6s %10s %10s %12s %12s %8s %8s %10s %10s\n",
+		say("%-6s %10s %10s %12s %12s %8s %8s %10s %10s\n",
 			"query", "seqscan", "sorting", "op(noFDs)", "op(FDs)", "scans", "scansFD", "#answers", "#distinct")
 		for _, r := range rows {
-			fmt.Printf("%-6s %9.4fs %9.4fs %11.4fs %11.4fs %8d %8d %10d %10d\n",
+			say("%-6s %9.4fs %9.4fs %11.4fs %11.4fs %8d %8d %10d %10d\n",
 				r.Query, r.SeqScan.Seconds(), r.Sort.Seconds(), r.OpNoFDs.Seconds(), r.OpWithFDs.Seconds(),
 				r.ScansNoFDs, r.ScansFDs, r.Answers, r.Distinct)
+			emit(record{Experiment: "fig13", Name: r.Query, Style: "op-fds", WallClockSec: r.OpWithFDs.Seconds(), Answers: r.Distinct})
+			emit(record{Experiment: "fig13", Name: r.Query, Style: "op-nofds", WallClockSec: r.OpNoFDs.Seconds(), Answers: r.Distinct})
+			emit(record{Experiment: "fig13", Name: r.Query, Style: "seqscan", WallClockSec: r.SeqScan.Seconds()})
 		}
-		fmt.Println()
+		say("\n")
 	}
 
 	if run("mc") {
-		fmt.Println("== Monte Carlo: unsafe query π{odate}(Cust ⋈ Ord ⋈ Item), no FDs declared ==")
-		fmt.Println("   exact styles reject this query (no hierarchical signature, #P-hard)")
+		say("== Monte Carlo: unsafe query π{odate}(Cust ⋈ Ord ⋈ Item), no FDs declared ==\n")
+		say("   exact styles reject this query (no hierarchical signature, #P-hard)\n")
 		// Default sweep, unless the user pinned an ε explicitly.
 		sweep := []float64{0.1, 0.05, 0.02}
 		if epsSet {
@@ -181,39 +254,93 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("%-8s %-8s %10s %10s %12s %10s %10s\n", "eps", "delta", "#answers", "#tuples", "samples", "tuples(s)", "prob(s)")
+		say("%-8s %-8s %10s %10s %12s %10s %10s\n", "eps", "delta", "#answers", "#tuples", "samples", "tuples(s)", "prob(s)")
 		for _, r := range rows {
-			fmt.Printf("%-8g %-8g %10d %10d %12d %10.4f %10.4f\n",
+			say("%-8g %-8g %10d %10d %12d %10.4f %10.4f\n",
 				r.Epsilon, r.Delta, r.Answers, r.Tuples, r.Samples,
 				r.TupleTime.Seconds(), r.ProbTime.Seconds())
+			emit(record{Experiment: "mc", Name: fmt.Sprintf("eps=%g", r.Epsilon), Style: "mc",
+				WallClockSec: (r.TupleTime + r.ProbTime).Seconds(), Answers: r.Answers, Samples: r.Samples, EpsBound: r.Epsilon})
 		}
-		fmt.Println()
+		say("\n")
+	}
+
+	if run("obdd") {
+		say("== OBDD: unsafe query π{odate}(Cust ⋈ Ord ⋈ Item), exact via lineage compilation ==\n")
+		say("   same #P-hard query as -exp mc; the per-date lineage is read-once, so the OBDD\n")
+		say("   compiles linearly and the confidences are exact — err columns measure the\n")
+		say("   Monte Carlo estimates (ε=0.05) against them\n")
+		budgets := []int{*budget}
+		rows, err := benchutil.OBDDUnsafe(d, budgets)
+		if err != nil {
+			fail(err)
+		}
+		say("%-10s %10s %10s %10s %10s %12s %12s %12s\n",
+			"budget", "#answers", "nodes", "obdd(s)", "mc(s)", "mc-samples", "mean-err", "max-err")
+		for _, r := range rows {
+			name := "default"
+			if r.Budget > 0 {
+				name = fmt.Sprintf("%d", r.Budget)
+			}
+			say("%-10s %10d %10d %10.4f %10.4f %12d %12.2e %12.2e\n",
+				name, r.Answers, r.Nodes, r.OBDDTime.Seconds(), r.MCTime.Seconds(),
+				r.MCSamples, r.MeanAbsErr, r.MaxAbsErr)
+			if r.Bounded {
+				say("   budget exceeded on some answers: certified bounds, max width %.3g\n", r.MaxWidth)
+			}
+			emit(record{Experiment: "obdd", Name: "budget=" + name, Style: "obdd",
+				WallClockSec: r.OBDDTime.Seconds(), Answers: r.Answers, Nodes: r.Nodes, BoundWidth: r.MaxWidth})
+			emit(record{Experiment: "obdd", Name: "budget=" + name, Style: "mc",
+				WallClockSec: r.MCTime.Seconds(), Answers: r.Answers, Samples: r.MCSamples, MeanAbsErr: r.MeanAbsErr})
+		}
+		say("\n")
 	}
 
 	if run("casestudy") {
-		fmt.Println("== §VI case study: TPC-H query classification ==")
-		fmt.Println(benchutil.CaseStudy())
+		say("== §VI case study: TPC-H query classification ==\n")
+		say("%s\n", benchutil.CaseStudy())
 	}
+
+	flush()
 }
 
 // runStyleMode evaluates one catalog query under one plan style and prints
 // its execution statistics — the -style=mc path is the interactive way to
-// try the Monte Carlo estimator on any catalog query.
-func runStyleMode(d *tpch.Data, style plan.Style, styleName string, e *tpch.Entry, eps, delta float64) error {
+// try the Monte Carlo estimator on any catalog query, -style=obdd the
+// lineage compiler.
+func runStyleMode(out io.Writer, d *tpch.Data, style plan.Style, styleName string, e *tpch.Entry, eps, delta float64, budget int) (record, error) {
 	res, err := plan.Run(d.Catalog(), e.Q.Clone(), tpch.FDsFor(e), plan.Spec{
 		Style: style,
 		MC:    prob.MCOptions{Epsilon: eps, Delta: delta, Seed: 1},
+		OBDD:  obdd.Options{NodeBudget: budget},
 	})
 	if err != nil {
-		return err
+		return record{}, err
 	}
-	fmt.Printf("query %s under %s:\n  %s\n", e.Name, styleName, res.Stats.Plan)
-	fmt.Printf("  tuples %.4fs, prob %.4fs; %d answer tuples, %d distinct\n",
+	fmt.Fprintf(out, "query %s under %s:\n  %s\n", e.Name, styleName, res.Stats.Plan)
+	fmt.Fprintf(out, "  tuples %.4fs, prob %.4fs; %d answer tuples, %d distinct\n",
 		res.Stats.TupleTime.Seconds(), res.Stats.ProbTime.Seconds(),
 		res.Stats.AnswerTuples, res.Stats.DistinctTuples)
-	if res.Stats.Approximate {
-		fmt.Printf("  approximate: %d samples, per-answer additive error ≤ %g with probability %g\n",
-			res.Stats.Samples, res.Stats.Epsilon, 1-delta)
+	if res.Stats.OBDDNodes > 0 {
+		fmt.Fprintf(out, "  OBDD: %d nodes\n", res.Stats.OBDDNodes)
 	}
-	return nil
+	if res.Stats.Approximate {
+		if res.Stats.Samples > 0 {
+			fmt.Fprintf(out, "  approximate: %d samples, per-answer additive error ≤ %g with probability %g\n",
+				res.Stats.Samples, res.Stats.Epsilon, 1-delta)
+		}
+		if res.Stats.UpperBound > res.Stats.LowerBound {
+			fmt.Fprintf(out, "  certified bounds: every true confidence lies in [%g, %g]\n",
+				res.Stats.LowerBound, res.Stats.UpperBound)
+		}
+	}
+	return record{
+		Experiment:   "style",
+		Name:         e.Name,
+		Style:        styleName,
+		WallClockSec: (res.Stats.TupleTime + res.Stats.ProbTime).Seconds(),
+		Answers:      res.Stats.DistinctTuples,
+		Samples:      res.Stats.Samples,
+		Nodes:        res.Stats.OBDDNodes,
+	}, nil
 }

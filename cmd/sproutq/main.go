@@ -1,11 +1,12 @@
 // Command sproutq runs one named catalog query (a conjunctive subquery of a
 // TPC-H query, see internal/tpch) against freshly generated data and prints
-// the distinct answers with their confidences (exact, or Monte Carlo
-// estimates under -plan mc), plus the plan and signature used.
+// the distinct answers with their confidences (exact; OBDD-compiled under
+// -plan obdd; or Monte Carlo estimates under -plan mc), plus the plan and
+// signature used.
 //
 // Usage:
 //
-//	sproutq [-sf 0.005] [-seed 1] [-plan lazy|eager|hybrid|mystiq|mc] [-limit 20] 18
+//	sproutq [-sf 0.005] [-seed 1] [-plan lazy|eager|hybrid|mystiq|mc|obdd] [-limit 20] 18
 //	sproutq -list
 package main
 
@@ -22,7 +23,7 @@ import (
 func main() {
 	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
 	seed := flag.Int64("seed", 1, "generator seed")
-	planName := flag.String("plan", "lazy", "plan style: lazy|eager|hybrid|mystiq|mc")
+	planName := flag.String("plan", "lazy", "plan style: "+plan.StyleNames())
 	limit := flag.Int("limit", 20, "max answer rows to print")
 	list := flag.Bool("list", false, "list catalog queries and exit")
 	flag.Parse()
@@ -71,6 +72,13 @@ func main() {
 	fmt.Printf("signature: %s\n", res.Stats.Signature)
 	fmt.Printf("answer tuples: %d, distinct: %d, operator scans: %d\n",
 		res.Stats.AnswerTuples, res.Stats.DistinctTuples, res.Stats.Scans)
+	if res.Stats.OBDDNodes > 0 {
+		fmt.Printf("OBDD nodes: %d\n", res.Stats.OBDDNodes)
+	}
+	if res.Stats.Approximate && res.Stats.UpperBound > res.Stats.LowerBound {
+		fmt.Printf("certified bounds: every true confidence lies in [%g, %g]; printed confidences are midpoints\n",
+			res.Stats.LowerBound, res.Stats.UpperBound)
+	}
 	fmt.Printf("tuple time %.4fs, prob time %.4fs\n\n", res.Stats.TupleTime.Seconds(), res.Stats.ProbTime.Seconds())
 
 	for _, c := range res.Rows.Schema.Names() {

@@ -1,0 +1,89 @@
+package benchutil
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/obdd"
+	"repro/internal/plan"
+	"repro/internal/prob"
+	"repro/internal/tpch"
+)
+
+// OBDDRow is one measurement of the OBDD-vs-Monte-Carlo comparison on the
+// unsafe query.
+type OBDDRow struct {
+	Budget     int           // OBDD node budget (0 = default)
+	Answers    int64         // distinct answer tuples
+	Nodes      int64         // OBDD nodes + anytime expansion steps
+	Bounded    bool          // some answers only bounded, not exact
+	MaxWidth   float64       // widest certified interval (0 when all exact)
+	OBDDTime   time.Duration // OBDD confidence computation
+	MCTime     time.Duration // Monte Carlo confidence computation (ε = 0.05)
+	MCSamples  int64         // Monte Carlo samples drawn
+	MeanAbsErr float64       // mean |MC estimate − OBDD confidence| per answer
+	MaxAbsErr  float64       // worst per-answer deviation
+}
+
+// OBDDUnsafe runs the unsafe-query scenario π{odate}(Cust ⋈ Ord ⋈ Item)
+// with no FDs declared — rejected by every exact style — under the OBDD
+// style for each node budget, and once under the Monte Carlo style as the
+// comparison point. Because the generated data satisfies okey → ckey even
+// when the dependency is not declared, the per-date lineage is read-once
+// and the OBDD compiles linearly: the OBDD tier turns PR 1's (ε, δ)
+// estimates into exact confidences, and the error columns report how far
+// the estimates actually strayed.
+func OBDDUnsafe(d *tpch.Data, budgets []int) ([]OBDDRow, error) {
+	catalog := d.Catalog()
+	sigma := fd.NewSet()
+	if _, err := plan.Run(catalog, UnsafeQuery().Clone(), sigma, plan.Spec{Style: plan.Lazy, RequireExact: true}); err == nil {
+		return nil, fmt.Errorf("benchutil: unsafe query unexpectedly has an exact plan")
+	}
+	mc, err := plan.Run(catalog, UnsafeQuery().Clone(), sigma, plan.Spec{
+		Style: plan.MonteCarlo,
+		MC:    prob.MCOptions{Epsilon: 0.05, Delta: 0.01, Seed: 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []OBDDRow
+	for _, budget := range budgets {
+		res, err := plan.Run(catalog, UnsafeQuery().Clone(), sigma, plan.Spec{
+			Style: plan.OBDD,
+			OBDD:  obdd.Options{NodeBudget: budget},
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := OBDDRow{
+			Budget:    budget,
+			Answers:   res.Stats.DistinctTuples,
+			Nodes:     res.Stats.OBDDNodes,
+			Bounded:   res.Stats.Approximate,
+			MaxWidth:  res.Stats.MaxWidth,
+			OBDDTime:  res.Stats.ProbTime,
+			MCTime:    mc.Stats.ProbTime,
+			MCSamples: mc.Stats.Samples,
+		}
+		if mc.Rows.Len() != res.Rows.Len() {
+			return nil, fmt.Errorf("benchutil: OBDD and MC disagree on answer count: %d vs %d", res.Rows.Len(), mc.Rows.Len())
+		}
+		ci := res.Rows.Schema.Len() - 1
+		var sum float64
+		for i := range res.Rows.Rows {
+			dev := math.Abs(res.Rows.Rows[i][ci].F - mc.Rows.Rows[i][ci].F)
+			sum += dev
+			if dev > row.MaxAbsErr {
+				row.MaxAbsErr = dev
+			}
+		}
+		if n := res.Rows.Len(); n > 0 {
+			row.MeanAbsErr = sum / float64(n)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -34,8 +34,14 @@ type Lineage struct {
 	DNFs []*prob.DNF
 	// Assign maps every variable of the input to its marginal probability.
 	Assign *prob.Assignment
+	// Source maps every variable to the name of the source table whose V
+	// column carried it — the hook for signature-derived OBDD variable
+	// orders (obdd.go).
+	Source map[prob.Var]string
 	// Clauses counts lineage clauses across all answers.
 	Clauses int64
+	// Input counts the rows that entered lineage collection.
+	Input int64
 }
 
 // CollectLineage groups an answer relation by its data columns and builds
@@ -46,6 +52,7 @@ type Lineage struct {
 func CollectLineage(rel *table.Relation) (*Lineage, error) {
 	dataCols := rel.Schema.DataIndexes()
 	var varCols, probCols []int
+	var srcNames []string
 	for _, src := range rel.Schema.Sources() {
 		vi, pi := rel.Schema.VarIndex(src), rel.Schema.ProbIndex(src)
 		if pi < 0 {
@@ -53,11 +60,14 @@ func CollectLineage(rel *table.Relation) (*Lineage, error) {
 		}
 		varCols = append(varCols, vi)
 		probCols = append(probCols, pi)
+		srcNames = append(srcNames, src)
 	}
 
 	l := &Lineage{
 		Schema: rel.Schema.Project(dataCols),
 		Assign: prob.NewAssignment(),
+		Source: make(map[prob.Var]string),
+		Input:  int64(rel.Len()),
 	}
 
 	// Sort row indexes by the data columns so groups are contiguous and the
@@ -99,6 +109,7 @@ func CollectLineage(rel *table.Relation) (*Lineage, error) {
 				if err := l.Assign.Set(v, p); err != nil {
 					return nil, fmt.Errorf("conf: row %d: %w", ri, err)
 				}
+				l.Source[v] = srcNames[k]
 			}
 			vs = append(vs, v)
 		}
@@ -146,12 +157,19 @@ func MonteCarlo(rel *table.Relation, opts prob.MCOptions) (*table.Relation, *MCS
 	if err != nil {
 		return nil, nil, err
 	}
+	return MonteCarloLineage(l, opts)
+}
+
+// MonteCarloLineage is MonteCarlo over an already collected lineage —
+// callers that grouped the answer relation once (e.g. the OBDD→MC rung of
+// the fallback chain) reuse it instead of paying collection twice.
+func MonteCarloLineage(l *Lineage, opts prob.MCOptions) (*table.Relation, *MCStats, error) {
 	ests := prob.EstimateAll(l.DNFs, l.Assign, opts)
 
 	outCols := append(append([]table.Column(nil), l.Schema.Cols...), table.DataCol(ConfCol, table.KindFloat))
 	out := table.NewRelation(table.NewSchema(outCols...))
 	stats := &MCStats{
-		InputTuples:  int64(rel.Len()),
+		InputTuples:  l.Input,
 		OutputTuples: int64(len(l.Keys)),
 		Clauses:      l.Clauses,
 	}

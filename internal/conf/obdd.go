@@ -1,0 +1,140 @@
+package conf
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/obdd"
+	"repro/internal/prob"
+	"repro/internal/signature"
+	"repro/internal/table"
+)
+
+// This file is the OBDD-based confidence operator: the exact middle tier
+// between the signature-driven sort+scan operator (operator.go, needs a
+// hierarchical signature) and the Monte Carlo estimator (mc.go, needs
+// nothing but only estimates). Like the Monte Carlo operator it consumes
+// the raw materialized answer relation and groups it into one lineage DNF
+// per distinct answer; unlike it, each DNF is compiled into a reduced OBDD
+// and evaluated exactly — or, when the diagram exceeds the node budget,
+// bounded by certified deterministic [lo, hi] intervals (internal/obdd).
+
+// ErrOBDDBudget is returned by OBDD in exact-only mode when some answer's
+// diagram exceeds the node budget; callers fall through to Monte Carlo.
+var ErrOBDDBudget = errors.New("conf: OBDD node budget exceeded")
+
+// OBDDStats reports what the OBDD operator did.
+type OBDDStats struct {
+	InputTuples  int64 // rows entering lineage collection
+	OutputTuples int64 // distinct answers
+	Clauses      int64 // lineage clauses across all answers
+	Nodes        int64 // OBDD nodes plus anytime expansion steps, all answers
+	ExactAnswers int64 // answers with exact confidences
+	Bounded      int64 // answers resolved only to [lo, hi] bounds
+	// LowerBound and UpperBound certify every answer's true confidence:
+	// min over answers of the per-answer lo, max of the per-answer hi
+	// (exact answers contribute their exact value to both).
+	LowerBound float64
+	UpperBound float64
+	// MaxWidth is the widest per-answer interval (0 when all exact): each
+	// reported confidence is within MaxWidth/2 of the truth.
+	MaxWidth float64
+}
+
+// OBDD computes per-answer confidences of a materialized answer relation by
+// OBDD compilation of each answer's lineage: CollectLineage, then one
+// compile+evaluate per distinct answer. The variable order is derived from
+// sig when one is given (each clause visited in signature-table order,
+// interleaved clause by clause); with a nil sig it falls back to the pure
+// interleaved-occurrence order — the case for queries without a
+// hierarchical signature, which is exactly where this operator earns its
+// keep. Answers whose diagram exceeds opts.NodeBudget get the certified
+// bound midpoint as their confidence (see OBDDStats.LowerBound/UpperBound),
+// unless exactOnly is set, in which case ErrOBDDBudget is returned so the
+// caller can fall through to Monte Carlo. The output has the input's data
+// columns plus the conf column, sorted by the data columns, and is a
+// deterministic function of the input and options.
+func OBDD(rel *table.Relation, sig signature.Sig, opts obdd.Options, exactOnly bool) (*table.Relation, *OBDDStats, error) {
+	l, err := CollectLineage(rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	return OBDDLineage(l, sig, opts, exactOnly)
+}
+
+// OBDDLineage is OBDD over an already collected lineage — the fallback
+// chain collects once and hands the same lineage to its Monte Carlo rung
+// when compilation blows the budget.
+func OBDDLineage(l *Lineage, sig signature.Sig, opts obdd.Options, exactOnly bool) (*table.Relation, *OBDDStats, error) {
+	rank := sigRank(sig, l.Source)
+
+	outCols := append(append([]table.Column(nil), l.Schema.Cols...), table.DataCol(ConfCol, table.KindFloat))
+	out := table.NewRelation(table.NewSchema(outCols...))
+	stats := &OBDDStats{
+		InputTuples:  l.Input,
+		OutputTuples: int64(len(l.Keys)),
+		Clauses:      l.Clauses,
+	}
+	for i, key := range l.Keys {
+		order := obdd.OccurrenceOrder(l.DNFs[i], rank)
+		res, err := obdd.Prob(l.DNFs[i], l.Assign, order, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("conf: answer %d: %w", i, err)
+		}
+		if res.Exact {
+			stats.ExactAnswers++
+		} else {
+			if exactOnly {
+				budget := opts.NodeBudget
+				if budget <= 0 {
+					budget = obdd.DefaultNodeBudget
+				}
+				return nil, nil, fmt.Errorf("%w: answer %d (%d clauses, budget %d)",
+					ErrOBDDBudget, i, len(l.DNFs[i].Clauses), budget)
+			}
+			stats.Bounded++
+		}
+		stats.Nodes += int64(res.Nodes)
+		if i == 0 || res.Lo < stats.LowerBound {
+			stats.LowerBound = res.Lo
+		}
+		if i == 0 || res.Hi > stats.UpperBound {
+			stats.UpperBound = res.Hi
+		}
+		if w := res.Hi - res.Lo; w > stats.MaxWidth {
+			stats.MaxWidth = w
+		}
+		row := make(table.Tuple, 0, len(outCols))
+		row = append(row, key...)
+		row = append(row, table.Float(res.P))
+		out.Rows = append(out.Rows, row)
+	}
+	return out, stats, nil
+}
+
+// sigRank turns a query signature into a within-clause variable rank: each
+// variable is ranked by its source table's position in the signature's
+// left-to-right table order, so OccurrenceOrder visits every clause
+// root-table first — the order under which hierarchical lineage compiles
+// into linear-size diagrams. A nil signature yields a nil rank (pure
+// occurrence order).
+func sigRank(sig signature.Sig, source map[prob.Var]string) func(prob.Var) int {
+	if sig == nil {
+		return nil
+	}
+	tables := signature.Tables(sig)
+	pos := make(map[string]int, len(tables))
+	for i, t := range tables {
+		if _, ok := pos[t]; !ok {
+			pos[t] = i
+		}
+	}
+	return func(v prob.Var) int {
+		if src, ok := source[v]; ok {
+			if r, ok := pos[src]; ok {
+				return r
+			}
+		}
+		return len(tables)
+	}
+}

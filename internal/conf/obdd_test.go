@@ -1,0 +1,142 @@
+package conf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obdd"
+	"repro/internal/prob"
+	"repro/internal/signature"
+	"repro/internal/table"
+)
+
+// TestOBDDMatchesEnumeration: the OBDD operator's confidences on a shared-
+// variable answer relation (correlated duplicates, beyond the exact
+// operator's independence shortcuts) match possible-world enumeration.
+func TestOBDDMatchesEnumeration(t *testing.T) {
+	rel := mcAnswerRel([][5]float64{
+		{1, 1, 0.1, 2, 0.2},
+		{1, 1, 0.1, 3, 0.3},
+		{1, 4, 0.7, 3, 0.3},
+		{2, 5, 0.5, 6, 0.6},
+	})
+	out, stats, err := OBDD(rel, nil, obdd.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Bounded != 0 || stats.ExactAnswers != 2 || stats.OutputTuples != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	l, err := CollectLineage(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := out.Schema.MustColIndex(ConfCol)
+	for i := range l.Keys {
+		want, err := prob.ProbByWorlds(l.DNFs[i], l.Assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out.Rows[i][ci].F; !prob.ApproxEqual(got, want, 1e-9) {
+			t.Errorf("answer %d: obdd %g, worlds %g", i, got, want)
+		}
+	}
+	if stats.LowerBound != stats.UpperBound && stats.MaxWidth != 0 {
+		// All answers exact: the certified interval collapses per answer,
+		// so the aggregate bounds span exactly the answer confidences.
+		t.Errorf("exact run should have zero max width: %+v", stats)
+	}
+}
+
+// TestOBDDMatchesExactOperator: on a relation the signature-based operator
+// handles, OBDD (with the signature-derived order) computes the same
+// confidences.
+func TestOBDDMatchesExactOperator(t *testing.T) {
+	sch := table.NewSchema(
+		table.DataCol("d", table.KindInt),
+		table.VarCol("R"), table.ProbCol("R"),
+	)
+	rel := table.NewRelation(sch)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		rel.MustAppend(table.Tuple{
+			table.Int(int64(i % 10)),
+			table.VarValue(prob.Var(i + 1)), table.Float(0.05 + 0.9*rng.Float64()),
+		})
+	}
+	sig := signature.NewStar(signature.Table("R"))
+	exact, err := Compute(rel, sig, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOBDD, stats, err := OBDD(rel, sig, obdd.Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Bounded != 0 || stats.Nodes == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	ce, co := exact.Schema.MustColIndex(ConfCol), viaOBDD.Schema.MustColIndex(ConfCol)
+	if exact.Len() != viaOBDD.Len() {
+		t.Fatalf("row counts: %d vs %d", exact.Len(), viaOBDD.Len())
+	}
+	for i := range exact.Rows {
+		if e, o := exact.Rows[i][ce].F, viaOBDD.Rows[i][co].F; math.Abs(e-o) > 1e-9 {
+			t.Errorf("row %d: exact %g, obdd %g", i, e, o)
+		}
+	}
+}
+
+// TestOBDDExactOnlyBudget: in exact-only mode a starved budget surfaces
+// ErrOBDDBudget (the fallback chain's trigger); otherwise the same input
+// yields certified bounds around the enumeration truth.
+func TestOBDDExactOnlyBudget(t *testing.T) {
+	// Chained shared variables so no polynomial shortcut applies.
+	rel := mcAnswerRel([][5]float64{
+		{1, 1, 0.3, 2, 0.4},
+		{1, 2, 0.4, 3, 0.5},
+		{1, 3, 0.5, 4, 0.6},
+		{1, 4, 0.6, 5, 0.7},
+	})
+	opts := obdd.Options{NodeBudget: 1}
+	if _, _, err := OBDD(rel, nil, opts, true); !errors.Is(err, ErrOBDDBudget) {
+		t.Fatalf("exact-only starved budget: err = %v", err)
+	}
+	out, stats, err := OBDD(rel, nil, opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Bounded != 1 || stats.MaxWidth <= 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	l, err := CollectLineage(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := prob.ProbByWorlds(l.DNFs[0], l.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LowerBound > truth || truth > stats.UpperBound {
+		t.Errorf("[%g, %g] does not certify truth %g", stats.LowerBound, stats.UpperBound, truth)
+	}
+	ci := out.Schema.MustColIndex(ConfCol)
+	if mid := out.Rows[0][ci].F; math.Abs(mid-truth) > stats.MaxWidth/2+1e-9 {
+		t.Errorf("midpoint %g further than half-width %g from truth %g", mid, stats.MaxWidth/2, truth)
+	}
+}
+
+// TestCollectLineageSources: lineage collection records which source table
+// carried each variable — the hook for signature-derived OBDD orders.
+func TestCollectLineageSources(t *testing.T) {
+	rel := mcAnswerRel([][5]float64{{1, 1, 0.1, 2, 0.2}})
+	l, err := CollectLineage(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Source[1] != "R" || l.Source[2] != "S" {
+		t.Errorf("sources = %v", l.Source)
+	}
+}

@@ -10,11 +10,18 @@
 //     1scan property, one sort+scan per aggregation;
 //   - the literal GRP-sequence semantics of Fig. 5/6 (grp.go), used as a
 //     reference implementation for cross-validation;
-//   - the Monte Carlo operator (mc.go), which needs no signature at all:
-//     it groups the answer relation into per-answer lineage DNFs and
-//     estimates each confidence with the (ε, δ) samplers of internal/prob
-//     — the engine's answer for queries whose exact confidence computation
-//     is #P-hard.
+//   - the OBDD operator (obdd.go), which groups the answer relation into
+//     per-answer lineage DNFs (CollectLineage) and compiles each into a
+//     reduced ordered BDD (internal/obdd): exact confidences whenever the
+//     diagram fits the node budget — signature or not — and certified
+//     deterministic [lo, hi] bounds when it does not;
+//   - the Monte Carlo operator (mc.go), which shares the lineage
+//     collection and estimates each confidence with the (ε, δ) samplers
+//     of internal/prob.
+//
+// Together they form the engine's fallback ladder for queries whose exact
+// confidence computation is #P-hard: sort+scan (needs a hierarchical
+// signature) → OBDD-exact under budget → Monte Carlo.
 package conf
 
 import (

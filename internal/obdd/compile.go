@@ -1,0 +1,267 @@
+package obdd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/prob"
+)
+
+// DefaultNodeBudget caps the diagram size (and the anytime mode's expansion
+// steps) when Options.NodeBudget is zero. Beyond ~10^5 nodes the lineage is
+// firmly in blow-up territory and the certified bounds (or Monte Carlo) are
+// the better tool.
+const DefaultNodeBudget = 1 << 17
+
+// Options tunes OBDD-based probability computation.
+type Options struct {
+	// NodeBudget caps the number of diagram nodes during exact compilation
+	// and the number of expansion steps in the anytime bound mode; 0 means
+	// DefaultNodeBudget.
+	NodeBudget int
+	// TargetWidth stops the anytime mode early once hi-lo ≤ TargetWidth;
+	// 0 expands until the budget is spent (or the bounds close completely).
+	// It has no effect on formulas whose diagram fits the budget.
+	TargetWidth float64
+}
+
+func (o Options) budget() int {
+	if o.NodeBudget <= 0 {
+		return DefaultNodeBudget
+	}
+	return o.NodeBudget
+}
+
+// Result is the outcome of OBDD-based probability computation for one
+// formula.
+type Result struct {
+	// Exact reports whether P is the exact probability. When false, only
+	// the certified bounds Lo ≤ Pr[φ] ≤ Hi are guaranteed and P is their
+	// midpoint (so |P - Pr[φ]| ≤ (Hi-Lo)/2).
+	Exact bool
+	// P is the exact probability, or the bound midpoint.
+	P float64
+	// Lo and Hi bound the probability; Lo == Hi == P for exact results.
+	Lo, Hi float64
+	// Nodes counts the compilation effort: internal OBDD nodes for exact
+	// results; for bounded results, the nodes built by the abandoned exact
+	// compile plus the anytime mode's Shannon expansion steps.
+	Nodes int
+}
+
+// Prob computes Pr[d] under the given variable order: exact via OBDD
+// compilation and one bottom-up evaluation pass when the diagram fits the
+// node budget, certified [lo, hi] bounds via partial expansion otherwise.
+// The order must mention every variable of d. The result is a deterministic
+// function of (d, a, order, o).
+func Prob(d *prob.DNF, a *prob.Assignment, order []prob.Var, o Options) (Result, error) {
+	b := NewBuilder(order, o.budget())
+	root, err := b.Compile(d)
+	if err == nil {
+		p := b.Prob(root, a)
+		return Result{Exact: true, P: p, Lo: p, Hi: p, Nodes: b.Size()}, nil
+	}
+	if err != ErrBudget {
+		return Result{}, err
+	}
+	res, err := Bounds(d, a, order, o)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Nodes += b.Size() // the abandoned compile's work is effort, too
+	return res, nil
+}
+
+// Compile builds the reduced OBDD of a DNF by Shannon expansion under the
+// builder's order: condition the clause set on its topmost variable, recurse
+// on both cofactors, and hash-cons the resulting node. Residual clause sets
+// are memoized under a canonical key, so shared subformulas compile once.
+// Returns ErrBudget when the diagram would exceed the node budget.
+func (b *Builder) Compile(d *prob.DNF) (Ref, error) {
+	cls, err := b.lower(d)
+	if err != nil {
+		return False, err
+	}
+	memo := make(map[string]Ref)
+	return b.shannon(cls, memo)
+}
+
+// lower rewrites clauses as ascending level lists, dropping invalid vars.
+func (b *Builder) lower(d *prob.DNF) ([][]int32, error) {
+	cls := make([][]int32, 0, len(d.Clauses))
+	for _, c := range d.Clauses {
+		lc := make([]int32, 0, len(c))
+		for _, v := range c {
+			if !v.Valid() {
+				continue
+			}
+			lv, ok := b.level[v]
+			if !ok {
+				return nil, fmt.Errorf("obdd: variable %v of %s not in order", v, c)
+			}
+			lc = append(lc, lv)
+		}
+		sort.Slice(lc, func(i, j int) bool { return lc[i] < lc[j] })
+		cls = append(cls, lc)
+	}
+	return cls, nil
+}
+
+func (b *Builder) shannon(cls [][]int32, memo map[string]Ref) (Ref, error) {
+	if len(cls) == 0 {
+		return False, nil
+	}
+	top := terminalLevel
+	for _, c := range cls {
+		if len(c) == 0 {
+			return True, nil
+		}
+		if c[0] < top {
+			top = c[0]
+		}
+	}
+	key := clausesKey(cls)
+	if r, ok := memo[key]; ok {
+		return r, nil
+	}
+	pos, neg, posTrue := condition(cls, top)
+	var hi Ref = True
+	var err error
+	if !posTrue {
+		hi, err = b.shannon(pos, memo)
+		if err != nil {
+			return False, err
+		}
+	}
+	lo, err := b.shannon(neg, memo)
+	if err != nil {
+		return False, err
+	}
+	r, err := b.mk(top, lo, hi)
+	if err != nil {
+		return False, err
+	}
+	memo[key] = r
+	return r, nil
+}
+
+// condition splits a clause set on its topmost level: pos is the cofactor
+// under "true" (the level stripped from the clauses that start with it), neg
+// the cofactor under "false" (those clauses dropped). posTrue short-circuits
+// the positive cofactor when stripping the level empties a clause. Both
+// cofactors are normalized — sorted and deduplicated — so the memo key is
+// canonical for the residual set.
+func condition(cls [][]int32, level int32) (pos, neg [][]int32, posTrue bool) {
+	pos = make([][]int32, 0, len(cls))
+	neg = make([][]int32, 0, len(cls))
+	for _, c := range cls {
+		if c[0] == level {
+			if len(c) == 1 {
+				posTrue = true
+			} else {
+				pos = append(pos, c[1:])
+			}
+		} else {
+			pos = append(pos, c)
+			neg = append(neg, c)
+		}
+	}
+	if posTrue {
+		pos = nil
+	} else {
+		pos = normalize(pos)
+	}
+	neg = normalize(neg)
+	return pos, neg, posTrue
+}
+
+// normalize sorts clauses lexicographically and drops duplicates, making
+// residual clause sets canonical regardless of the expansion path that
+// produced them.
+func normalize(cls [][]int32) [][]int32 {
+	sort.Slice(cls, func(i, j int) bool { return lessClause(cls[i], cls[j]) })
+	out := cls[:0]
+	for i, c := range cls {
+		if i > 0 && equalClause(cls[i-1], c) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func lessClause(a, b []int32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func equalClause(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func clausesKey(cls [][]int32) string {
+	var sb strings.Builder
+	for _, c := range cls {
+		for _, l := range c {
+			fmt.Fprintf(&sb, "%d,", l)
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// OccurrenceOrder derives a variable order from the lineage itself:
+// variables are ranked by first occurrence scanning the clauses left to
+// right — interleaving the per-source variable columns clause by clause
+// (c₁o₁i₁ c₂o₂i₂ …) rather than grouping all of one table's variables
+// together, which keeps co-occurring variables adjacent and compiles
+// read-once lineage into linear-size diagrams.
+//
+// rank, when non-nil, orders variables within each clause (ascending rank,
+// ties by Var id) before the scan — this is how a query-signature order
+// threads through: rank variables by their source table's position in the
+// signature so each clause is visited root-table first, mirroring the
+// hierarchy the signature encodes. A nil rank visits each clause in its
+// stored (Var id) order.
+func OccurrenceOrder(d *prob.DNF, rank func(prob.Var) int) []prob.Var {
+	seen := make(map[prob.Var]bool)
+	var order []prob.Var
+	buf := make([]prob.Var, 0, 8)
+	for _, c := range d.Clauses {
+		buf = buf[:0]
+		for _, v := range c {
+			if v.Valid() {
+				buf = append(buf, v)
+			}
+		}
+		if rank != nil {
+			sort.SliceStable(buf, func(i, j int) bool {
+				ri, rj := rank(buf[i]), rank(buf[j])
+				if ri != rj {
+					return ri < rj
+				}
+				return buf[i] < buf[j]
+			})
+		}
+		for _, v := range buf {
+			if !seen[v] {
+				seen[v] = true
+				order = append(order, v)
+			}
+		}
+	}
+	return order
+}

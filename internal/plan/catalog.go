@@ -4,10 +4,16 @@
 // plans (probability-computation operators pushed to every table and join,
 // Fig. 7a), hybrid plans (operators pushed past selected joins, Fig. 7b) —
 // plus the MystiQ-style safe plans of Dalvi/Suciu (Fig. 2) as the
-// state-of-the-art baseline the paper compares against, and the Monte
-// Carlo plan (mc.go) that estimates confidences for queries without a
-// hierarchical signature, which every exact style falls back to instead of
-// rejecting such queries.
+// state-of-the-art baseline the paper compares against, and two plan
+// styles beyond the paper: the OBDD plan (obdd.go), which compiles each
+// answer's lineage into a reduced ordered BDD (exact under a node budget,
+// certified [lo, hi] bounds beyond it), and the Monte Carlo plan (mc.go),
+// which estimates confidences with an (ε, δ) sampler.
+//
+// On queries without a hierarchical signature — #P-hard in general — every
+// exact style falls through the chain instead of rejecting: hierarchical
+// sort+scan → OBDD-exact under budget → Monte Carlo. Spec.RequireExact
+// restores the paper's strict rejection.
 package plan
 
 import (

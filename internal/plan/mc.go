@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/conf"
 	"repro/internal/query"
+	"repro/internal/table"
 )
 
 // runMonteCarlo is the approximate plan: answer tuples are computed exactly
@@ -23,14 +24,30 @@ func runMonteCarlo(c *Catalog, q *query.Query, spec Spec, note string) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	tupleTime := time.Since(t0)
+	return finishMonteCarlo(q, spec, note, order, answer, nil, time.Since(t0), 0)
+}
 
+// finishMonteCarlo estimates confidences over an already materialized
+// answer relation — shared between the Monte Carlo style and the last rung
+// of the exact styles' fallback chain (obdd.go), which has the answer (and
+// its collected lineage) in hand from its OBDD attempt. l may be nil, in
+// which case the lineage is collected here; probSpent carries the caller's
+// already-spent confidence-computation time (the aborted OBDD compile) so
+// Stats.ProbTime reports the real cost of the fallback.
+func finishMonteCarlo(q *query.Query, spec Spec, note string, order []query.RelRef, answer *table.Relation, l *conf.Lineage, tupleTime, probSpent time.Duration) (*Result, error) {
 	t1 := time.Now()
-	out, mcs, err := conf.MonteCarlo(answer, spec.MC)
+	if l == nil {
+		var err error
+		l, err = conf.CollectLineage(answer)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out, mcs, err := conf.MonteCarloLineage(l, spec.MC)
 	if err != nil {
 		return nil, err
 	}
-	probTime := time.Since(t1)
+	probTime := probSpent + time.Since(t1)
 	out, err = normalizeAnswer(out, q)
 	if err != nil {
 		return nil, err

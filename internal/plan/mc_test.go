@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/conf"
 	"repro/internal/fd"
+	"repro/internal/obdd"
 	"repro/internal/prob"
 	"repro/internal/query"
 	"repro/internal/table"
@@ -107,9 +108,10 @@ func TestMonteCarloPlanVsWorlds(t *testing.T) {
 	}
 }
 
-// TestExactStylesFallBack: every exact style falls back to the Monte Carlo
-// plan on the hard query, annotating the plan line; RequireExact keeps the
-// rejection.
+// TestExactStylesFallBack: every exact style falls through the chain on the
+// hard query — OBDD compilation first (the small instance fits the budget,
+// so the result stays *exact*), Monte Carlo only when the budget is too
+// tight — annotating the plan line; RequireExact keeps the rejection.
 func TestExactStylesFallBack(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	c := hardDB(rng)
@@ -118,12 +120,33 @@ func TestExactStylesFallBack(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: fallback failed: %v", style, err)
 		}
-		if !res.Stats.Approximate {
-			t.Errorf("%v: fallback must be approximate", style)
+		if res.Stats.Approximate {
+			t.Errorf("%v: OBDD fallback under budget must stay exact", style)
 		}
-		if !strings.Contains(res.Stats.Plan, "fallback") || !strings.Contains(res.Stats.Plan, style.String()) {
-			t.Errorf("%v: plan line should mention the fallback: %q", style, res.Stats.Plan)
+		if !strings.Contains(res.Stats.Plan, "fallback") || !strings.Contains(res.Stats.Plan, style.String()) ||
+			!strings.Contains(res.Stats.Plan, "obdd") {
+			t.Errorf("%v: plan line should mention the OBDD fallback: %q", style, res.Stats.Plan)
 		}
+		if res.Stats.OBDDNodes == 0 {
+			t.Errorf("%v: OBDD fallback should report nodes", style)
+		}
+
+		// A starved node budget pushes the chain down to Monte Carlo.
+		res, err = Run(c, hardQuery(), fd.NewSet(), Spec{
+			Style: style,
+			MC:    prob.MCOptions{Seed: 2},
+			OBDD:  obdd.Options{NodeBudget: 1},
+		})
+		if err != nil {
+			t.Fatalf("%v: MC fallback failed: %v", style, err)
+		}
+		if !res.Stats.Approximate || res.Stats.Samples == 0 {
+			t.Errorf("%v: starved-budget fallback must be a Monte Carlo estimate: %+v", style, res.Stats)
+		}
+		if !strings.Contains(res.Stats.Plan, "mc") || !strings.Contains(res.Stats.Plan, "budget") {
+			t.Errorf("%v: plan line should mention the Monte Carlo rung: %q", style, res.Stats.Plan)
+		}
+
 		if _, err := Run(c, hardQuery(), fd.NewSet(), Spec{Style: style, RequireExact: true}); err == nil {
 			t.Errorf("%v: RequireExact must reject the hard query", style)
 		}

@@ -2,11 +2,13 @@ package plan
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/conf"
 	"repro/internal/engine"
 	"repro/internal/fd"
+	"repro/internal/obdd"
 	"repro/internal/prob"
 	"repro/internal/query"
 	"repro/internal/signature"
@@ -32,40 +34,54 @@ const (
 	SafeMystiQ
 	// MonteCarlo computes the answer tuples lazily and estimates each
 	// answer's confidence from its lineage DNF with an (ε, δ) Monte Carlo
-	// sampler (naive or Karp–Luby, internal/prob). It is the only style
-	// that works for queries without a hierarchical signature — general
-	// conjunctive queries are #P-hard (§II) — and is also what the exact
-	// styles fall back to on such queries unless Spec.RequireExact is set.
+	// sampler (naive or Karp–Luby, internal/prob). It works for every
+	// conjunctive query — general conjunctive queries are #P-hard (§II) —
+	// and is the last rung of the exact styles' fallback chain.
 	MonteCarlo
+	// OBDD computes the answer tuples lazily and compiles each answer's
+	// lineage DNF into a reduced ordered binary decision diagram
+	// (internal/obdd): exact confidences whenever the diagram fits the
+	// node budget — including for many queries without a hierarchical
+	// signature — and certified deterministic [lo, hi] bounds (reported
+	// via Stats.LowerBound/UpperBound) when it does not. Exact styles try
+	// this compilation before falling back to Monte Carlo.
+	OBDD
 )
+
+// allStyles lists every style; String, ParseStyle and StyleNames derive
+// from it so the set cannot drift across surfaces.
+var allStyles = []Style{Lazy, Eager, Hybrid, SafeMystiQ, MonteCarlo, OBDD}
+
+// styleNames aligns with the Style constants (Lazy = 0, ...).
+var styleNames = [...]string{"lazy", "eager", "hybrid", "mystiq", "mc", "obdd"}
 
 // String names the style.
 func (s Style) String() string {
-	switch s {
-	case Lazy:
-		return "lazy"
-	case Eager:
-		return "eager"
-	case Hybrid:
-		return "hybrid"
-	case SafeMystiQ:
-		return "mystiq"
-	case MonteCarlo:
-		return "mc"
-	default:
-		return "?"
+	if s >= 0 && int(s) < len(styleNames) {
+		return styleNames[s]
 	}
+	return "?"
+}
+
+// StyleNames returns every style name joined by "|" — the canonical
+// usage-string fragment for the command-line tools.
+func StyleNames() string {
+	names := make([]string, len(allStyles))
+	for i, s := range allStyles {
+		names[i] = s.String()
+	}
+	return strings.Join(names, "|")
 }
 
 // ParseStyle maps a style name (as printed by Style.String and accepted by
 // the command-line tools) back to the Style.
 func ParseStyle(name string) (Style, error) {
-	for _, s := range []Style{Lazy, Eager, Hybrid, SafeMystiQ, MonteCarlo} {
+	for _, s := range allStyles {
 		if s.String() == name {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("plan: unknown style %q (want lazy|eager|hybrid|mystiq|mc)", name)
+	return 0, fmt.Errorf("plan: unknown style %q (want %s)", name, StyleNames())
 }
 
 // Spec configures a plan run.
@@ -80,9 +96,13 @@ type Spec struct {
 	// MC tunes the Monte Carlo estimator (ε, δ, seed, method, workers) for
 	// the MonteCarlo style and for the automatic fallback.
 	MC prob.MCOptions
-	// RequireExact disables the Monte Carlo fallback: queries without a
-	// hierarchical signature are rejected with an error, restoring the
-	// strict behaviour exact styles had before the estimator existed.
+	// OBDD tunes lineage compilation (node budget, anytime target width)
+	// for the OBDD style and for the exact styles' OBDD fallback tier.
+	OBDD obdd.Options
+	// RequireExact restores the paper's strict behaviour: exact styles
+	// reject queries without a hierarchical signature instead of falling
+	// through the OBDD and Monte Carlo tiers, and the OBDD style errors
+	// instead of reporting certified bounds when the budget is exceeded.
 	RequireExact bool
 }
 
@@ -95,15 +115,30 @@ type Stats struct {
 	AnswerTuples   int64         // answer tuples before duplicate elimination
 	DistinctTuples int64         // distinct answer tuples
 	Scans          int           // operator scans (aggregation + final)
-	// Approximate marks Monte Carlo results: confidences are (ε, δ)
-	// estimates, not exact probabilities.
+	// Approximate marks non-exact confidences: (ε, δ) Monte Carlo
+	// estimates, or OBDD bound midpoints (then LowerBound/UpperBound
+	// certify the truth deterministically).
 	Approximate bool
 	// Samples is the total number of Monte Carlo samples drawn (0 for
 	// exact plans).
 	Samples int64
 	// Epsilon is the weakest per-answer additive error guarantee of an
-	// approximate run (0 for exact plans).
+	// approximate run (0 for exact and OBDD plans — OBDD bounds are
+	// deterministic, not probabilistic).
 	Epsilon float64
+	// OBDDNodes counts OBDD nodes built plus anytime expansion steps
+	// across all answers (0 for non-OBDD plans).
+	OBDDNodes int64
+	// LowerBound and UpperBound certify every answer's true confidence of
+	// an OBDD run that exceeded its node budget: for each answer, truth ∈
+	// [LowerBound, UpperBound]. Both are 0 when unused; they differ only
+	// on bounded (Approximate) OBDD results.
+	LowerBound float64
+	UpperBound float64
+	// MaxWidth is the widest per-answer certified interval of a bounded
+	// OBDD run: every reported confidence is within MaxWidth/2 of the
+	// truth (0 for exact and Monte Carlo plans).
+	MaxWidth float64
 }
 
 // Total returns the end-to-end wall-clock time.
@@ -119,9 +154,11 @@ type Result struct {
 // Run executes q on the catalog under the given FDs with the requested plan
 // style. Exact styles use the most precise signature available (FD-refined
 // when the reduct is hierarchical, plain otherwise); queries with neither —
-// #P-hard in general — fall back to the Monte Carlo plan, which estimates
-// confidences from per-answer lineage instead of erroring out. Set
-// spec.RequireExact to turn the fallback back into an error.
+// #P-hard in general — fall through the chain of obdd.go: OBDD compilation
+// of the per-answer lineage (still exact when the diagrams fit the node
+// budget), then the Monte Carlo plan, which estimates confidences instead
+// of erroring out. Set spec.RequireExact to turn the fallback back into an
+// error.
 func Run(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -129,6 +166,8 @@ func Run(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) 
 	switch spec.Style {
 	case MonteCarlo:
 		return runMonteCarlo(c, q, spec, "")
+	case OBDD:
+		return runOBDD(c, q, sigma, spec)
 	case Lazy, Eager, Hybrid, SafeMystiQ:
 		// Known exact styles: validated before the fallback below, so an
 		// unknown style errors rather than silently estimating.
@@ -140,7 +179,7 @@ func Run(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) 
 		if spec.RequireExact {
 			return nil, fmt.Errorf("plan: %s is not tractable (no hierarchical signature): %w", q.Name, err)
 		}
-		return runMonteCarlo(c, q, spec, fmt.Sprintf(" (fallback from %s: no hierarchical signature)", spec.Style))
+		return runExactFallback(c, q, spec)
 	}
 	switch spec.Style {
 	case Lazy:

@@ -33,11 +33,15 @@
 // the confidence operator once at the top; Eager pushes
 // probability-computation operators onto every table and join; Hybrid mixes
 // the two; MystiQ evaluates the safe-plan baseline the paper compares
-// against. MonteCarlo goes beyond the paper: it estimates confidences from
-// per-answer lineage DNFs with an (ε, δ) sampler, answering the
-// conjunctive queries whose exact confidence computation is #P-hard —
-// exact styles fall back to it automatically on such queries unless the
-// RequireExact option is passed.
+// against. Two styles go beyond the paper: OBDD compiles each answer's
+// lineage DNF into a reduced ordered binary decision diagram — exact
+// confidences whenever the diagram fits a node budget, certified
+// deterministic [lo, hi] bounds when it does not — and MonteCarlo estimates
+// confidences with an (ε, δ) sampler. Together they answer the conjunctive
+// queries whose exact confidence computation is #P-hard: exact styles fall
+// back through OBDD compilation (still exact under the budget) and then
+// Monte Carlo automatically on such queries, unless the RequireExact
+// option is passed.
 package sprout
 
 import (
@@ -74,10 +78,19 @@ const (
 	MystiQ = plan.SafeMystiQ
 	// MonteCarlo estimates confidences from per-answer lineage DNFs with
 	// an (ε, δ) Monte Carlo sampler instead of computing them exactly. It
-	// is the only style that accepts queries without a hierarchical
-	// signature (#P-hard in general) — and what the exact styles fall back
-	// to on such queries unless RequireExact is passed.
+	// accepts queries without a hierarchical signature (#P-hard in
+	// general) — and is the last tier of the exact styles' fallback chain
+	// on such queries unless RequireExact is passed.
 	MonteCarlo = plan.MonteCarlo
+	// OBDD compiles each answer's lineage DNF into a reduced ordered
+	// binary decision diagram: exact confidences whenever the diagram
+	// fits the node budget (WithNodeBudget) — including for many queries
+	// without a hierarchical signature — and certified deterministic
+	// [Stats.LowerBound, Stats.UpperBound] intervals around every true
+	// confidence when it does not (the reported confidences are then
+	// bound midpoints and Stats.Approximate is set). Exact styles try
+	// OBDD compilation before falling back to Monte Carlo.
+	OBDD = plan.OBDD
 )
 
 // CmpOp is a comparison operator for selections.
@@ -308,18 +321,37 @@ func WithWorkers(n int) RunOption {
 	return func(s *plan.Spec) { s.MC.Workers = n }
 }
 
+// WithNodeBudget caps the per-answer OBDD size (and the anytime mode's
+// expansion steps) for the OBDD style and the exact styles' OBDD fallback
+// tier; 0 keeps the default. Answers whose diagram exceeds the budget are
+// reported as certified [lo, hi] bounds under the OBDD style, and passed
+// on to Monte Carlo by the exact styles.
+func WithNodeBudget(n int) RunOption {
+	return func(s *plan.Spec) { s.OBDD.NodeBudget = n }
+}
+
+// WithTargetWidth stops the OBDD anytime mode early once the certified
+// interval reaches the given width (hi-lo ≤ w), instead of spending the
+// whole node budget; 0 tightens until the budget is spent.
+func WithTargetWidth(w float64) RunOption {
+	return func(s *plan.Spec) { s.OBDD.TargetWidth = w }
+}
+
 // RequireExact rejects queries without a hierarchical signature instead of
-// falling back to Monte Carlo estimation: Run then fails exactly where the
-// paper's framework ends (#P-hard queries, §II).
+// falling back to OBDD compilation or Monte Carlo estimation: Run then
+// fails exactly where the paper's framework ends (#P-hard queries, §II).
+// Under the OBDD style it forbids bound-mode results.
 func RequireExact() RunOption {
 	return func(s *plan.Spec) { s.RequireExact = true }
 }
 
 // Run evaluates the query with the given plan style. Queries that are not
-// exactly tractable (no hierarchical signature exists even under the
-// database's declared FDs; #P-hard in general, §II) are answered with
-// Monte Carlo confidence estimates — check Result.Stats.Approximate — or
-// rejected when the RequireExact option is passed.
+// tractable for the sort+scan operator (no hierarchical signature exists
+// even under the database's declared FDs; #P-hard in general, §II) fall
+// through the chain: OBDD lineage compilation — still exact when the
+// per-answer diagrams fit the node budget — and then Monte Carlo
+// confidence estimation (check Result.Stats.Approximate). Pass the
+// RequireExact option to reject such queries instead.
 func (db *DB) Run(q *Query, style PlanStyle, opts ...RunOption) (*Result, error) {
 	spec := plan.Spec{Style: style}
 	for _, o := range opts {

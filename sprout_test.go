@@ -125,7 +125,7 @@ func TestBooleanQuery(t *testing.T) {
 	}
 }
 
-func TestIntractableFallsBackToMonteCarlo(t *testing.T) {
+func TestIntractableFallsThroughChain(t *testing.T) {
 	db := NewDB()
 	r := db.MustCreateTable("R", IntCol("a"))
 	s := db.MustCreateTable("S", IntCol("a"), IntCol("b"))
@@ -140,21 +140,40 @@ func TestIntractableFallsBackToMonteCarlo(t *testing.T) {
 	if _, err := db.Run(q, Lazy, RequireExact()); err == nil {
 		t.Fatal("the prototypical hard query must be rejected under RequireExact")
 	}
-	// Without it, the exact style falls back to the Monte Carlo plan. The
-	// single answer's lineage is one clause, which the estimator resolves
-	// exactly: 0.5³.
+	// Without it, the exact style falls through the chain: the single
+	// answer's lineage (one clause, 0.5³) compiles into a three-node OBDD,
+	// so the result stays exact.
 	res, err := db.Run(q, Lazy)
 	if err != nil {
-		t.Fatalf("Monte Carlo fallback failed: %v", err)
+		t.Fatalf("OBDD fallback failed: %v", err)
 	}
-	if !res.Stats.Approximate {
-		t.Error("fallback result must be marked approximate")
+	if res.Stats.Approximate {
+		t.Error("OBDD fallback under budget must stay exact")
+	}
+	if res.Stats.OBDDNodes == 0 {
+		t.Error("OBDD fallback should report diagram nodes")
 	}
 	if len(res.Rows) != 1 {
 		t.Fatalf("rows = %+v", res.Rows)
 	}
 	if d := res.Rows[0].Confidence - 0.125; d > 1e-9 || d < -1e-9 {
 		t.Errorf("confidence = %g, want 0.125", res.Rows[0].Confidence)
+	}
+
+	// Densify the instance (shared variables across clauses, so not even
+	// the anytime mode's cheap bounds resolve it) and starve the node
+	// budget: the chain falls through to Monte Carlo.
+	r.MustInsert(0.5, Int(2))
+	u.MustInsert(0.5, Int(3))
+	s.MustInsert(0.5, Int(1), Int(3))
+	s.MustInsert(0.5, Int(2), Int(2))
+	s.MustInsert(0.5, Int(2), Int(3))
+	res, err = db.Run(q, Lazy, WithNodeBudget(1), WithSeed(3))
+	if err != nil {
+		t.Fatalf("Monte Carlo fallback failed: %v", err)
+	}
+	if !res.Stats.Approximate || res.Stats.Samples == 0 {
+		t.Errorf("Monte Carlo fallback must be an approximate, sampled run: %+v", res.Stats)
 	}
 
 	// Declaring a → b (a key of S) rescues exactness.
@@ -226,7 +245,8 @@ func TestAliasSelfJoin(t *testing.T) {
 		Where("Nation2", "n2name", Eq, String("GERMANY"))
 	// Nation1 ⋈ Link ⋈ Nation2 is the prototypical hard pattern without
 	// FDs (Link joins both sides on different attributes): exact styles
-	// reject it under RequireExact and estimate it otherwise.
+	// reject it under RequireExact and fall through the OBDD tier
+	// otherwise — which compiles the single-clause lineage exactly.
 	if _, err := db.Run(q, Lazy, RequireExact()); err == nil {
 		t.Fatal("link query without FDs must be rejected under RequireExact")
 	}
@@ -235,7 +255,7 @@ func TestAliasSelfJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Stats.Approximate || len(res.Rows) != 1 {
+	if res.Stats.Approximate || len(res.Rows) != 1 {
 		t.Fatalf("fallback: approximate=%v rows=%+v", res.Stats.Approximate, res.Rows)
 	}
 	if d := res.Rows[0].Confidence - want; d > 1e-9 || d < -1e-9 {
@@ -281,5 +301,98 @@ func TestMonteCarloStyle(t *testing.T) {
 	}
 	if again.Rows[0].Confidence != res.Rows[0].Confidence {
 		t.Errorf("same seed gave %g then %g", res.Rows[0].Confidence, again.Rows[0].Confidence)
+	}
+}
+
+// TestOBDDStyle runs the paper's running example under the explicit OBDD
+// style: hierarchical lineage compiles exactly, reproducing the paper's
+// 0.0028 to full precision.
+func TestOBDDStyle(t *testing.T) {
+	db := fig1DB(t)
+	res, err := db.Run(introQuery(), OBDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Approximate {
+		t.Errorf("hierarchical lineage must compile exactly: %+v", res.Stats)
+	}
+	if res.Stats.OBDDNodes == 0 {
+		t.Error("Stats.OBDDNodes should report the compilation effort")
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Values[0].String() != "1995-01-10" {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	if d := res.Rows[0].Confidence - 0.0028; d > 1e-9 || d < -1e-9 {
+		t.Errorf("confidence = %g, want 0.0028", res.Rows[0].Confidence)
+	}
+}
+
+// TestOBDDStyleBounds: starving the node budget yields certified bounds —
+// Stats.LowerBound ≤ truth ≤ Stats.UpperBound with the confidence at the
+// midpoint — deterministic across runs, and WithTargetWidth caps the
+// interval when the budget allows.
+func TestOBDDStyleBounds(t *testing.T) {
+	db := NewDB()
+	r := db.MustCreateTable("R", IntCol("a"))
+	s := db.MustCreateTable("S", IntCol("a"), IntCol("b"))
+	u := db.MustCreateTable("T", IntCol("b"))
+	for a := 1; a <= 3; a++ {
+		r.MustInsert(0.4, Int(int64(a)))
+	}
+	for b := 1; b <= 3; b++ {
+		u.MustInsert(0.6, Int(int64(b)))
+	}
+	for a := 1; a <= 3; a++ {
+		for b := 1; b <= 3; b++ {
+			s.MustInsert(0.5, Int(int64(a)), Int(int64(b)))
+		}
+	}
+	q := NewQuery("hard").From("R", "a").From("S", "a", "b").From("T", "b")
+
+	// Exact value of this 3×3 bipartite lineage, from the OBDD run with an
+	// ample budget (cross-checked against enumeration at the plan layer).
+	exact, err := db.Run(q, OBDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Stats.Approximate {
+		t.Fatalf("ample budget should be exact: %+v", exact.Stats)
+	}
+	truth := exact.Rows[0].Confidence
+
+	res, err := db.Run(q, OBDD, WithNodeBudget(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if !st.Approximate {
+		t.Fatalf("budget 3 should force bounds: %+v", st)
+	}
+	if st.LowerBound > truth+1e-9 || truth > st.UpperBound+1e-9 {
+		t.Errorf("truth %g outside certified [%g, %g]", truth, st.LowerBound, st.UpperBound)
+	}
+	mid := res.Rows[0].Confidence
+	if d := mid - (st.LowerBound+st.UpperBound)/2; d > 1e-9 || d < -1e-9 {
+		t.Errorf("confidence %g is not the bound midpoint of [%g, %g]", mid, st.LowerBound, st.UpperBound)
+	}
+	again, err := db.Run(q, OBDD, WithNodeBudget(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Rows[0].Confidence != mid || again.Stats.LowerBound != st.LowerBound {
+		t.Error("bound-mode runs must be deterministic for a fixed budget")
+	}
+
+	wide, err := db.Run(q, OBDD, WithTargetWidth(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := wide.Stats.UpperBound - wide.Stats.LowerBound; wide.Stats.Approximate && w > 0.2 {
+		t.Errorf("target width 0.2 exceeded: %g", w)
+	}
+	if wide.Stats.Approximate {
+		if wide.Stats.LowerBound > truth+1e-9 || truth > wide.Stats.UpperBound+1e-9 {
+			t.Errorf("truth %g outside certified [%g, %g]", truth, wide.Stats.LowerBound, wide.Stats.UpperBound)
+		}
 	}
 }
