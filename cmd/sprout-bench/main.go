@@ -5,9 +5,14 @@
 //
 // Usage:
 //
-//	sprout-bench [-sf 0.02] [-seed 1] [-exp all|fig9|fig10|fig11|fig12|fig13|mc|obdd|casestudy] [-points 9] [-json]
-//	sprout-bench -style mc [-query 18] [-eps 0.05] [-delta 0.01]
+//	sprout-bench [-sf 0.02] [-seed 1] [-exp all|fig9|fig10|fig11|fig12|fig13|mc|obdd|parallel|casestudy] [-points 9] [-workers 4] [-json]
+//	sprout-bench -style mc [-query 18] [-eps 0.05] [-delta 0.01] [-workers 4]
 //	sprout-bench -style obdd [-query 18] [-budget 131072]
+//
+// -exp parallel runs the partition-parallel scaling experiment: the unsafe
+// TPC-H query under the mc and obdd styles for worker counts 1, 2, ...,
+// -workers, verifying confidences are bit-identical across counts and
+// reporting the wall-clock speedup per count.
 //
 // The second form runs a single catalog query under one plan style and
 // prints its execution statistics — -style=mc estimates confidences by
@@ -52,19 +57,23 @@ type record struct {
 	EpsBound     float64 `json:"eps_bound,omitempty"`
 	MeanAbsErr   float64 `json:"mean_abs_err,omitempty"`
 	BoundWidth   float64 `json:"bound_width,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+	SpeedupX     float64 `json:"speedup_x,omitempty"`
+	Identical    bool    `json:"confidences_identical,omitempty"`
 	Failed       string  `json:"failed,omitempty"`
 }
 
 func main() {
 	sf := flag.Float64("sf", 0.02, "TPC-H scale factor (paper: 1.0)")
 	seed := flag.Int64("seed", 1, "generator seed")
-	exp := flag.String("exp", "all", "experiment: all|fig9|fig10|fig11|fig12|fig13|mc|obdd|casestudy")
+	exp := flag.String("exp", "all", "experiment: all|fig9|fig10|fig11|fig12|fig13|mc|obdd|parallel|casestudy")
 	points := flag.Int("points", 9, "selectivity points for fig11")
 	style := flag.String("style", "", "run one catalog query under a plan style: "+plan.StyleNames())
 	queryName := flag.String("query", "18", "catalog query for -style mode")
 	eps := flag.Float64("eps", 0.05, "Monte Carlo additive error bound ε (-style mode and -exp mc)")
 	delta := flag.Float64("delta", 0.01, "Monte Carlo failure probability δ (-style mode and -exp mc)")
 	budget := flag.Int("budget", 0, "OBDD node budget (-style mode and -exp obdd; 0 = default)")
+	workers := flag.Int("workers", 4, "max worker count (-exp parallel sweeps 1,2,...,workers; -style mode runs with this many)")
 	jsonOut := flag.Bool("json", false, "emit per-measurement JSON records on stdout (tables move to stderr)")
 	flag.Parse()
 	epsSet := false
@@ -140,7 +149,7 @@ func main() {
 	}
 
 	if *style != "" {
-		rec, err := runStyleMode(out, d, styleMode, *style, styleEntry, *eps, *delta, *budget)
+		rec, err := runStyleMode(out, d, styleMode, *style, styleEntry, *eps, *delta, *budget, *workers)
 		if err != nil {
 			fail(err)
 		}
@@ -296,6 +305,35 @@ func main() {
 		say("\n")
 	}
 
+	if run("parallel") {
+		say("== Parallel: worker-count scaling on the unsafe query (mc and obdd styles) ==\n")
+		say("   partition-parallel joins/scans + parallel confidence tiers; confidences\n")
+		say("   are bit-identical across worker counts by construction (verified below)\n")
+		counts := []int{1}
+		for w := 2; w <= *workers; w *= 2 {
+			counts = append(counts, w)
+		}
+		if last := counts[len(counts)-1]; last != *workers && *workers > 1 {
+			counts = append(counts, *workers)
+		}
+		rows, err := benchutil.ParallelScaling(d, counts, nil, 2)
+		if err != nil {
+			fail(err)
+		}
+		say("%-8s %-8s %10s %10s %10s %10s\n", "style", "workers", "wall(s)", "speedup", "#answers", "identical")
+		for _, r := range rows {
+			say("%-8s %-8d %10.4f %9.2fx %10d %10v\n",
+				r.Style, r.Workers, r.Wall.Seconds(), r.Speedup, r.Answers, r.Identical)
+			if !r.Identical {
+				fail(fmt.Errorf("parallel: %s workers=%d produced different confidences than workers=1", r.Style, r.Workers))
+			}
+			emit(record{Experiment: "parallel", Name: fmt.Sprintf("workers=%d", r.Workers), Style: r.Style,
+				WallClockSec: r.Wall.Seconds(), Answers: r.Answers, Workers: r.Workers,
+				SpeedupX: r.Speedup, Identical: r.Identical})
+		}
+		say("\n")
+	}
+
 	if run("casestudy") {
 		say("== §VI case study: TPC-H query classification ==\n")
 		say("%s\n", benchutil.CaseStudy())
@@ -308,11 +346,12 @@ func main() {
 // its execution statistics — the -style=mc path is the interactive way to
 // try the Monte Carlo estimator on any catalog query, -style=obdd the
 // lineage compiler.
-func runStyleMode(out io.Writer, d *tpch.Data, style plan.Style, styleName string, e *tpch.Entry, eps, delta float64, budget int) (record, error) {
+func runStyleMode(out io.Writer, d *tpch.Data, style plan.Style, styleName string, e *tpch.Entry, eps, delta float64, budget, workers int) (record, error) {
 	res, err := plan.Run(d.Catalog(), e.Q.Clone(), tpch.FDsFor(e), plan.Spec{
-		Style: style,
-		MC:    prob.MCOptions{Epsilon: eps, Delta: delta, Seed: 1},
-		OBDD:  obdd.Options{NodeBudget: budget},
+		Style:   style,
+		Workers: workers,
+		MC:      prob.MCOptions{Epsilon: eps, Delta: delta, Seed: 1},
+		OBDD:    obdd.Options{NodeBudget: budget},
 	})
 	if err != nil {
 		return record{}, err

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sproutq [-sf 0.005] [-seed 1] [-plan lazy|eager|hybrid|mystiq|mc|obdd] [-limit 20] 18
+//	sproutq [-sf 0.005] [-seed 1] [-plan lazy|eager|hybrid|mystiq|mc|obdd] [-workers 0] [-limit 20] 18
 //	sproutq -list
 package main
 
@@ -24,6 +24,7 @@ func main() {
 	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
 	seed := flag.Int64("seed", 1, "generator seed")
 	planName := flag.String("plan", "lazy", "plan style: "+plan.StyleNames())
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); confidences do not depend on it")
 	limit := flag.Int("limit", 20, "max answer rows to print")
 	list := flag.Bool("list", false, "list catalog queries and exit")
 	flag.Parse()
@@ -64,7 +65,7 @@ func main() {
 
 	fmt.Printf("query %s: %s\n", e.Name, e.Q)
 	d := tpch.Generate(tpch.Config{SF: *sf, Seed: *seed})
-	res, err := plan.Run(d.Catalog(), e.Q.Clone(), tpch.FDsFor(e), plan.Spec{Style: style})
+	res, err := plan.Run(d.Catalog(), e.Q.Clone(), tpch.FDsFor(e), plan.Spec{Style: style, Workers: *workers})
 	if err != nil {
 		fail(err)
 	}

@@ -1,0 +1,257 @@
+package sprout
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/benchutil"
+	"repro/internal/engine"
+	"repro/internal/fd"
+	"repro/internal/query"
+	"repro/internal/table"
+	"repro/internal/tpch"
+)
+
+// tpchDB wraps freshly generated TPC-H data in the public DB type so the
+// Engine facade can serve the paper's workload. sigma may be nil for the
+// no-FDs (unsafe-query) setup.
+func tpchDB(sigma *fd.Set) *DB {
+	d := tpch.Generate(tpch.Config{SF: 0.002, Seed: 1})
+	if sigma == nil {
+		sigma = fd.NewSet()
+	}
+	return &DB{catalog: d.Catalog(), sigma: sigma}
+}
+
+// wrapQuery lifts an internal query AST into the facade type (tests live in
+// the sprout package, so they can do what the builder does).
+func wrapQuery(q *query.Query) *Query { return &Query{q: q} }
+
+// custOrd is π{ckey,cname}(Cust ⋈ σ{odate<'1996-09-01'}(Ord)) —
+// hierarchical without any FDs.
+func custOrd() *query.Query {
+	return &query.Query{
+		Name: "custOrd",
+		Head: []string{"ckey", "cname"},
+		Rels: []query.RelRef{
+			query.Rel("Cust", "ckey", "cname", "nkey", "cacctbal", "mkt"),
+			query.Rel("Ord", "okey", "ckey", "odate", "oprice", "opri"),
+		},
+		Sels: []query.Selection{
+			{Rel: "Ord", Attr: "odate", Op: engine.OpLt, Val: table.Str("1996-09-01")},
+		},
+	}
+}
+
+// confMap indexes a result's confidences by rendered answer tuple.
+func confMap(t *testing.T, res *Result) map[string]float64 {
+	t.Helper()
+	m := make(map[string]float64, len(res.Rows))
+	for _, r := range res.Rows {
+		key := ""
+		for _, v := range r.Values {
+			key += v.String() + "|"
+		}
+		if _, dup := m[key]; dup {
+			t.Fatalf("duplicate answer %q", key)
+		}
+		m[key] = r.Confidence
+	}
+	return m
+}
+
+func mustSameConfidences(t *testing.T, label string, got, want map[string]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d answers, want %d", label, len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("%s: answer %q missing", label, k)
+		}
+		if g != w {
+			t.Fatalf("%s: answer %q confidence %v, want %v (bit-identical required)", label, k, g, w)
+		}
+	}
+}
+
+// workload is the mixed style/query matrix of the stress tests: exact
+// sort+scan styles and the OBDD tier on a hierarchical query, plus the
+// OBDD-exact fallback and Monte Carlo tiers on the unsafe query (which has
+// no hierarchical signature under an empty FD set).
+func workload() []struct {
+	name  string
+	q     *query.Query
+	style PlanStyle
+} {
+	return []struct {
+		name  string
+		q     *query.Query
+		style PlanStyle
+	}{
+		{"custOrd/lazy", custOrd(), Lazy},
+		{"custOrd/eager", custOrd(), Eager},
+		{"custOrd/hybrid", custOrd(), Hybrid},
+		{"custOrd/obdd", custOrd(), OBDD},
+		{"unsafe/mc", benchutil.UnsafeQuery(), MonteCarlo},
+		{"unsafe/obdd", benchutil.UnsafeQuery(), OBDD},
+		{"unsafe/lazy-fallback", benchutil.UnsafeQuery(), Lazy},
+	}
+}
+
+// TestEngineConcurrentMixedStyles: many goroutines hammer one shared Engine
+// with a mix of exact, OBDD and Monte Carlo runs over the TPC-H catalog;
+// every result must equal the serial single-threaded evaluation bit for
+// bit.
+func TestEngineConcurrentMixedStyles(t *testing.T) {
+	db := tpchDB(nil)
+	items := workload()
+
+	// Serial reference: classic single-threaded executor.
+	want := make([]map[string]float64, len(items))
+	for i, it := range items {
+		res, err := db.Run(wrapQuery(it.q), it.style, WithWorkers(1), WithSeed(1))
+		if err != nil {
+			t.Fatalf("serial %s: %v", it.name, err)
+		}
+		want[i] = confMap(t, res)
+	}
+
+	e := db.NewEngine(WithWorkers(4), WithSeed(1))
+	const goroutines = 8
+	const iters = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < iters; n++ {
+				it := items[(g+n)%len(items)]
+				res, err := e.Run(context.Background(), wrapQuery(it.q), it.style)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", it.name, err)
+					return
+				}
+				got := confMap(t, res)
+				w := want[(g+n)%len(items)]
+				if len(got) != len(w) {
+					errs <- fmt.Errorf("%s: %d answers, want %d", it.name, len(got), len(w))
+					return
+				}
+				for k, wv := range w {
+					if gv, ok := got[k]; !ok || gv != wv {
+						errs <- fmt.Errorf("%s: answer %q = %v, want %v", it.name, k, gv, wv)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestEngineRunBatch: a batch of mixed requests returns every result in
+// request order, equal to serial evaluation, with no cross-talk.
+func TestEngineRunBatch(t *testing.T) {
+	db := tpchDB(nil)
+	items := workload()
+
+	batch := make([]BatchItem, len(items))
+	for i, it := range items {
+		batch[i] = BatchItem{Query: wrapQuery(it.q), Style: it.style}
+	}
+	e := db.NewEngine(WithWorkers(4), WithSeed(1))
+	results := e.RunBatch(context.Background(), batch)
+	if len(results) != len(items) {
+		t.Fatalf("got %d results, want %d", len(results), len(items))
+	}
+	for i, it := range items {
+		if results[i].Err != nil {
+			t.Fatalf("%s: %v", it.name, results[i].Err)
+		}
+		serial, err := db.Run(wrapQuery(it.q), it.style, WithWorkers(1), WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustSameConfidences(t, it.name, confMap(t, results[i].Result), confMap(t, serial))
+	}
+}
+
+// TestEngineCancellation: cancelling the context aborts an expensive Monte
+// Carlo run promptly with the context's error.
+func TestEngineCancellation(t *testing.T) {
+	db := tpchDB(nil)
+	e := db.NewEngine(WithWorkers(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	// ε = 0.003 needs ~300k samples per answer over ~1700 answers: minutes
+	// of work when not cancelled.
+	_, err := e.Run(ctx, wrapQuery(benchutil.UnsafeQuery()), MonteCarlo,
+		WithSeed(1), WithEpsilonDelta(0.003, 0.01))
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, want prompt abort", elapsed)
+	}
+	// Cancelled batches mark unfinished items with the context error.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	results := e.RunBatch(ctx2, []BatchItem{{Query: wrapQuery(custOrd()), Style: Lazy}})
+	if results[0].Err == nil {
+		t.Fatal("cancelled batch item must carry an error")
+	}
+}
+
+// TestWorkerCountBitIdentical: every style returns bit-identical
+// confidences for workers=1 and workers=N — the engine's determinism
+// contract, pinned across the exact sort+scan styles, the safe-plan
+// baseline, the OBDD tier, Monte Carlo, and the unsafe-query fallback
+// chain.
+func TestWorkerCountBitIdentical(t *testing.T) {
+	db := tpchDB(nil)
+	styles := []struct {
+		name  string
+		q     *query.Query
+		style PlanStyle
+	}{
+		{"lazy", custOrd(), Lazy},
+		{"eager", custOrd(), Eager},
+		{"hybrid", custOrd(), Hybrid},
+		{"mystiq", custOrd(), MystiQ},
+		{"obdd", custOrd(), OBDD},
+		{"mc", custOrd(), MonteCarlo},
+		{"unsafe-mc", benchutil.UnsafeQuery(), MonteCarlo},
+		{"unsafe-obdd", benchutil.UnsafeQuery(), OBDD},
+		{"unsafe-fallback", benchutil.UnsafeQuery(), Eager},
+	}
+	for _, tc := range styles {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := db.Run(wrapQuery(tc.q), tc.style, WithWorkers(1), WithSeed(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := confMap(t, ref)
+			for _, workers := range []int{2, 4, 8} {
+				res, err := db.Run(wrapQuery(tc.q), tc.style, WithWorkers(workers), WithSeed(1))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				mustSameConfidences(t, fmt.Sprintf("%s workers=%d", tc.name, workers), confMap(t, res), want)
+			}
+		})
+	}
+}

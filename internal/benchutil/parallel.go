@@ -1,0 +1,126 @@
+package benchutil
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/plan"
+	"repro/internal/prob"
+	"repro/internal/tpch"
+)
+
+// ParallelRow is one (style, worker count) measurement of the scaling
+// experiment on the unsafe TPC-H query.
+type ParallelRow struct {
+	Style   string
+	Workers int
+	Wall    time.Duration // best end-to-end wall-clock over the reps
+	Answers int64
+	// Speedup is workers=1's wall-clock over this row's (1.0 for the
+	// workers=1 row itself).
+	Speedup float64
+	// Identical reports that every confidence is bit-identical to the
+	// workers=1 run of the same style — the engine's determinism promise.
+	Identical bool
+}
+
+// ParallelScaling runs the unsafe-query scenario π{odate}(Cust ⋈ Ord ⋈ Item)
+// (no FDs declared, so no exact sort+scan plan exists) under each style for
+// each worker count, verifying that the confidences do not depend on the
+// worker count and reporting the wall-clock scaling. Styles defaults to
+// {mc, obdd} — the two tiers that carry unsafe queries — when nil.
+func ParallelScaling(d *tpch.Data, workerCounts []int, styles []plan.Style, reps int) ([]ParallelRow, error) {
+	if len(styles) == 0 {
+		styles = []plan.Style{plan.MonteCarlo, plan.OBDD}
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4}
+	}
+	// The workers=1 run anchors both the speedup ratio and the determinism
+	// check: normalize the sweep so 1 exists, comes first, and no count is
+	// measured twice.
+	counts := []int{1}
+	seen := map[int]bool{1: true}
+	for _, w := range workerCounts {
+		if w > 0 && !seen[w] {
+			seen[w] = true
+			counts = append(counts, w)
+		}
+	}
+	workerCounts = counts
+	catalog := d.Catalog()
+	sigma := fd.NewSet()
+	if _, err := plan.Run(catalog, UnsafeQuery().Clone(), sigma, plan.Spec{Style: plan.Lazy, RequireExact: true}); err == nil {
+		return nil, fmt.Errorf("benchutil: unsafe query unexpectedly has an exact plan")
+	}
+	var rows []ParallelRow
+	for _, style := range styles {
+		var base *plan.Result // workers=1 reference run
+		var baseWall time.Duration
+		for _, w := range workerCounts {
+			spec := plan.Spec{
+				Style:   style,
+				Workers: w,
+				MC:      prob.MCOptions{Epsilon: 0.02, Delta: 0.01, Seed: 1},
+			}
+			var best *plan.Result
+			var bestWall time.Duration
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				res, err := plan.Run(catalog, UnsafeQuery().Clone(), sigma, spec)
+				if err != nil {
+					return nil, fmt.Errorf("benchutil: parallel %s workers=%d: %w", style, w, err)
+				}
+				if wall := time.Since(t0); best == nil || wall < bestWall {
+					best, bestWall = res, wall
+				}
+			}
+			row := ParallelRow{
+				Style:   style.String(),
+				Workers: w,
+				Wall:    bestWall,
+				Answers: best.Stats.DistinctTuples,
+			}
+			if base == nil {
+				base, baseWall = best, bestWall
+				row.Speedup = 1
+				row.Identical = true
+			} else {
+				row.Speedup = float64(baseWall) / float64(bestWall)
+				same, err := sameConfidences(base, best)
+				if err != nil {
+					return nil, fmt.Errorf("benchutil: parallel %s workers=%d: %w", style, w, err)
+				}
+				row.Identical = same
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// sameConfidences compares two results answer by answer, keyed by the data
+// columns (both results are sorted on them), requiring bit-identical
+// confidence values.
+func sameConfidences(a, b *plan.Result) (bool, error) {
+	if a.Rows.Len() != b.Rows.Len() {
+		return false, fmt.Errorf("answer counts differ: %d vs %d", a.Rows.Len(), b.Rows.Len())
+	}
+	n := a.Rows.Schema.Len()
+	if n != b.Rows.Schema.Len() {
+		return false, fmt.Errorf("schemas differ")
+	}
+	for i := range a.Rows.Rows {
+		ra, rb := a.Rows.Rows[i], b.Rows.Rows[i]
+		for j := 0; j < n; j++ {
+			if ra[j] != rb[j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

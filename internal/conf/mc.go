@@ -1,6 +1,7 @@
 package conf
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -130,9 +131,26 @@ func CollectLineage(rel *table.Relation) (*Lineage, error) {
 		}
 	}
 	for _, d := range l.DNFs {
+		// Canonicalize the clause order (clauses are sorted var lists, so
+		// lexicographic order is well defined). This makes every downstream
+		// consumer — the Karp–Luby sampler's clause-index stream, the OBDD
+		// occurrence order — a function of the answer's lineage *set* rather
+		// than of the join's row order, which is what lets the engine promise
+		// bit-identical confidences across worker counts and join strategies.
+		sort.Slice(d.Clauses, func(a, b int) bool { return lessClause(d.Clauses[a], d.Clauses[b]) })
 		l.Clauses += int64(len(d.Clauses))
 	}
 	return l, nil
+}
+
+// lessClause orders clauses lexicographically by variable id.
+func lessClause(a, b prob.Clause) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
 }
 
 // MCStats reports what the Monte Carlo operator did.
@@ -151,20 +169,24 @@ type MCStats struct {
 // relation: CollectLineage followed by the partition-parallel estimator
 // driver. The output has the input's data columns plus the conf column,
 // sorted by the data columns; with a fixed opts.Seed it is a deterministic
-// function of the input.
-func MonteCarlo(rel *table.Relation, opts prob.MCOptions) (*table.Relation, *MCStats, error) {
+// function of the input. ctx cancels the samplers mid-run; a nil ctx means
+// no cancellation.
+func MonteCarlo(ctx context.Context, rel *table.Relation, opts prob.MCOptions) (*table.Relation, *MCStats, error) {
 	l, err := CollectLineage(rel)
 	if err != nil {
 		return nil, nil, err
 	}
-	return MonteCarloLineage(l, opts)
+	return MonteCarloLineage(ctx, l, opts)
 }
 
 // MonteCarloLineage is MonteCarlo over an already collected lineage —
 // callers that grouped the answer relation once (e.g. the OBDD→MC rung of
 // the fallback chain) reuse it instead of paying collection twice.
-func MonteCarloLineage(l *Lineage, opts prob.MCOptions) (*table.Relation, *MCStats, error) {
-	ests := prob.EstimateAll(l.DNFs, l.Assign, opts)
+func MonteCarloLineage(ctx context.Context, l *Lineage, opts prob.MCOptions) (*table.Relation, *MCStats, error) {
+	ests, err := prob.EstimateAllCtx(ctx, l.DNFs, l.Assign, opts)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	outCols := append(append([]table.Column(nil), l.Schema.Cols...), table.DataCol(ConfCol, table.KindFloat))
 	out := table.NewRelation(table.NewSchema(outCols...))

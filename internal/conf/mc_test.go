@@ -1,6 +1,7 @@
 package conf
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -82,7 +83,7 @@ func TestMonteCarloMatchesExactOperator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	approx, stats, err := MonteCarlo(rel, prob.MCOptions{Seed: 1})
+	approx, stats, err := MonteCarlo(context.Background(), rel, prob.MCOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestMonteCarloVsWorlds(t *testing.T) {
 	}
 	rel := mcAnswerRel(rows)
 	const eps = 0.02
-	out, _, err := MonteCarlo(rel, prob.MCOptions{Epsilon: eps, Delta: 1e-4, Seed: 17})
+	out, _, err := MonteCarlo(context.Background(), rel, prob.MCOptions{Epsilon: eps, Delta: 1e-4, Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestMonteCarloInconsistentProbability(t *testing.T) {
 		{1, 1, 0.1, 2, 0.2},
 		{1, 1, 0.9, 3, 0.3},
 	})
-	if _, _, err := MonteCarlo(rel, prob.MCOptions{Seed: 1}); err == nil {
+	if _, _, err := MonteCarlo(context.Background(), rel, prob.MCOptions{Seed: 1}); err == nil {
 		t.Error("inconsistent marginals for x1 must be rejected")
 	}
 }

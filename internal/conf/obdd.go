@@ -1,10 +1,12 @@
 package conf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/obdd"
+	"repro/internal/pool"
 	"repro/internal/prob"
 	"repro/internal/signature"
 	"repro/internal/table"
@@ -43,7 +45,9 @@ type OBDDStats struct {
 
 // OBDD computes per-answer confidences of a materialized answer relation by
 // OBDD compilation of each answer's lineage: CollectLineage, then one
-// compile+evaluate per distinct answer. The variable order is derived from
+// compile+evaluate per distinct answer, fanned across the worker pool (each
+// answer compiles into its own hash-consed unique table, so the workers
+// share nothing and need no locks). The variable order is derived from
 // sig when one is given (each clause visited in signature-table order,
 // interleaved clause by clause); with a nil sig it falls back to the pure
 // interleaved-occurrence order — the case for queries without a
@@ -53,19 +57,20 @@ type OBDDStats struct {
 // unless exactOnly is set, in which case ErrOBDDBudget is returned so the
 // caller can fall through to Monte Carlo. The output has the input's data
 // columns plus the conf column, sorted by the data columns, and is a
-// deterministic function of the input and options.
-func OBDD(rel *table.Relation, sig signature.Sig, opts obdd.Options, exactOnly bool) (*table.Relation, *OBDDStats, error) {
+// deterministic function of the input and options — never of the worker
+// count. ctx and p may be nil (no cancellation, serial execution).
+func OBDD(ctx context.Context, p *pool.Pool, rel *table.Relation, sig signature.Sig, opts obdd.Options, exactOnly bool) (*table.Relation, *OBDDStats, error) {
 	l, err := CollectLineage(rel)
 	if err != nil {
 		return nil, nil, err
 	}
-	return OBDDLineage(l, sig, opts, exactOnly)
+	return OBDDLineage(ctx, p, l, sig, opts, exactOnly)
 }
 
 // OBDDLineage is OBDD over an already collected lineage — the fallback
 // chain collects once and hands the same lineage to its Monte Carlo rung
 // when compilation blows the budget.
-func OBDDLineage(l *Lineage, sig signature.Sig, opts obdd.Options, exactOnly bool) (*table.Relation, *OBDDStats, error) {
+func OBDDLineage(ctx context.Context, p *pool.Pool, l *Lineage, sig signature.Sig, opts obdd.Options, exactOnly bool) (*table.Relation, *OBDDStats, error) {
 	rank := sigRank(sig, l.Source)
 
 	outCols := append(append([]table.Column(nil), l.Schema.Cols...), table.DataCol(ConfCol, table.KindFloat))
@@ -75,23 +80,36 @@ func OBDDLineage(l *Lineage, sig signature.Sig, opts obdd.Options, exactOnly boo
 		OutputTuples: int64(len(l.Keys)),
 		Clauses:      l.Clauses,
 	}
-	for i, key := range l.Keys {
+	// Compile every answer on the pool; reduce the results serially in
+	// answer order so the stats aggregation is deterministic. pool.Do
+	// returns the lowest-index error, matching the serial loop's behaviour
+	// on budget overruns.
+	results := make([]obdd.Result, len(l.Keys))
+	err := pool.Get(p, 1).Do(ctx, len(l.Keys), func(i int) error {
 		order := obdd.OccurrenceOrder(l.DNFs[i], rank)
 		res, err := obdd.Prob(l.DNFs[i], l.Assign, order, opts)
 		if err != nil {
-			return nil, nil, fmt.Errorf("conf: answer %d: %w", i, err)
+			return fmt.Errorf("conf: answer %d: %w", i, err)
 		}
+		if exactOnly && !res.Exact {
+			budget := opts.NodeBudget
+			if budget <= 0 {
+				budget = obdd.DefaultNodeBudget
+			}
+			return fmt.Errorf("%w: answer %d (%d clauses, budget %d)",
+				ErrOBDDBudget, i, len(l.DNFs[i].Clauses), budget)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, key := range l.Keys {
+		res := results[i]
 		if res.Exact {
 			stats.ExactAnswers++
 		} else {
-			if exactOnly {
-				budget := opts.NodeBudget
-				if budget <= 0 {
-					budget = obdd.DefaultNodeBudget
-				}
-				return nil, nil, fmt.Errorf("%w: answer %d (%d clauses, budget %d)",
-					ErrOBDDBudget, i, len(l.DNFs[i].Clauses), budget)
-			}
 			stats.Bounded++
 		}
 		stats.Nodes += int64(res.Nodes)

@@ -1,6 +1,7 @@
 package conf
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -22,7 +23,7 @@ func TestOBDDMatchesEnumeration(t *testing.T) {
 		{1, 4, 0.7, 3, 0.3},
 		{2, 5, 0.5, 6, 0.6},
 	})
-	out, stats, err := OBDD(rel, nil, obdd.Options{}, false)
+	out, stats, err := OBDD(context.Background(), nil, rel, nil, obdd.Options{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestOBDDMatchesExactOperator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaOBDD, stats, err := OBDD(rel, sig, obdd.Options{}, true)
+	viaOBDD, stats, err := OBDD(context.Background(), nil, rel, sig, obdd.Options{}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,10 +102,10 @@ func TestOBDDExactOnlyBudget(t *testing.T) {
 		{1, 4, 0.6, 5, 0.7},
 	})
 	opts := obdd.Options{NodeBudget: 1}
-	if _, _, err := OBDD(rel, nil, opts, true); !errors.Is(err, ErrOBDDBudget) {
+	if _, _, err := OBDD(context.Background(), nil, rel, nil, opts, true); !errors.Is(err, ErrOBDDBudget) {
 		t.Fatalf("exact-only starved budget: err = %v", err)
 	}
-	out, stats, err := OBDD(rel, nil, opts, false)
+	out, stats, err := OBDD(context.Background(), nil, rel, nil, opts, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,17 +1,35 @@
 package conf
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/pool"
 	"repro/internal/signature"
 	"repro/internal/storage"
 	"repro/internal/table"
 )
 
-// Options tunes the operator's secondary-storage behaviour.
+// Options tunes the operator's secondary-storage behaviour and its parallel
+// execution.
 type Options struct {
 	SortBudget int    // tuples held in memory per sort; 0 = default
 	TmpDir     string // spill directory; "" = os.TempDir()
+	// Pool drives the partition-parallel aggregation scans: the input is
+	// hash-partitioned by group key, each partition sorted and scanned by a
+	// worker, and the per-partition outputs merged back into global sort
+	// order. nil or a one-worker pool keeps the scans serial. The output is
+	// bit-identical either way.
+	Pool *pool.Pool
+	// Ctx cancels long scans between tuples; nil means no cancellation.
+	Ctx context.Context
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 // Stats reports what the operator did — the quantities behind the paper's
@@ -163,13 +181,20 @@ func representative(s signature.Sig) string {
 	return st.Table
 }
 
-// sortedScan sorts rel by keyCols (external sort) and streams it to emit.
+// sortedScan sorts rel by keyCols (external sort) and streams it to emit,
+// checking the context between tuples. Error paths discard any spilled runs.
 func sortedScan(rel *table.Relation, keyCols []int, opts Options, emit func(table.Tuple) error) (spills int, err error) {
+	ctx := opts.ctx()
 	sorter := storage.NewExternalSorter(func(a, b table.Tuple) int {
 		return table.CompareOn(a, b, keyCols)
 	}, opts.SortBudget, opts.TmpDir)
-	for _, row := range rel.Rows {
+	for i, row := range rel.Rows {
+		if i%scanCancelInterval == 0 && ctx.Err() != nil {
+			sorter.Discard()
+			return 0, ctx.Err()
+		}
 		if err := sorter.Add(row); err != nil {
+			sorter.Discard()
 			return 0, err
 		}
 	}
@@ -178,7 +203,10 @@ func sortedScan(rel *table.Relation, keyCols []int, opts Options, emit func(tabl
 		return 0, err
 	}
 	defer it.Close()
-	for {
+	for i := 0; ; i++ {
+		if i%scanCancelInterval == 0 && ctx.Err() != nil {
+			return sorter.Spills(), ctx.Err()
+		}
 		t, ok, err := it.Next()
 		if err != nil {
 			return sorter.Spills(), err
@@ -192,11 +220,98 @@ func sortedScan(rel *table.Relation, keyCols []int, opts Options, emit func(tabl
 	}
 }
 
+// scanCancelInterval is how many tuples a scan processes between context
+// checks.
+const scanCancelInterval = 4096
+
+// parallelScans reports whether an input should take the partition-parallel
+// scan path.
+func parallelScans(opts Options, rows, groupCols int) bool {
+	return opts.Pool != nil && opts.Pool.Parallel() && rows >= pool.ParallelMinRows && groupCols > 0
+}
+
+// partitionByKey buckets the rows of rel by the hash of its key columns.
+// Every group (rows equal on keyCols) lands wholly in one bucket, which is
+// what makes per-partition aggregation correct.
+func partitionByKey(rel *table.Relation, keyCols []int, n int) []*table.Relation {
+	buckets := table.PartitionOn(rel.Rows, keyCols, n)
+	parts := make([]*table.Relation, n)
+	for i, rows := range buckets {
+		parts[i] = &table.Relation{Schema: rel.Schema, Rows: rows}
+	}
+	return parts
+}
+
+// mergeByKey merges per-partition outputs back into global key order: each
+// part is sorted on the keyCols of the output schema and no key value spans
+// two partitions (they were hash-partitioned on it), so a k-way min-merge
+// reproduces the serial scan's output exactly.
+func mergeByKey(parts []*table.Relation, keyCols []int, schema *table.Schema) *table.Relation {
+	out := table.NewRelation(schema)
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	out.Rows = make([]table.Tuple, 0, total)
+	pos := make([]int, len(parts))
+	for {
+		best := -1
+		for i, p := range parts {
+			if pos[i] >= p.Len() {
+				continue
+			}
+			if best < 0 || table.CompareOn(p.Rows[pos[i]], parts[best].Rows[pos[best]], keyCols) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out.Rows = append(out.Rows, parts[best].Rows[pos[best]])
+		pos[best]++
+	}
+}
+
+// groupedScan is the shared core of the aggregation scans: sort rel by
+// sortCols, walk it group by group (groups are contiguous on groupCols), run
+// the one-scan algorithm of rt within each group, and append one output row
+// per group built from the group's first sorted tuple and its probability.
+func groupedScan(rel *table.Relation, rt *runtimeTree, groupCols, sortCols []int, opts Options, out *table.Relation, buildRow func(first table.Tuple, p float64) table.Tuple) (int, error) {
+	var prev, first table.Tuple
+	emitGroup := func() {
+		out.Rows = append(out.Rows, buildRow(first, rt.flush()))
+	}
+	spills, err := sortedScan(rel, sortCols, opts, func(t table.Tuple) error {
+		if prev != nil && !table.EqualOn(prev, t, groupCols) {
+			emitGroup()
+			prev = nil
+		}
+		if prev == nil {
+			first = t.Clone()
+			rt.seed(t)
+		} else {
+			rt.step(rt.firstUnmatched(prev, t), t)
+		}
+		prev = t.Clone()
+		return nil
+	})
+	if err != nil {
+		return spills, err
+	}
+	if prev != nil {
+		emitGroup()
+	}
+	return spills, nil
+}
+
 // aggregateStep executes one aggregation [γ*]: group by every column not
 // belonging to γ's tables, run the one-scan algorithm over γ's columns per
 // group, and emit the group columns plus representative V/P columns. This
 // is the single-scan equivalent of one GRP statement of Fig. 6 (or of a
-// whole sub-sequence when γ is composite).
+// whole sub-sequence when γ is composite). With a multi-worker pool in the
+// options the input is hash-partitioned by group key and the partitions are
+// sorted and scanned in parallel; the merged output is bit-identical to the
+// serial scan's.
 func aggregateStep(rel *table.Relation, gamma signature.Sig, opts Options) (*table.Relation, int, error) {
 	rt, err := newRuntimeTree(gamma, rel.Schema)
 	if err != nil {
@@ -227,46 +342,70 @@ func aggregateStep(rel *table.Relation, gamma signature.Sig, opts Options) (*tab
 		outCols = append(outCols, rel.Schema.Cols[i])
 	}
 	outCols = append(outCols, table.VarCol(root), table.ProbCol(root))
-	out := table.NewRelation(table.NewSchema(outCols...))
-	var prev table.Tuple
-	var groupKey table.Tuple
-	var repVar table.Value
-	emitGroup := func() {
-		p := rt.flush()
+	schema := table.NewSchema(outCols...)
+	buildRow := func(first table.Tuple, p float64) table.Tuple {
 		row := make(table.Tuple, 0, len(outCols))
 		for _, i := range groupCols {
-			row = append(row, groupKey[i])
+			row = append(row, first[i])
 		}
-		row = append(row, repVar, table.Float(p))
-		out.Rows = append(out.Rows, row)
+		// Sorted ascending: the group's first variable is the minimal
+		// representative.
+		return append(row, first[rootVarIdx], table.Float(p))
 	}
-	spills, err := sortedScan(rel, sortCols, opts, func(t table.Tuple) error {
-		if prev != nil && !table.EqualOn(prev, t, groupCols) {
-			emitGroup()
-			prev = nil
+
+	scanOne := func(part *table.Relation, out *table.Relation) (int, error) {
+		prt, err := newRuntimeTree(gamma, rel.Schema)
+		if err != nil {
+			return 0, err
 		}
-		if prev == nil {
-			groupKey = t.Clone()
-			repVar = t[rootVarIdx] // sorted ascending: first = min representative
-			rt.seed(t)
-		} else {
-			rt.step(rt.firstUnmatched(prev, t), t)
+		return groupedScan(part, prt, groupCols, sortCols, opts, out, buildRow)
+	}
+
+	if !parallelScans(opts, rel.Len(), len(groupCols)) {
+		out := table.NewRelation(schema)
+		spills, err := groupedScan(rel, rt, groupCols, sortCols, opts, out, buildRow)
+		if err != nil {
+			return nil, 0, err
 		}
-		prev = t.Clone()
-		return nil
+		return out, spills, nil
+	}
+	// Merge key: the group columns occupy the output's leading positions.
+	mergeCols := make([]int, len(groupCols))
+	for i := range mergeCols {
+		mergeCols[i] = i
+	}
+	return parallelGroupedScan(rel, groupCols, mergeCols, schema, opts, scanOne)
+}
+
+// parallelGroupedScan hash-partitions rel by groupCols, runs scanOne over
+// every partition on the pool, and merges the per-partition outputs (each
+// sorted on the output's mergeCols) back into global order.
+func parallelGroupedScan(rel *table.Relation, groupCols, mergeCols []int, schema *table.Schema, opts Options, scanOne func(part, out *table.Relation) (int, error)) (*table.Relation, int, error) {
+	n := opts.Pool.Workers()
+	parts := partitionByKey(rel, groupCols, n)
+	outs := make([]*table.Relation, n)
+	spills := make([]int, n)
+	err := opts.Pool.Do(opts.ctx(), n, func(i int) error {
+		outs[i] = table.NewRelation(schema)
+		s, err := scanOne(parts[i], outs[i])
+		spills[i] = s
+		return err
 	})
 	if err != nil {
 		return nil, 0, err
 	}
-	if prev != nil {
-		emitGroup()
+	total := 0
+	for _, s := range spills {
+		total += s
 	}
-	return out, spills, nil
+	return mergeByKey(outs, mergeCols, schema), total, nil
 }
 
 // finalScan runs the concluding one-scan pass of the operator: sort by the
 // data columns followed by the variable columns in 1scanTree preorder, then
-// compute one probability per bag of duplicates (Fig. 8's outer loop).
+// compute one probability per bag of duplicates (Fig. 8's outer loop). Like
+// aggregateStep it runs partition-parallel by answer key under a
+// multi-worker pool, with bit-identical output.
 func finalScan(rel *table.Relation, sig signature.Sig, opts Options) (*table.Relation, int, error) {
 	rt, err := newRuntimeTree(sig, rel.Schema)
 	if err != nil {
@@ -280,38 +419,34 @@ func finalScan(rel *table.Relation, sig signature.Sig, opts Options) (*table.Rel
 		outCols = append(outCols, rel.Schema.Cols[i])
 	}
 	outCols = append(outCols, table.DataCol(ConfCol, table.KindFloat))
-	out := table.NewRelation(table.NewSchema(outCols...))
-
-	var prev table.Tuple
-	var bagKey table.Tuple
-	emitBag := func() {
-		p := rt.flush()
+	schema := table.NewSchema(outCols...)
+	buildRow := func(first table.Tuple, p float64) table.Tuple {
 		row := make(table.Tuple, 0, len(outCols))
 		for _, i := range dataCols {
-			row = append(row, bagKey[i])
+			row = append(row, first[i])
 		}
-		row = append(row, table.Float(p))
-		out.Rows = append(out.Rows, row)
+		return append(row, table.Float(p))
 	}
-	spills, err := sortedScan(rel, sortCols, opts, func(t table.Tuple) error {
-		if prev != nil && !table.EqualOn(prev, t, dataCols) {
-			emitBag()
-			prev = nil
+
+	scanOne := func(part *table.Relation, out *table.Relation) (int, error) {
+		prt, err := newRuntimeTree(sig, rel.Schema)
+		if err != nil {
+			return 0, err
 		}
-		if prev == nil {
-			bagKey = t.Clone()
-			rt.seed(t)
-		} else {
-			rt.step(rt.firstUnmatched(prev, t), t)
+		return groupedScan(part, prt, dataCols, sortCols, opts, out, buildRow)
+	}
+
+	if !parallelScans(opts, rel.Len(), len(dataCols)) {
+		out := table.NewRelation(schema)
+		spills, err := groupedScan(rel, rt, dataCols, sortCols, opts, out, buildRow)
+		if err != nil {
+			return nil, 0, err
 		}
-		prev = t.Clone()
-		return nil
-	})
-	if err != nil {
-		return nil, 0, err
+		return out, spills, nil
 	}
-	if prev != nil {
-		emitBag()
+	mergeCols := make([]int, len(dataCols))
+	for i := range mergeCols {
+		mergeCols[i] = i
 	}
-	return out, spills, nil
+	return parallelGroupedScan(rel, dataCols, mergeCols, schema, opts, scanOne)
 }

@@ -1,0 +1,130 @@
+package conf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/prob"
+	"repro/internal/signature"
+	"repro/internal/table"
+)
+
+// randomTwoSourceRel builds an R/S answer relation with `groups` distinct
+// answers and `dups` duplicate rows per answer — big enough to force the
+// external sort to spill under a tiny budget.
+func randomTwoSourceRel(rng *rand.Rand, groups, dups int) *table.Relation {
+	sch := table.NewSchema(
+		table.DataCol("d", table.KindInt),
+		table.VarCol("R"), table.ProbCol("R"),
+		table.VarCol("S"), table.ProbCol("S"),
+	)
+	rel := table.NewRelation(sch)
+	nextVar := int64(1)
+	for g := 0; g < groups; g++ {
+		rv := nextVar
+		nextVar++
+		rp := 0.1 + 0.8*rng.Float64()
+		for d := 0; d < dups; d++ {
+			sv := nextVar
+			nextVar++
+			sp := 0.1 + 0.8*rng.Float64()
+			rel.MustAppend(table.Tuple{table.Int(int64(g)),
+				table.VarValue(prob.Var(rv)), table.Float(rp),
+				table.VarValue(prob.Var(sv)), table.Float(sp)})
+		}
+	}
+	// Shuffle so the sort has real work to do.
+	rng.Shuffle(rel.Len(), func(i, j int) { rel.Rows[i], rel.Rows[j] = rel.Rows[j], rel.Rows[i] })
+	return rel
+}
+
+func twoSourceSig() signature.Sig {
+	return signature.NewStar(signature.NewConcat(
+		signature.Table("R"),
+		signature.NewStar(signature.Table("S")),
+	))
+}
+
+// TestComputeSpillsAreRemoved: after a Compute whose tiny SortBudget forces
+// many spilled runs, the spill dir must be empty — serially and under a
+// multi-worker pool.
+func TestComputeSpillsAreRemoved(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			dir := t.TempDir()
+			rel := randomTwoSourceRel(rand.New(rand.NewSource(7)), 300, 10)
+			out, stats, err := ComputeStats(rel, twoSourceSig(), Options{
+				SortBudget: 32,
+				TmpDir:     dir,
+				Pool:       pool.New(workers),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Len() != 300 {
+				t.Fatalf("got %d answers, want 300", out.Len())
+			}
+			if stats.SpilledRuns == 0 {
+				t.Fatal("expected spilled runs under the tiny budget")
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) != 0 {
+				t.Errorf("spill files left behind: %v", entries)
+			}
+		})
+	}
+}
+
+// trippingCtx is a context whose Err starts failing after a fixed number of
+// checks — an injected failure that hits the scan mid-stream, after run
+// files were already created.
+type trippingCtx struct {
+	context.Context
+	checks  atomic.Int64
+	tripAt  int64
+	tripped atomic.Bool
+}
+
+func (c *trippingCtx) Err() error {
+	if c.checks.Add(1) > c.tripAt {
+		c.tripped.Store(true)
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestComputeInjectedFailureCleansSpills: a failure injected mid-scan (the
+// context trips after the sort already spilled) must abort Compute without
+// leaving a single run file behind.
+func TestComputeInjectedFailureCleansSpills(t *testing.T) {
+	dir := t.TempDir()
+	rel := randomTwoSourceRel(rand.New(rand.NewSource(11)), 3000, 4)
+	ctx := &trippingCtx{Context: context.Background(), tripAt: 2}
+	_, _, err := ComputeStats(rel, twoSourceSig(), Options{
+		SortBudget: 32,
+		TmpDir:     dir,
+		Ctx:        ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected the injected cancellation, got %v", err)
+	}
+	if !ctx.tripped.Load() {
+		t.Fatal("injected failure never fired")
+	}
+	entries, err2 := os.ReadDir(dir)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if len(entries) != 0 {
+		t.Errorf("spill files left after injected failure: %v", entries)
+	}
+}

@@ -21,21 +21,7 @@ type Operator interface {
 // Collect drains an operator into an in-memory relation (opening and
 // closing it), cloning each tuple.
 func Collect(op Operator) (*table.Relation, error) {
-	if err := op.Open(); err != nil {
-		return nil, err
-	}
-	defer op.Close()
-	rel := table.NewRelation(op.Schema())
-	for {
-		t, ok, err := op.Next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return rel, nil
-		}
-		rel.Rows = append(rel.Rows, t.Clone())
-	}
+	return CollectCtx(nil, op)
 }
 
 // Count drains an operator and returns only the row count.

@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/pool"
+	"repro/internal/table"
+)
+
+// This file is the partition-parallel side of the executor: chunked
+// evaluation of per-tuple pipelines over in-memory relations (parallel
+// scans) and a hash-partitioned join, both driven by the shared worker pool
+// of internal/pool. Both produce output that is a deterministic function of
+// their input alone — independent of the worker count and of scheduling —
+// which is what lets the engine guarantee bit-identical results for
+// workers=1 and workers=N.
+
+// ParallelMinRows is the input size below which the parallel paths fall back
+// to serial execution; see pool.ParallelMinRows.
+const ParallelMinRows = pool.ParallelMinRows
+
+// collectCancelInterval is how many tuples Collect pulls between context
+// checks.
+const collectCancelInterval = 4096
+
+// CollectCtx drains an operator into an in-memory relation like Collect,
+// checking the context every few thousand tuples so runaway pipelines can be
+// cancelled.
+func CollectCtx(ctx context.Context, op Operator) (*table.Relation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	rel := table.NewRelation(op.Schema())
+	for n := 0; ; n++ {
+		if n%collectCancelInterval == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		t, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rel, nil
+		}
+		rel.Rows = append(rel.Rows, t.Clone())
+	}
+}
+
+// CollectChunks evaluates a per-tuple operator pipeline over an in-memory
+// relation in parallel: the rows are split into contiguous chunks, each
+// worker runs its own pipeline instance (built by wrap over a scan of its
+// chunk) and the chunk outputs are concatenated in chunk order. Because the
+// pipeline is row-wise and order-preserving, the result equals a serial
+// wrap(scan(rel)) collection regardless of the chunk count — so the worker
+// count never changes the output, only the wall-clock.
+//
+// wrap must build a fresh, independent pipeline on every call: instances run
+// concurrently.
+func CollectChunks(ctx context.Context, p *pool.Pool, rel *table.Relation, wrap func(Operator) (Operator, error)) (*table.Relation, error) {
+	n := rel.Len()
+	chunks := p.Workers()
+	if !p.Parallel() || n < ParallelMinRows {
+		op, err := wrap(NewMemScan(rel))
+		if err != nil {
+			return nil, err
+		}
+		return CollectCtx(ctx, op)
+	}
+	parts := make([]*table.Relation, chunks)
+	err := p.Do(ctx, chunks, func(i int) error {
+		lo, hi := i*n/chunks, (i+1)*n/chunks
+		sub := &table.Relation{Schema: rel.Schema, Rows: rel.Rows[lo:hi]}
+		op, err := wrap(NewMemScan(sub))
+		if err != nil {
+			return err
+		}
+		out, err := CollectCtx(ctx, op)
+		if err != nil {
+			return err
+		}
+		parts[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := table.NewRelation(parts[0].Schema)
+	for _, part := range parts {
+		out.Rows = append(out.Rows, part.Rows...)
+	}
+	return out, nil
+}
+
+// PartitionedHashJoin is the partition-parallel equi-join: both inputs are
+// drained and split by join-key hash into a fixed number of partitions, the
+// per-partition hash joins run on the worker pool, and the partition outputs
+// are concatenated in partition order. Matching keys land in the same
+// partition by construction, so the result is the same multiset as
+// HashJoin's; the row order is a deterministic function of the inputs and
+// the partition count — never of the worker count or scheduling.
+type PartitionedHashJoin struct {
+	Left, Right         Operator
+	LeftKeys, RightKeys []int
+	Pool                *pool.Pool
+	Ctx                 context.Context
+	out                 *table.Schema
+	rows                []table.Tuple
+	pos                 int
+}
+
+// joinPartitions is the fixed fan-out of a partitioned join. It must not
+// depend on the worker count: the partition boundaries shape the output
+// order, and the engine promises order stability across worker counts.
+const joinPartitions = 16
+
+// NewPartitionedHashJoin builds a partition-parallel join over the pool.
+func NewPartitionedHashJoin(left, right Operator, leftKeys, rightKeys []int, p *pool.Pool, ctx context.Context) (*PartitionedHashJoin, error) {
+	if len(leftKeys) != len(rightKeys) {
+		return nil, fmt.Errorf("engine: hash join key arity mismatch")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &PartitionedHashJoin{
+		Left: left, Right: right,
+		LeftKeys: leftKeys, RightKeys: rightKeys,
+		Pool: p, Ctx: ctx,
+		out: left.Schema().Concat(right.Schema()),
+	}, nil
+}
+
+// Schema returns left ++ right.
+func (j *PartitionedHashJoin) Schema() *table.Schema { return j.out }
+
+// drainStable materializes an operator's output with stable row storage.
+// A MemScan already yields rows owned by an in-memory relation (the
+// parallel leaf pipelines and staged intermediates hand those in), so its
+// relation is reused as-is instead of clone-copying every tuple a second
+// time; everything else goes through the cloning collector.
+func drainStable(ctx context.Context, op Operator) (*table.Relation, error) {
+	if ms, ok := op.(*MemScan); ok {
+		return ms.Rel, nil
+	}
+	return CollectCtx(ctx, op)
+}
+
+// Open drains and partitions both inputs and joins the partitions in
+// parallel.
+func (j *PartitionedHashJoin) Open() error {
+	left, err := drainStable(j.Ctx, j.Left)
+	if err != nil {
+		return err
+	}
+	right, err := drainStable(j.Ctx, j.Right)
+	if err != nil {
+		return err
+	}
+	// Small inputs skip the partitioning: one serial build+probe costs less
+	// than 16-way hashing plus pool dispatch. The switch depends only on
+	// the input (never on the worker count), so the output order stays a
+	// deterministic function of the inputs.
+	if left.Len()+right.Len() < ParallelMinRows {
+		j.rows = joinPartition(left.Rows, right.Rows, j.LeftKeys, j.RightKeys)
+		j.pos = 0
+		return nil
+	}
+	lParts := table.PartitionOn(left.Rows, j.LeftKeys, joinPartitions)
+	rParts := table.PartitionOn(right.Rows, j.RightKeys, joinPartitions)
+	outs := make([][]table.Tuple, joinPartitions)
+	err = j.Pool.Do(j.Ctx, joinPartitions, func(p int) error {
+		outs[p] = joinPartition(lParts[p], rParts[p], j.LeftKeys, j.RightKeys)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	j.rows = j.rows[:0]
+	for _, part := range outs {
+		j.rows = append(j.rows, part...)
+	}
+	j.pos = 0
+	return nil
+}
+
+// joinPartition builds a hash table over the right rows and probes with the
+// left rows in order — one partition's worth of HashJoin.
+func joinPartition(left, right []table.Tuple, lk, rk []int) []table.Tuple {
+	if len(left) == 0 || len(right) == 0 {
+		return nil
+	}
+	built := make(map[string][]table.Tuple, len(right))
+	for _, t := range right {
+		k := hashKey(t, rk)
+		built[k] = append(built[k], t)
+	}
+	var out []table.Tuple
+	for _, l := range left {
+		for _, r := range built[hashKey(l, lk)] {
+			row := make(table.Tuple, 0, len(l)+len(r))
+			row = append(row, l...)
+			row = append(row, r...)
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Next streams the materialized join result.
+func (j *PartitionedHashJoin) Next() (table.Tuple, bool, error) {
+	if j.pos >= len(j.rows) {
+		return nil, false, nil
+	}
+	t := j.rows[j.pos]
+	j.pos++
+	return t, true, nil
+}
+
+// Close drops the materialized result.
+func (j *PartitionedHashJoin) Close() error {
+	j.rows = nil
+	return nil
+}

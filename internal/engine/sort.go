@@ -47,6 +47,7 @@ func (s *Sort) Open() error {
 		t, ok, err := s.In.Next()
 		if err != nil {
 			s.In.Close()
+			sorter.Discard()
 			return err
 		}
 		if !ok {
@@ -54,10 +55,12 @@ func (s *Sort) Open() error {
 		}
 		if err := sorter.Add(t.Clone()); err != nil {
 			s.In.Close()
+			sorter.Discard()
 			return err
 		}
 	}
 	if err := s.In.Close(); err != nil {
+		sorter.Discard()
 		return err
 	}
 	it, err := sorter.Finish()

@@ -1,13 +1,33 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/pool"
 	"repro/internal/query"
 	"repro/internal/table"
 )
+
+// exec carries the cross-cutting execution state of one plan run: the
+// cancellation context and the shared worker pool. A serial exec (one-worker
+// pool, background context) reproduces the classic single-threaded executor
+// exactly.
+type exec struct {
+	ctx  context.Context
+	pool *pool.Pool
+}
+
+// serialExec is the executor used by entry points that predate the parallel
+// layer (Answer, tests).
+func serialExec() exec {
+	return exec{ctx: context.Background(), pool: pool.New(1)}
+}
+
+// parallel reports whether this run should take the partitioned paths.
+func (ex exec) parallel() bool { return ex.pool.Parallel() }
 
 // selectivity factors for cardinality estimation; exact values only need to
 // rank relations sensibly (selective selections first for lazy plans).
@@ -148,11 +168,14 @@ func neededAttrs(q *query.Query, joined map[string]bool) map[string]bool {
 	return need
 }
 
-// leafPipeline builds scan → filter → project for one relation occurrence.
-// The projection keeps the occurrence's needed attributes plus its V/P
-// columns; selections are applied before attributes are dropped.
-func leafPipeline(c *Catalog, q *query.Query, ref query.RelRef) (engine.Operator, error) {
-	op, err := c.Scan(ref)
+// leafWrap builds the per-tuple pipeline of one relation occurrence —
+// rename → filter → project — over an arbitrary operator with the base
+// table's schema. The projection keeps the occurrence's needed attributes
+// plus its V/P columns; selections are applied before attributes are
+// dropped. Every call builds a fresh pipeline, so instances can run
+// concurrently over disjoint row chunks.
+func leafWrap(c *Catalog, q *query.Query, ref query.RelRef, in engine.Operator) (engine.Operator, error) {
+	op, err := c.Rename(ref, in)
 	if err != nil {
 		return nil, err
 	}
@@ -195,9 +218,32 @@ func leafPipeline(c *Catalog, q *query.Query, ref query.RelRef) (engine.Operator
 	return engine.NewColumnProject(op, names)
 }
 
+// leafPipeline builds the operator reading one relation occurrence. Under a
+// multi-worker pool the scan is partitioned: the base relation's rows are
+// split into chunks, each chunk runs its own rename/filter/project pipeline
+// on a worker, and the chunk outputs are concatenated in row order — the
+// same rows in the same order as the serial scan.
+func leafPipeline(ex exec, c *Catalog, q *query.Query, ref query.RelRef) (engine.Operator, error) {
+	base, err := c.Base(ref)
+	if err != nil {
+		return nil, err
+	}
+	wrap := func(in engine.Operator) (engine.Operator, error) { return leafWrap(c, q, ref, in) }
+	if ex.parallel() && base.Rel.Len() >= engine.ParallelMinRows {
+		rel, err := engine.CollectChunks(ex.ctx, ex.pool, base.Rel, wrap)
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewMemScan(rel), nil
+	}
+	return wrap(engine.NewMemScan(base.Rel))
+}
+
 // joinPipeline equi-joins two operators on their shared data attributes and
-// projects the result to the needed attributes plus all V/P columns.
-func joinPipeline(q *query.Query, left, right engine.Operator, joined map[string]bool) (engine.Operator, error) {
+// projects the result to the needed attributes plus all V/P columns. Under a
+// multi-worker pool the join is hash-partitioned and the partitions joined
+// in parallel.
+func joinPipeline(ex exec, q *query.Query, left, right engine.Operator, joined map[string]bool) (engine.Operator, error) {
 	ls, rs := left.Schema(), right.Schema()
 	var lk, rk []int
 	for i, lc := range ls.Cols {
@@ -210,7 +256,13 @@ func joinPipeline(q *query.Query, left, right engine.Operator, joined map[string
 			rk = append(rk, j)
 		}
 	}
-	j, err := engine.NewHashJoin(left, right, lk, rk)
+	var j engine.Operator
+	var err error
+	if ex.parallel() {
+		j, err = engine.NewPartitionedHashJoin(left, right, lk, rk, ex.pool, ex.ctx)
+	} else {
+		j, err = engine.NewHashJoin(left, right, lk, rk)
+	}
 	if err != nil {
 		return nil, err
 	}

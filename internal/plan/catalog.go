@@ -74,17 +74,24 @@ func (c *Catalog) Rows(name string) int {
 	return 0
 }
 
-// Scan builds an operator reading one relation occurrence: the base table
-// with data columns positionally renamed to the occurrence's attribute
-// names and V/P columns renamed to the occurrence name. Renaming is what
-// makes the paper's alias trick for self-joins work (two copies of Nation
-// with attributes n1key/n2key, §VI on TPC-H query 7).
-func (c *Catalog) Scan(ref query.RelRef) (engine.Operator, error) {
+// Base returns the stored table behind a relation occurrence.
+func (c *Catalog) Base(ref query.RelRef) (*table.ProbTable, error) {
 	base, ok := c.tables[ref.Base]
 	if !ok {
 		return nil, fmt.Errorf("plan: unknown base table %q", ref.Base)
 	}
-	bs := base.Rel.Schema
+	return base, nil
+}
+
+// Rename wraps an operator over the base table's schema with the occurrence
+// renaming: data columns positionally renamed to the occurrence's attribute
+// names, V/P columns renamed to the occurrence name. Renaming is what makes
+// the paper's alias trick for self-joins work (two copies of Nation with
+// attributes n1key/n2key, §VI on TPC-H query 7). Splitting the rename from
+// the scan lets the parallel execution layer run it over row chunks of the
+// base relation.
+func (c *Catalog) Rename(ref query.RelRef, in engine.Operator) (engine.Operator, error) {
+	bs := in.Schema()
 	dataIdx := bs.DataIndexes()
 	if len(ref.Attrs) != len(dataIdx) {
 		return nil, fmt.Errorf("plan: occurrence %s has %d attributes but base %s has %d data columns",
@@ -99,5 +106,15 @@ func (c *Catalog) Scan(ref query.RelRef) (engine.Operator, error) {
 	vi, pi := bs.VarIndex(ref.Base), bs.ProbIndex(ref.Base)
 	cols = append(cols, table.VarCol(ref.Name), table.ProbCol(ref.Name))
 	exprs = append(exprs, engine.ColRef{Idx: vi, Name: "V"}, engine.ColRef{Idx: pi, Name: "P"})
-	return engine.NewProject(engine.NewMemScan(base.Rel), table.NewSchema(cols...), exprs)
+	return engine.NewProject(in, table.NewSchema(cols...), exprs)
+}
+
+// Scan builds an operator reading one relation occurrence: a scan of the
+// base table under the occurrence renaming.
+func (c *Catalog) Scan(ref query.RelRef) (engine.Operator, error) {
+	base, err := c.Base(ref)
+	if err != nil {
+		return nil, err
+	}
+	return c.Rename(ref, engine.NewMemScan(base.Rel))
 }

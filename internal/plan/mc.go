@@ -17,14 +17,14 @@ import (
 // No signature is required, so this plan accepts every conjunctive query —
 // including the #P-hard ones every exact style must reject. note annotates
 // the plan line when the run is a fallback from an exact style.
-func runMonteCarlo(c *Catalog, q *query.Query, spec Spec, note string) (*Result, error) {
+func runMonteCarlo(ex exec, c *Catalog, q *query.Query, spec Spec, note string) (*Result, error) {
 	order := LazyOrder(c, q)
 	t0 := time.Now()
-	answer, err := answerPipeline(c, q, order)
+	answer, err := answerPipeline(ex, c, q, order)
 	if err != nil {
 		return nil, err
 	}
-	return finishMonteCarlo(q, spec, note, order, answer, nil, time.Since(t0), 0)
+	return finishMonteCarlo(ex, q, spec, note, order, answer, nil, time.Since(t0), 0)
 }
 
 // finishMonteCarlo estimates confidences over an already materialized
@@ -34,7 +34,7 @@ func runMonteCarlo(c *Catalog, q *query.Query, spec Spec, note string) (*Result,
 // which case the lineage is collected here; probSpent carries the caller's
 // already-spent confidence-computation time (the aborted OBDD compile) so
 // Stats.ProbTime reports the real cost of the fallback.
-func finishMonteCarlo(q *query.Query, spec Spec, note string, order []query.RelRef, answer *table.Relation, l *conf.Lineage, tupleTime, probSpent time.Duration) (*Result, error) {
+func finishMonteCarlo(ex exec, q *query.Query, spec Spec, note string, order []query.RelRef, answer *table.Relation, l *conf.Lineage, tupleTime, probSpent time.Duration) (*Result, error) {
 	t1 := time.Now()
 	if l == nil {
 		var err error
@@ -43,7 +43,7 @@ func finishMonteCarlo(q *query.Query, spec Spec, note string, order []query.RelR
 			return nil, err
 		}
 	}
-	out, mcs, err := conf.MonteCarloLineage(l, spec.MC)
+	out, mcs, err := conf.MonteCarloLineage(ex.ctx, l, spec.MC)
 	if err != nil {
 		return nil, err
 	}

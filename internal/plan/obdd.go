@@ -25,10 +25,10 @@ import (
 // required, but when one exists it seeds the variable order (clauses
 // visited root-table first), which keeps the diagrams of hierarchical
 // lineage linear.
-func runOBDD(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) {
+func runOBDD(ex exec, c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) {
 	order := LazyOrder(c, q)
 	t0 := time.Now()
-	answer, err := answerPipeline(c, q, order)
+	answer, err := answerPipeline(ex, c, q, order)
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +42,7 @@ func runOBDD(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, err
 	}
 
 	t1 := time.Now()
-	out, os, err := conf.OBDD(answer, sig, spec.OBDD, spec.RequireExact)
+	out, os, err := conf.OBDD(ex.ctx, ex.pool, answer, sig, spec.OBDD, spec.RequireExact)
 	if err != nil {
 		if errors.Is(err, conf.ErrOBDDBudget) {
 			return nil, fmt.Errorf("plan: %s: %w (RequireExact forbids certified bounds)", q.Name, err)
@@ -63,10 +63,10 @@ func runOBDD(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, err
 // a different engine — and only if some diagram blows the budget, estimate
 // with the Monte Carlo plan. The answer relation is materialized and its
 // lineage collected once, shared by both attempts.
-func runExactFallback(c *Catalog, q *query.Query, spec Spec) (*Result, error) {
+func runExactFallback(ex exec, c *Catalog, q *query.Query, spec Spec) (*Result, error) {
 	order := LazyOrder(c, q)
 	t0 := time.Now()
-	answer, err := answerPipeline(c, q, order)
+	answer, err := answerPipeline(ex, c, q, order)
 	if err != nil {
 		return nil, err
 	}
@@ -77,13 +77,13 @@ func runExactFallback(c *Catalog, q *query.Query, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, os, err := conf.OBDDLineage(l, nil, spec.OBDD, true)
+	out, os, err := conf.OBDDLineage(ex.ctx, ex.pool, l, nil, spec.OBDD, true)
 	if err != nil {
 		if !errors.Is(err, conf.ErrOBDDBudget) {
 			return nil, err
 		}
 		note := fmt.Sprintf(" (fallback from %s: no hierarchical signature, OBDD budget exceeded)", spec.Style)
-		return finishMonteCarlo(q, spec, note, order, answer, l, tupleTime, time.Since(t1))
+		return finishMonteCarlo(ex, q, spec, note, order, answer, l, tupleTime, time.Since(t1))
 	}
 	probTime := time.Since(t1)
 	out, err = normalizeAnswer(out, q)

@@ -21,7 +21,7 @@ import (
 // Probabilities are aggregated with MystiQ's 1-POWER(10, SUM(log10(1.001-p)))
 // formula, whose runtime failures on large groups (§VII) are reproduced as
 // errors.
-func runSafe(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) {
+func runSafe(ex exec, c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) {
 	// Prefer the head-aware tree of the original query: its labels carry
 	// the actual join attributes. The FD-reduct tree (used when the
 	// original structure is non-hierarchical, e.g. Q18) drops attributes
@@ -39,7 +39,7 @@ func runSafe(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, err
 	for _, h := range q.Head {
 		head[h] = true
 	}
-	b := &safeBuilder{cat: c, q: q, head: head}
+	b := &safeBuilder{cat: c, q: q, head: head, ex: ex}
 	op, err := b.node(tree, nil)
 	if err != nil {
 		return nil, err
@@ -49,7 +49,7 @@ func runSafe(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	rel, err := engine.Collect(op)
+	rel, err := engine.CollectCtx(ex.ctx, op)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +94,7 @@ type safeBuilder struct {
 	cat             *Catalog
 	q               *query.Query
 	head            map[string]bool
+	ex              exec
 	maxIntermediate int64
 	aggregations    int
 }
@@ -282,7 +283,7 @@ func (b *safeBuilder) join(left, right engine.Operator, keep []string) (engine.O
 	if err != nil {
 		return nil, err
 	}
-	mat, err := engine.Collect(proj)
+	mat, err := engine.CollectCtx(b.ex.ctx, proj)
 	if err != nil {
 		return nil, err
 	}

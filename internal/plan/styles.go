@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fd"
 	"repro/internal/obdd"
+	"repro/internal/pool"
 	"repro/internal/prob"
 	"repro/internal/query"
 	"repro/internal/signature"
@@ -104,6 +106,18 @@ type Spec struct {
 	// through the OBDD and Monte Carlo tiers, and the OBDD style errors
 	// instead of reporting certified bounds when the budget is exceeded.
 	RequireExact bool
+	// Workers sizes the shared worker pool driving every parallel stage of
+	// the run: partitioned scans and hash-partitioned joins, the
+	// partition-parallel aggregation passes of the confidence operator,
+	// per-answer OBDD compilation and Monte Carlo estimation. 0 defaults to
+	// GOMAXPROCS; 1 forces the classic single-threaded executor. The
+	// computed confidences are bit-identical for every worker count.
+	Workers int
+	// Pool, when non-nil, supplies an existing worker pool instead of a
+	// fresh one of Workers workers — the sprout.Engine facade passes its
+	// pool here so every concurrently served query draws from one global
+	// slot budget.
+	Pool *pool.Pool
 }
 
 // Stats reports the execution breakdown the paper's figures use.
@@ -160,14 +174,50 @@ type Result struct {
 // of erroring out. Set spec.RequireExact to turn the fallback back into an
 // error.
 func Run(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) {
+	return RunContext(context.Background(), c, q, sigma, spec)
+}
+
+// RunContext is Run with cancellation: every pipeline, sort pass, OBDD
+// compilation and Monte Carlo sampler checks ctx and aborts with ctx.Err()
+// shortly after it is cancelled.
+func RunContext(ctx context.Context, c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) {
+	p, err := Prepare(c, q, sigma, spec)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(ctx)
+}
+
+// Prepared is a query plan resolved once — validation done, style checked,
+// signature computed, fallback chain chosen, worker pool pinned — and
+// runnable many times, concurrently, against the (frozen) catalog. It is
+// the unit the sprout.Engine facade serves.
+type Prepared struct {
+	c     *Catalog
+	q     *query.Query
+	sigma *fd.Set
+	spec  Spec
+	pool  *pool.Pool
+
+	// sig is the resolved hierarchical signature of an exact style; nil
+	// when the style needs none (MonteCarlo, OBDD) or none exists (the run
+	// takes the fallback chain).
+	sig      signature.Sig
+	fallback bool
+}
+
+// Prepare resolves a plan without running it. Errors that do not depend on
+// the data — invalid queries, unknown styles, RequireExact on a query
+// without a hierarchical signature — surface here, once, instead of on
+// every Run.
+func Prepare(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Prepared, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	p := &Prepared{c: c, q: q, sigma: sigma, spec: spec, pool: pool.Get(spec.Pool, spec.Workers)}
 	switch spec.Style {
-	case MonteCarlo:
-		return runMonteCarlo(c, q, spec, "")
-	case OBDD:
-		return runOBDD(c, q, sigma, spec)
+	case MonteCarlo, OBDD:
+		return p, nil
 	case Lazy, Eager, Hybrid, SafeMystiQ:
 		// Known exact styles: validated before the fallback below, so an
 		// unknown style errors rather than silently estimating.
@@ -179,23 +229,50 @@ func Run(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) 
 		if spec.RequireExact {
 			return nil, fmt.Errorf("plan: %s is not tractable (no hierarchical signature): %w", q.Name, err)
 		}
-		return runExactFallback(c, q, spec)
+		p.fallback = true
+		return p, nil
 	}
+	p.sig = sig
+	return p, nil
+}
+
+// Run executes the prepared plan. It is safe for concurrent use: every call
+// carries its own execution state, and calls share only the worker pool and
+// the read-only catalog.
+func (p *Prepared) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ex := exec{ctx: ctx, pool: p.pool}
+	spec := p.spec
+	// Thread the run's context and pool into the operator options so every
+	// tier draws from the same slot budget and honours cancellation.
+	spec.Conf.Ctx, spec.Conf.Pool = ctx, p.pool
+	spec.MC.Pool = p.pool
+	c, q, sigma := p.c, p.q, p.sigma
+	switch spec.Style {
+	case MonteCarlo:
+		return runMonteCarlo(ex, c, q, spec, "")
+	case OBDD:
+		return runOBDD(ex, c, q, sigma, spec)
+	}
+	if p.fallback {
+		return runExactFallback(ex, c, q, spec)
+	}
+	sig := p.sig
 	switch spec.Style {
 	case Lazy:
-		return runLazy(c, q, sig, spec)
+		return runLazy(ex, c, q, sig, spec)
 	case Eager:
-		return runStaged(c, q, sigma, sig, spec, len(q.Rels), true)
+		return runStaged(ex, c, q, sigma, sig, spec, len(q.Rels), true)
 	case Hybrid:
 		prefix := spec.HybridPrefix
 		if prefix <= 0 || prefix > len(q.Rels) {
 			prefix = len(q.Rels) - 1
 		}
-		return runStaged(c, q, sigma, sig, spec, prefix, false)
-	case SafeMystiQ:
-		return runSafe(c, q, sigma, spec)
-	default:
-		return nil, fmt.Errorf("plan: unknown style %d", spec.Style)
+		return runStaged(ex, c, q, sigma, sig, spec, prefix, false)
+	default: // SafeMystiQ; Prepare rejected everything else
+		return runSafe(ex, c, q, sigma, spec)
 	}
 }
 
@@ -204,16 +281,16 @@ func Run(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) 
 // the input the confidence operator consumes. Exposed for the benchmark
 // harness (Fig. 13 measures the operator in isolation on this relation).
 func Answer(c *Catalog, q *query.Query) (*table.Relation, error) {
-	return answerPipeline(c, q, LazyOrder(c, q))
+	return answerPipeline(serialExec(), c, q, LazyOrder(c, q))
 }
 
 // answerPipeline joins the relations in the given order, returning the
 // materialized answer with head data attributes and all V/P columns.
-func answerPipeline(c *Catalog, q *query.Query, order []query.RelRef) (*table.Relation, error) {
+func answerPipeline(ex exec, c *Catalog, q *query.Query, order []query.RelRef) (*table.Relation, error) {
 	joined := make(map[string]bool)
 	var op engine.Operator
 	for i, ref := range order {
-		leaf, err := leafPipeline(c, q, ref)
+		leaf, err := leafPipeline(ex, c, q, ref)
 		if err != nil {
 			return nil, err
 		}
@@ -222,20 +299,20 @@ func answerPipeline(c *Catalog, q *query.Query, order []query.RelRef) (*table.Re
 			op = leaf
 			continue
 		}
-		op, err = joinPipeline(q, op, leaf, joined)
+		op, err = joinPipeline(ex, q, op, leaf, joined)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return engine.Collect(op)
+	return engine.CollectCtx(ex.ctx, op)
 }
 
 // runLazy is Fig. 7(c): compute all answer tuples first (greedy selective
 // join order), then one confidence operator over the materialized answer.
-func runLazy(c *Catalog, q *query.Query, sig signature.Sig, spec Spec) (*Result, error) {
+func runLazy(ex exec, c *Catalog, q *query.Query, sig signature.Sig, spec Spec) (*Result, error) {
 	order := LazyOrder(c, q)
 	t0 := time.Now()
-	answer, err := answerPipeline(c, q, order)
+	answer, err := answerPipeline(ex, c, q, order)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +347,7 @@ func runLazy(c *Catalog, q *query.Query, sig signature.Sig, spec Spec) (*Result,
 // leaf, for fully eager plans), the §V.B-valid probability-computation
 // operators are applied and the running signature updated. Whatever
 // signature remains at the top is finished by the ordinary operator.
-func runStaged(c *Catalog, q *query.Query, sigma *fd.Set, sig signature.Sig, spec Spec, eagerStages int, hierOrder bool) (*Result, error) {
+func runStaged(ex exec, c *Catalog, q *query.Query, sigma *fd.Set, sig signature.Sig, spec Spec, eagerStages int, hierOrder bool) (*Result, error) {
 	full := sig
 	cur := sig
 	var order []query.RelRef
@@ -313,22 +390,22 @@ func runStaged(c *Catalog, q *query.Query, sigma *fd.Set, sig signature.Sig, spe
 	}
 
 	for i, ref := range order {
-		leaf, err := leafPipeline(c, q, ref)
+		leaf, err := leafPipeline(ex, c, q, ref)
 		if err != nil {
 			return nil, err
 		}
 		joined[ref.Name] = true
 		if i == 0 {
-			rel, err = engine.Collect(leaf)
+			rel, err = engine.CollectCtx(ex.ctx, leaf)
 			if err != nil {
 				return nil, err
 			}
 		} else {
-			op, err := joinPipeline(q, engine.NewMemScan(rel), leaf, joined)
+			op, err := joinPipeline(ex, q, engine.NewMemScan(rel), leaf, joined)
 			if err != nil {
 				return nil, err
 			}
-			rel, err = engine.Collect(op)
+			rel, err = engine.CollectCtx(ex.ctx, op)
 			if err != nil {
 				return nil, err
 			}

@@ -189,15 +189,15 @@ func TestJoinPipelineUsesAllSharedAttrs(t *testing.T) {
 	q := introQ()
 	ord, _ := q.RelByName("Ord")
 	item, _ := q.RelByName("Item")
-	lo, err := leafPipeline(cat, q, ord)
+	lo, err := leafPipeline(serialExec(), cat, q, ord)
 	if err != nil {
 		t.Fatal(err)
 	}
-	li, err := leafPipeline(cat, q, item)
+	li, err := leafPipeline(serialExec(), cat, q, item)
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := joinPipeline(q, lo, li, map[string]bool{"Ord": true, "Item": true})
+	j, err := joinPipeline(serialExec(), q, lo, li, map[string]bool{"Ord": true, "Item": true})
 	if err != nil {
 		t.Fatal(err)
 	}

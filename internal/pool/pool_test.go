@@ -1,0 +1,130 @@
+package pool
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersAndParallel(t *testing.T) {
+	if w := New(0).Workers(); w < 1 {
+		t.Fatalf("default pool has %d workers", w)
+	}
+	one := New(1)
+	if one.Workers() != 1 || one.Parallel() {
+		t.Fatalf("one-worker pool: workers=%d parallel=%v", one.Workers(), one.Parallel())
+	}
+	four := New(4)
+	if four.Workers() != 4 || !four.Parallel() {
+		t.Fatalf("four-worker pool: workers=%d parallel=%v", four.Workers(), four.Parallel())
+	}
+	if got := Get(four, 1); got != four {
+		t.Fatal("Get must keep a non-nil pool")
+	}
+	if got := Get(nil, 3); got.Workers() != 3 {
+		t.Fatalf("Get(nil, 3) built a %d-worker pool", got.Workers())
+	}
+}
+
+// TestDoRunsEveryTask: all indexes run exactly once, for serial and
+// parallel pools.
+func TestDoRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		const n = 500
+		var counts [n]atomic.Int32
+		if err := p.Do(context.Background(), n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestDoLowestIndexError: the returned error is the lowest erroring
+// index's, and no index beyond it is claimed after the stop.
+func TestDoLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		p := New(workers)
+		var ran atomic.Int64
+		err := p.Do(context.Background(), 1000, func(i int) error {
+			ran.Add(1)
+			if i >= 41 {
+				return fmt.Errorf("task %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 41" {
+			t.Fatalf("workers=%d: got %v, want task 41", workers, err)
+		}
+		// At most the first erroring task plus one in-flight claim per
+		// helper can have started.
+		if r := ran.Load(); r > int64(42+workers) {
+			t.Fatalf("workers=%d: %d tasks ran after early stop", workers, r)
+		}
+	}
+}
+
+// TestDoContextCancel: a cancelled context stops claims and surfaces
+// ctx.Err().
+func TestDoContextCancel(t *testing.T) {
+	p := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := p.Do(ctx, 100, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if r := ran.Load(); r > 2 {
+		t.Fatalf("%d tasks ran under a cancelled context", r)
+	}
+}
+
+// TestNestedDoNoDeadlock: fan-outs nested inside fan-outs complete even
+// when the outer level already holds every slot — the caller-runs-inline
+// design's deadlock-freedom guarantee.
+func TestNestedDoNoDeadlock(t *testing.T) {
+	p := New(2) // one helper slot, heavily oversubscribed below
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(context.Background(), 8, func(i int) error {
+			return p.Do(context.Background(), 8, func(j int) error {
+				return p.Do(context.Background(), 4, func(k int) error { return nil })
+			})
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested Do deadlocked")
+	}
+}
+
+// TestDoReleasesSlots: helper slots freed by one Do are available to the
+// next.
+func TestDoReleasesSlots(t *testing.T) {
+	p := New(3)
+	for round := 0; round < 50; round++ {
+		if err := p.Do(context.Background(), 10, func(i int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(p.sem); got != 0 {
+		t.Fatalf("%d slots still held after completed Do calls", got)
+	}
+}

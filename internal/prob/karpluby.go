@@ -1,6 +1,7 @@
 package prob
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 )
@@ -33,10 +34,13 @@ func (c *mcCompiled) pickClause(rng *rand.Rand) int {
 
 // sampleKarpLuby draws n Karp–Luby samples and returns U·(hit fraction),
 // the unbiased estimate of Pr[φ]. Callers clamp to [0, 1].
-func (c *mcCompiled) sampleKarpLuby(n int, rng *rand.Rand) float64 {
+func (c *mcCompiled) sampleKarpLuby(ctx context.Context, n int, rng *rand.Rand) (float64, error) {
 	buf := make([]bool, len(c.vars))
 	hits := 0
 	for s := 0; s < n; s++ {
+		if s%cancelCheckInterval == 0 && ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
 		i := c.pickClause(rng)
 		// Draw a world conditioned on clause i: its variables are true,
 		// every other variable keeps its marginal.
@@ -59,5 +63,5 @@ func (c *mcCompiled) sampleKarpLuby(n int, rng *rand.Rand) float64 {
 			hits++
 		}
 	}
-	return c.U * float64(hits) / float64(n)
+	return c.U * float64(hits) / float64(n), nil
 }

@@ -1,10 +1,11 @@
 package prob
 
 import (
+	"context"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
+
+	"repro/internal/pool"
 )
 
 // This file implements the Monte Carlo side of confidence computation:
@@ -73,6 +74,10 @@ type MCOptions struct {
 	Method MCMethod
 	// Workers sizes EstimateAll's worker pool; 0 defaults to GOMAXPROCS.
 	Workers int
+	// Pool, when set, supplies the worker pool — the engine passes its
+	// shared pool here so estimation draws from the same slot budget as
+	// every other parallel stage. Workers is ignored then.
+	Pool *pool.Pool
 }
 
 func (o MCOptions) withDefaults() MCOptions {
@@ -214,13 +219,21 @@ func (c *mcCompiled) evalBuf(buf []bool) bool {
 	return false
 }
 
+// cancelCheckInterval is how many samples a sampler draws between context
+// checks: rare enough to be free, frequent enough that cancellation of a
+// multi-million-sample run returns in well under a millisecond of work.
+const cancelCheckInterval = 8192
+
 // sampleNaive draws n full possible worlds over the formula's variables and
 // returns the fraction satisfying it — the definitional estimator, with
 // sample range [0, 1].
-func (c *mcCompiled) sampleNaive(n int, rng *rand.Rand) float64 {
+func (c *mcCompiled) sampleNaive(ctx context.Context, n int, rng *rand.Rand) (float64, error) {
 	buf := make([]bool, len(c.vars))
 	hits := 0
 	for s := 0; s < n; s++ {
+		if s%cancelCheckInterval == 0 && ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
 		for i, p := range c.probs {
 			buf[i] = rng.Float64() < p
 		}
@@ -228,20 +241,20 @@ func (c *mcCompiled) sampleNaive(n int, rng *rand.Rand) float64 {
 			hits++
 		}
 	}
-	return float64(hits) / float64(n)
+	return float64(hits) / float64(n), nil
 }
 
 // mcEstimate runs one formula through the configured estimator.
-func mcEstimate(c *mcCompiled, o MCOptions, rng *rand.Rand) MCEstimate {
+func mcEstimate(ctx context.Context, c *mcCompiled, o MCOptions, rng *rand.Rand) (MCEstimate, error) {
 	method := o.Method
 	if len(c.clauses) == 0 {
 		// The empty DNF is false regardless of method; Karp–Luby in
 		// particular has no clause to sample from (U = 0).
-		return MCEstimate{P: 0, Method: "exact", Delta: o.Delta}
+		return MCEstimate{P: 0, Method: "exact", Delta: o.Delta}, nil
 	}
 	if method == MCAuto {
 		if p, ok := c.exact(); ok {
-			return MCEstimate{P: p, Method: "exact", Delta: o.Delta}
+			return MCEstimate{P: p, Method: "exact", Delta: o.Delta}, nil
 		}
 		if c.U < 1 {
 			method = MCKarpLuby
@@ -262,25 +275,35 @@ func mcEstimate(c *mcCompiled, o MCOptions, rng *rand.Rand) MCEstimate {
 		eps = achievedEps(n, o.Delta, width)
 	}
 	var p float64
+	var err error
 	switch method {
 	case MCKarpLuby:
-		p = c.sampleKarpLuby(n, rng)
+		p, err = c.sampleKarpLuby(ctx, n, rng)
 	default:
-		p = c.sampleNaive(n, rng)
+		p, err = c.sampleNaive(ctx, n, rng)
+	}
+	if err != nil {
+		return MCEstimate{}, err
 	}
 	if p < 0 {
 		p = 0
 	} else if p > 1 {
 		p = 1
 	}
-	return MCEstimate{P: p, Samples: n, Method: method.String(), Epsilon: eps, Delta: o.Delta}
+	return MCEstimate{P: p, Samples: n, Method: method.String(), Epsilon: eps, Delta: o.Delta}, nil
 }
 
 // MCProb estimates Pr[φ] for a single formula with the given options,
 // seeding the sampler from opts.Seed.
 func MCProb(d *DNF, a *Assignment, opts MCOptions) MCEstimate {
 	o := opts.withDefaults()
-	return mcEstimate(mcCompile(d, a), o, rand.New(rand.NewSource(tupleSeed(o.Seed, 0))))
+	est, err := mcEstimate(context.Background(), mcCompile(d, a), o, rand.New(rand.NewSource(tupleSeed(o.Seed, 0))))
+	if err != nil {
+		// mcEstimate only errors on context cancellation, and a background
+		// context cannot cancel.
+		panic("prob: estimator errored without cancellation: " + err.Error())
+	}
+	return est
 }
 
 // tupleSeed derives the RNG seed of the i-th formula from the base seed via
@@ -300,43 +323,40 @@ func tupleSeed(base int64, i int) int64 {
 // count. The assignment is read concurrently and must not be mutated during
 // the call.
 func EstimateAll(dnfs []*DNF, a *Assignment, opts MCOptions) []MCEstimate {
+	out, err := EstimateAllCtx(context.Background(), dnfs, a, opts)
+	if err != nil {
+		// The only error source is context cancellation, and a background
+		// context cannot cancel.
+		panic("prob: estimator errored without cancellation: " + err.Error())
+	}
+	return out
+}
+
+// EstimateAllCtx is EstimateAll with cancellation: a cancelled context stops
+// the samplers mid-run (they check every few thousand samples) and returns
+// ctx.Err(). The worker pool is opts.Pool when set — sharing the engine-wide
+// slot budget — and a fresh pool of opts.Workers otherwise.
+func EstimateAllCtx(ctx context.Context, dnfs []*DNF, a *Assignment, opts MCOptions) ([]MCEstimate, error) {
 	o := opts.withDefaults()
 	out := make([]MCEstimate, len(dnfs))
 	if len(dnfs) == 0 {
-		return out
+		return out, nil
 	}
-	workers := o.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if workers > len(dnfs) {
-		workers = len(dnfs)
-	}
-	estimate := func(i int) {
+	p := pool.Get(o.Pool, o.Workers)
+	err := p.Do(ctx, len(dnfs), func(i int) error {
 		rng := rand.New(rand.NewSource(tupleSeed(o.Seed, i)))
-		out[i] = mcEstimate(mcCompile(dnfs[i], a), o, rng)
-	}
-	if workers <= 1 {
-		for i := range dnfs {
-			estimate(i)
+		est, err := mcEstimate(ctx, mcCompile(dnfs[i], a), o, rng)
+		if err != nil {
+			return err
 		}
-		return out
+		out[i] = est
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				estimate(i)
-			}
-		}()
-	}
-	for i := range dnfs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	return out
+	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/table"
 )
@@ -40,6 +41,11 @@ type ExternalSorter struct {
 // DefaultSortBudget is the default number of tuples buffered in memory.
 const DefaultSortBudget = 1 << 16
 
+// sorterID distinguishes the spill files of concurrent sorters within one
+// process: the partition-parallel scans run many external sorts at once,
+// and a pid-only prefix would make them truncate each other's runs.
+var sorterID atomic.Int64
+
 // NewExternalSorter creates a sorter. budget <= 0 selects
 // DefaultSortBudget; tmpDir == "" selects os.TempDir().
 func NewExternalSorter(cmp TupleCompare, budget int, tmpDir string) *ExternalSorter {
@@ -49,7 +55,8 @@ func NewExternalSorter(cmp TupleCompare, budget int, tmpDir string) *ExternalSor
 	if tmpDir == "" {
 		tmpDir = os.TempDir()
 	}
-	return &ExternalSorter{cmp: cmp, budget: budget, tmpDir: tmpDir, tmpPrefix: fmt.Sprintf("sproutsort-%d-", os.Getpid())}
+	return &ExternalSorter{cmp: cmp, budget: budget, tmpDir: tmpDir,
+		tmpPrefix: fmt.Sprintf("sproutsort-%d-%d-", os.Getpid(), sorterID.Add(1))}
 }
 
 // Spills reports how many runs were written to disk (0 = pure in-memory sort).
@@ -96,7 +103,8 @@ func (s *ExternalSorter) spill() error {
 }
 
 // Finish completes the sort and returns an iterator over the sorted stream.
-// The iterator's Close removes any temp runs.
+// The iterator's Close removes any temp runs; when Finish itself fails, the
+// runs spilled so far are removed before returning.
 func (s *ExternalSorter) Finish() (TupleIterator, error) {
 	if s.finished {
 		return nil, fmt.Errorf("storage: Finish called twice")
@@ -108,10 +116,27 @@ func (s *ExternalSorter) Finish() (TupleIterator, error) {
 	}
 	if len(s.buf) > 0 {
 		if err := s.spill(); err != nil {
+			s.Discard()
 			return nil, err
 		}
 	}
-	return newMergeIter(s.runs, s.cmp)
+	// Hand run ownership to the iterator (newMergeIter removes them itself
+	// on a failed open), so a later Discard cannot double-remove.
+	runs := s.runs
+	s.runs = nil
+	return newMergeIter(runs, s.cmp)
+}
+
+// Discard removes any spilled runs of a sort that is being abandoned — the
+// cleanup hook for error paths that stop feeding the sorter (an Add failure
+// mid-stream, a cancelled scan). Safe to call at any time; after a
+// successful Finish the iterator owns the runs and Discard is a no-op.
+func (s *ExternalSorter) Discard() {
+	for _, r := range s.runs {
+		r.Remove()
+	}
+	s.runs = nil
+	s.finished = true
 }
 
 // memIter iterates an in-memory sorted buffer.

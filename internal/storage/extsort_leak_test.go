@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// spillDirEntries lists the files left in a spill dir.
+func spillDirEntries(t *testing.T, dir string) []os.DirEntry {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+// TestDiscardRemovesAbandonedRuns: a sorter abandoned mid-stream (the Add
+// loop stops on an upstream error) must not leak its spilled runs.
+func TestDiscardRemovesAbandonedRuns(t *testing.T) {
+	dir := t.TempDir()
+	s := NewExternalSorter(func(a, b table.Tuple) int {
+		return table.Compare(a[0], b[0])
+	}, 8, dir)
+	for i := 0; i < 50; i++ {
+		if err := s.Add(table.Tuple{table.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spills() == 0 {
+		t.Fatal("expected spilled runs")
+	}
+	if len(spillDirEntries(t, dir)) == 0 {
+		t.Fatal("runs should be on disk before Discard")
+	}
+	s.Discard()
+	if got := spillDirEntries(t, dir); len(got) != 0 {
+		t.Errorf("spill files left after Discard: %v", got)
+	}
+	if _, err := s.Finish(); err == nil {
+		t.Error("Finish after Discard must fail (sorter is finished)")
+	}
+}
+
+// TestAddFailureCleanup: when a later spill fails (the spill dir vanished),
+// Discard still removes nothing twice and the dir holds no sorter files.
+func TestAddFailureCleanup(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "spills")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s := NewExternalSorter(func(a, b table.Tuple) int {
+		return table.Compare(a[0], b[0])
+	}, 8, dir)
+	for i := 0; i < 10; i++ {
+		if err := s.Add(table.Tuple{table.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spills() != 1 {
+		t.Fatalf("expected exactly one spill, got %d", s.Spills())
+	}
+	// Simulate a failing spill device: drop the directory (removing run 0
+	// with it), then overflow the budget again.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	var addErr error
+	for i := 10; i < 30 && addErr == nil; i++ {
+		addErr = s.Add(table.Tuple{table.Int(int64(i))})
+	}
+	if addErr == nil {
+		t.Fatal("expected a spill failure after the dir vanished")
+	}
+	s.Discard() // must not panic or recreate anything
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Errorf("spill dir unexpectedly exists: %v", err)
+	}
+}
+
+// TestFinishFinalSpillFailureCleansRuns: Finish spills the tail buffer; when
+// that last spill fails, the earlier runs must be removed, not leaked.
+func TestFinishFinalSpillFailureCleansRuns(t *testing.T) {
+	dir := t.TempDir()
+	s := NewExternalSorter(func(a, b table.Tuple) int {
+		return table.Compare(a[0], b[0])
+	}, 8, dir)
+	for i := 0; i < 20; i++ { // 2 full runs + a 4-tuple tail buffer
+		if err := s.Add(table.Tuple{table.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spills() != 2 {
+		t.Fatalf("expected two spills, got %d", s.Spills())
+	}
+	// Make the final spill fail: point the sorter at a dir that does not
+	// exist. The already-spilled runs still live in the real dir and must
+	// be removed by Finish's error path.
+	s.tmpDir = filepath.Join(dir, "gone")
+	if _, err := s.Finish(); err == nil {
+		t.Fatal("expected Finish to fail on the tail spill")
+	}
+	if got := spillDirEntries(t, dir); len(got) != 0 {
+		t.Errorf("runs leaked after failed Finish: %v", got)
+	}
+}
+
+// TestConcurrentSortersShareDir: sorters spilling concurrently into one dir
+// must not collide on run-file names (regression: the prefix was pid-only,
+// so parallel partition sorts truncated each other's runs).
+func TestConcurrentSortersShareDir(t *testing.T) {
+	dir := t.TempDir()
+	const sorters, rows = 8, 100
+	results := make([][]int64, sorters)
+	errs := make(chan error, sorters)
+	done := make(chan struct{})
+	for s := 0; s < sorters; s++ {
+		go func(s int) {
+			defer func() { done <- struct{}{} }()
+			srt := NewExternalSorter(func(a, b table.Tuple) int {
+				return table.Compare(a[0], b[0])
+			}, 8, dir)
+			for i := rows - 1; i >= 0; i-- {
+				if err := srt.Add(table.Tuple{table.Int(int64(s*1000 + i))}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			it, err := srt.Finish()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer it.Close()
+			for {
+				tup, ok, err := it.Next()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !ok {
+					return
+				}
+				results[s] = append(results[s], tup[0].I)
+			}
+		}(s)
+	}
+	for s := 0; s < sorters; s++ {
+		<-done
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for s := 0; s < sorters; s++ {
+		if len(results[s]) != rows {
+			t.Fatalf("sorter %d: %d rows, want %d", s, len(results[s]), rows)
+		}
+		for i, v := range results[s] {
+			if v != int64(s*1000+i) {
+				t.Fatalf("sorter %d: row %d = %d, want %d (cross-sorter corruption)", s, i, v, s*1000+i)
+			}
+		}
+	}
+	if got := spillDirEntries(t, dir); len(got) != 0 {
+		t.Errorf("spill files left behind: %v", got)
+	}
+}
+
+// TestMidMergeFailureCleansRuns: a run file corrupted between spill and
+// merge surfaces as an iterator error, and Close still removes every run.
+func TestMidMergeFailureCleansRuns(t *testing.T) {
+	dir := t.TempDir()
+	s := NewExternalSorter(func(a, b table.Tuple) int {
+		return table.Compare(a[0], b[0])
+	}, 8, dir)
+	for i := 0; i < 24; i++ {
+		if err := s.Add(table.Tuple{table.Int(int64(23 - i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Spills() < 2 {
+		t.Fatalf("expected at least two spills, got %d", s.Spills())
+	}
+	// Corrupt the first run's page payload so tuple decoding fails
+	// mid-merge.
+	path := s.runs[0].Path()
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := make([]byte, 64)
+	for i := range garbage {
+		garbage[i] = 0xFF
+	}
+	if _, err := f.WriteAt(garbage, 16); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	it, err := s.Finish()
+	if err != nil {
+		// Corruption may already surface while opening the merge; runs
+		// must be gone either way.
+		if got := spillDirEntries(t, dir); len(got) != 0 {
+			t.Errorf("runs leaked after failed Finish: %v", got)
+		}
+		return
+	}
+	var iterErr error
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			iterErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if iterErr == nil {
+		t.Fatal("expected a decode error from the corrupted run")
+	}
+	if err := it.Close(); err != nil {
+		t.Logf("Close after corruption: %v", err)
+	}
+	if got := spillDirEntries(t, dir); len(got) != 0 {
+		t.Errorf("runs leaked after mid-merge failure: %v", got)
+	}
+}

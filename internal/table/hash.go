@@ -1,0 +1,66 @@
+package table
+
+import "math"
+
+// HashOn hashes the values at the given column indexes with FNV-1a — the
+// partitioning hash of the parallel execution layer (hash-partitioned joins
+// and group-key-partitioned aggregation scans). Values that compare equal
+// under Compare hash equally: numeric kinds are hashed through their float64
+// image so an int join key matches a float one, mirroring Compare's
+// cross-kind numeric semantics.
+func HashOn(t Tuple, idx []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mix64 := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			mix(byte(v >> s))
+		}
+	}
+	for _, j := range idx {
+		v := t[j]
+		switch v.Kind {
+		case KindNull:
+			mix(0)
+		case KindInt, KindFloat:
+			// Hash through the numeric image; normalize -0 so that values
+			// equal under Compare collide.
+			f := v.numeric()
+			if f == 0 {
+				f = 0
+			}
+			mix(1)
+			mix64(math.Float64bits(f))
+		case KindBool:
+			mix(2)
+			mix(byte(v.I & 1))
+		case KindString:
+			mix(3)
+			mix64(uint64(len(v.S)))
+			for k := 0; k < len(v.S); k++ {
+				mix(v.S[k])
+			}
+		}
+	}
+	return h
+}
+
+// PartitionOn buckets rows by HashOn over the key columns — the one
+// partitioning scheme shared by the hash-partitioned joins and the
+// partition-parallel aggregation scans, so rows equal on the keys always
+// land in the same bucket of both. Rows keep their relative order within a
+// bucket.
+func PartitionOn(rows []Tuple, idx []int, n int) [][]Tuple {
+	parts := make([][]Tuple, n)
+	for _, t := range rows {
+		p := int(HashOn(t, idx) % uint64(n))
+		parts[p] = append(parts[p], t)
+	}
+	return parts
+}

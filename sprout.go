@@ -45,12 +45,14 @@
 package sprout
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/conf"
 	"repro/internal/engine"
 	"repro/internal/fd"
 	"repro/internal/plan"
+	"repro/internal/pool"
 	"repro/internal/prob"
 	"repro/internal/query"
 	"repro/internal/signature"
@@ -315,10 +317,18 @@ func WithMaxSamples(n int) RunOption {
 	return func(s *plan.Spec) { s.MC.MaxSamples = n }
 }
 
-// WithWorkers sizes the estimator's worker pool (default GOMAXPROCS).
-// Results do not depend on the worker count, only on the seed.
+// WithWorkers sizes the shared worker pool driving every parallel stage of
+// a run: partitioned scans and hash-partitioned joins, the
+// partition-parallel aggregation passes of the confidence operator,
+// per-answer OBDD compilation, and Monte Carlo estimation. 0 (the default)
+// selects GOMAXPROCS; 1 forces the classic single-threaded executor.
+// Computed confidences are bit-identical for every worker count — only the
+// wall-clock changes.
 func WithWorkers(n int) RunOption {
-	return func(s *plan.Spec) { s.MC.Workers = n }
+	return func(s *plan.Spec) {
+		s.Workers = n
+		s.MC.Workers = n
+	}
 }
 
 // WithNodeBudget caps the per-answer OBDD size (and the anytime mode's
@@ -362,10 +372,18 @@ func (db *DB) Run(q *Query, style PlanStyle, opts ...RunOption) (*Result, error)
 
 // RunSpec evaluates with full plan control (hybrid prefix, sort budgets).
 func (db *DB) RunSpec(q *Query, spec plan.Spec) (*Result, error) {
-	res, err := plan.Run(db.catalog, q.q, db.sigma, spec)
+	return db.runSpecCtx(context.Background(), q, spec)
+}
+
+func (db *DB) runSpecCtx(ctx context.Context, q *Query, spec plan.Spec) (*Result, error) {
+	res, err := plan.RunContext(ctx, db.catalog, q.q, db.sigma, spec)
 	if err != nil {
 		return nil, err
 	}
+	return wrapResult(q, res), nil
+}
+
+func wrapResult(q *Query, res *plan.Result) *Result {
 	out := &Result{
 		Columns: append(append([]string(nil), q.q.Head...), conf.ConfCol),
 		Stats:   res.Stats,
@@ -377,7 +395,131 @@ func (db *DB) RunSpec(q *Query, spec plan.Spec) (*Result, error) {
 			Confidence: row[n-1].F,
 		})
 	}
-	return out, nil
+	return out
+}
+
+// Engine is the concurrency-safe serving facade over a loaded database: it
+// owns one shared worker pool (sized by WithWorkers at construction) from
+// which every parallel stage of every concurrently served query draws, so
+// total parallelism stays bounded no matter how many requests are in
+// flight. Construct it once after loading data and declaring FDs — the
+// catalog must not be modified while the engine serves — then call Run,
+// RunBatch and Prepare from any number of goroutines.
+//
+// Run accepts a context: cancelling it aborts the run's pipelines, sort
+// passes, OBDD compilations and Monte Carlo samplers within a few thousand
+// tuples or samples.
+type Engine struct {
+	db       *DB
+	defaults plan.Spec
+	pool     *pool.Pool
+}
+
+// NewEngine builds a serving engine over the database. opts set the
+// defaults every Run inherits (worker count, Monte Carlo accuracy, OBDD
+// budget, ...); per-call options override them. A per-call WithWorkers
+// that differs from the engine's default gives that run its own transient
+// pool of the requested size instead of the engine's shared one — useful
+// for forcing a serial run — at the price of stepping outside the engine's
+// global parallelism budget. Requesting exactly the default worker count
+// keeps the shared pool.
+func (db *DB) NewEngine(opts ...RunOption) *Engine {
+	spec := plan.Spec{}
+	for _, o := range opts {
+		o(&spec)
+	}
+	return &Engine{db: db, defaults: spec, pool: pool.New(spec.Workers)}
+}
+
+// Workers returns the engine pool's total worker count.
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// spec assembles the effective plan spec of one call: engine defaults, then
+// style, then per-call options. Calls normally draw from the engine's
+// shared pool; a per-call WithWorkers that changes the worker count
+// overrides it with a transient pool of the requested size for that run —
+// honoring the option (WithWorkers(1) really is the single-threaded
+// executor) at the price of stepping outside the engine's global
+// parallelism budget for that one call.
+func (e *Engine) spec(style PlanStyle, opts []RunOption) plan.Spec {
+	spec := e.defaults
+	spec.Style = style
+	for _, o := range opts {
+		o(&spec)
+	}
+	if spec.Workers == e.defaults.Workers {
+		spec.Pool = e.pool
+	}
+	return spec
+}
+
+// Run evaluates one query on the engine, like DB.Run but concurrency-safe,
+// pool-shared and cancellable. A nil ctx means no cancellation.
+func (e *Engine) Run(ctx context.Context, q *Query, style PlanStyle, opts ...RunOption) (*Result, error) {
+	return e.db.runSpecCtx(ctx, q, e.spec(style, opts))
+}
+
+// PreparedQuery is a query resolved against the engine once — validated,
+// style checked, signature and fallback chain chosen — and runnable many
+// times concurrently.
+type PreparedQuery struct {
+	q  *Query
+	pp *plan.Prepared
+}
+
+// Prepare resolves a query once. Static errors (invalid query, unknown
+// style, RequireExact on an intractable query) surface here instead of on
+// every Run.
+func (e *Engine) Prepare(q *Query, style PlanStyle, opts ...RunOption) (*PreparedQuery, error) {
+	pp, err := plan.Prepare(e.db.catalog, q.q, e.db.sigma, e.spec(style, opts))
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{q: q, pp: pp}, nil
+}
+
+// Run executes the prepared query. Safe for concurrent use.
+func (p *PreparedQuery) Run(ctx context.Context) (*Result, error) {
+	res, err := p.pp.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(p.q, res), nil
+}
+
+// BatchItem is one request of an Engine.RunBatch call.
+type BatchItem struct {
+	Query *Query
+	Style PlanStyle
+	Opts  []RunOption
+}
+
+// BatchResult pairs one batch item's outcome with its error; exactly one of
+// Result and Err is non-nil.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// RunBatch evaluates a batch of queries concurrently on the engine's worker
+// pool and returns their results in request order. One query's failure does
+// not disturb the others; cancelling ctx marks every not-yet-finished item
+// with the context's error.
+func (e *Engine) RunBatch(ctx context.Context, items []BatchItem) []BatchResult {
+	out := make([]BatchResult, len(items))
+	// The per-item closure never returns an error: a query failure is that
+	// item's result, not a reason to stop the batch.
+	e.pool.Do(ctx, len(items), func(i int) error {
+		r, err := e.Run(ctx, items[i].Query, items[i].Style, items[i].Opts...)
+		out[i] = BatchResult{Result: r, Err: err}
+		return nil
+	})
+	for i := range out {
+		if out[i].Result == nil && out[i].Err == nil && ctx != nil {
+			out[i].Err = ctx.Err() // item never ran: the batch was cancelled
+		}
+	}
+	return out
 }
 
 // Signature returns the query's signature under the database's FDs — the
