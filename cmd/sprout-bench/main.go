@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sprout-bench [-sf 0.02] [-seed 1] [-exp all|fig9|fig10|fig11|fig12|fig13|mc|obdd|parallel|casestudy] [-points 9] [-workers 4] [-json]
+//	sprout-bench [-sf 0.02] [-seed 1] [-exp all|fig9|fig10|fig11|fig12|fig13|mc|obdd|parallel|auto|casestudy] [-points 9] [-workers 4] [-json]
 //	sprout-bench -style mc [-query 18] [-eps 0.05] [-delta 0.01] [-workers 4]
 //	sprout-bench -style obdd [-query 18] [-budget 131072]
 //
@@ -13,6 +13,13 @@
 // TPC-H query under the mc and obdd styles for worker counts 1, 2, ...,
 // -workers, verifying confidences are bit-identical across counts and
 // reporting the wall-clock speedup per count.
+//
+// -exp auto runs the cost-based adaptive planner over the full TPC-H query
+// suite: every supported catalog query under the Auto style and under each
+// fixed style Auto chooses among, emitting per-query chosen-style and
+// wall-time records (so BENCH_*.json tracks planner quality over time) and
+// verifying Auto's confidences are bit-identical to the chosen style's
+// direct run.
 //
 // The second form runs a single catalog query under one plan style and
 // prints its execution statistics — -style=mc estimates confidences by
@@ -61,12 +68,16 @@ type record struct {
 	SpeedupX     float64 `json:"speedup_x,omitempty"`
 	Identical    bool    `json:"confidences_identical,omitempty"`
 	Failed       string  `json:"failed,omitempty"`
+	ChosenStyle  string  `json:"chosen_style,omitempty"`
+	EstCost      float64 `json:"est_cost,omitempty"`
+	VsBestX      float64 `json:"vs_best_x,omitempty"`
+	VsChosenX    float64 `json:"vs_chosen_x,omitempty"`
 }
 
 func main() {
 	sf := flag.Float64("sf", 0.02, "TPC-H scale factor (paper: 1.0)")
 	seed := flag.Int64("seed", 1, "generator seed")
-	exp := flag.String("exp", "all", "experiment: all|fig9|fig10|fig11|fig12|fig13|mc|obdd|parallel|casestudy")
+	exp := flag.String("exp", "all", "experiment: all|fig9|fig10|fig11|fig12|fig13|mc|obdd|parallel|auto|casestudy")
 	points := flag.Int("points", 9, "selectivity points for fig11")
 	style := flag.String("style", "", "run one catalog query under a plan style: "+plan.StyleNames())
 	queryName := flag.String("query", "18", "catalog query for -style mode")
@@ -334,6 +345,74 @@ func main() {
 		say("\n")
 	}
 
+	if run("auto") {
+		say("== Auto: cost-based adaptive planner vs fixed styles over the full suite ==\n")
+		say("   per query: Auto's chosen style and wall-clock vs every style it chooses\n")
+		say("   among (plus the MystiQ baseline); confidences verified bit-identical\n")
+		rows, err := benchutil.AutoSuite(d, 3)
+		if err != nil {
+			fail(err)
+		}
+		// Best fixed wall-clock per query, for the auto/best quality
+		// ratio, and each query's chosen-style wall-clock: auto runs the
+		// bit-identical plan of its chosen style, so auto/chosen ≈ 1.0 —
+		// deviations in auto/best beyond auto/chosen are timing noise,
+		// not planner mistakes.
+		best := map[string]time.Duration{}
+		chosenWall := map[string]time.Duration{}
+		chosenOf := map[string]string{}
+		for _, r := range rows {
+			if r.Style == "auto" {
+				chosenOf[r.Query] = r.Chosen
+			}
+		}
+		for _, r := range rows {
+			if r.Style == "auto" || r.Err != "" {
+				continue
+			}
+			if b, ok := best[r.Query]; !ok || r.Wall < b {
+				best[r.Query] = r.Wall
+			}
+			if r.Style == chosenOf[r.Query] {
+				chosenWall[r.Query] = r.Wall
+			}
+		}
+		say("%-6s %-8s %10s %-8s %12s %10s %10s\n", "query", "style", "wall(s)", "chosen", "est.cost", "vs-best", "vs-chosen")
+		worst := 0.0
+		for _, r := range rows {
+			if r.Err != "" {
+				say("%-6s %-8s %10s (%s)\n", r.Query, r.Style, "FAILED", r.Err)
+				emit(record{Experiment: "auto", Name: r.Query, Style: r.Style, Failed: r.Err})
+				continue
+			}
+			line := record{Experiment: "auto", Name: r.Query, Style: r.Style, WallClockSec: r.Wall.Seconds()}
+			if r.Style == "auto" {
+				vsBest, vsChosen := 0.0, 0.0
+				if b := best[r.Query]; b > 0 {
+					vsBest = float64(r.Wall) / float64(b)
+					if vsBest > worst {
+						worst = vsBest
+					}
+				}
+				if c := chosenWall[r.Query]; c > 0 {
+					vsChosen = float64(r.Wall) / float64(c)
+				}
+				line.ChosenStyle = r.Chosen
+				line.EstCost = r.Cost
+				line.Identical = r.Identical
+				line.VsBestX = vsBest
+				line.VsChosenX = vsChosen
+				say("%-6s %-8s %10.4f %-8s %12.3g %9.2fx %9.2fx\n",
+					r.Query, r.Style, r.Wall.Seconds(), r.Chosen, r.Cost, vsBest, vsChosen)
+			} else {
+				say("%-6s %-8s %10.4f\n", r.Query, r.Style, r.Wall.Seconds())
+			}
+			emit(line)
+		}
+		say("worst auto/best-fixed ratio: %.2fx (auto executes its chosen style's plan\n", worst)
+		say("bit-identically, so vs-chosen ≈ 1 marks the measurement noise floor)\n\n")
+	}
+
 	if run("casestudy") {
 		say("== §VI case study: TPC-H query classification ==\n")
 		say("%s\n", benchutil.CaseStudy())
@@ -357,6 +436,9 @@ func runStyleMode(out io.Writer, d *tpch.Data, style plan.Style, styleName strin
 		return record{}, err
 	}
 	fmt.Fprintf(out, "query %s under %s:\n  %s\n", e.Name, styleName, res.Stats.Plan)
+	if res.Stats.ChosenStyle != "" {
+		fmt.Fprintf(out, "  auto chose %s (estimated cost %.3g)\n", res.Stats.ChosenStyle, res.Stats.EstimatedCost)
+	}
 	fmt.Fprintf(out, "  tuples %.4fs, prob %.4fs; %d answer tuples, %d distinct\n",
 		res.Stats.TupleTime.Seconds(), res.Stats.ProbTime.Seconds(),
 		res.Stats.AnswerTuples, res.Stats.DistinctTuples)
@@ -381,5 +463,7 @@ func runStyleMode(out io.Writer, d *tpch.Data, style plan.Style, styleName strin
 		Answers:      res.Stats.DistinctTuples,
 		Samples:      res.Stats.Samples,
 		Nodes:        res.Stats.OBDDNodes,
+		ChosenStyle:  res.Stats.ChosenStyle,
+		EstCost:      res.Stats.EstimatedCost,
 	}, nil
 }

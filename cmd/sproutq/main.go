@@ -6,8 +6,12 @@
 //
 // Usage:
 //
-//	sproutq [-sf 0.005] [-seed 1] [-plan lazy|eager|hybrid|mystiq|mc|obdd] [-workers 0] [-limit 20] 18
+//	sproutq [-sf 0.005] [-seed 1] [-plan lazy|eager|hybrid|mystiq|mc|obdd|auto] [-workers 0] [-limit 20] [-explain] 18
 //	sproutq -list
+//
+// -plan auto lets the cost-based planner pick the style from the catalog's
+// ANALYZE statistics; -explain prints the logical plan IR (and, under auto,
+// the per-style cost table) instead of running the query.
 package main
 
 import (
@@ -27,6 +31,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); confidences do not depend on it")
 	limit := flag.Int("limit", 20, "max answer rows to print")
 	list := flag.Bool("list", false, "list catalog queries and exit")
+	explain := flag.Bool("explain", false, "print the logical plan (and auto's cost table) instead of running")
 	flag.Parse()
 
 	catalog := tpch.Catalog()
@@ -65,11 +70,22 @@ func main() {
 
 	fmt.Printf("query %s: %s\n", e.Name, e.Q)
 	d := tpch.Generate(tpch.Config{SF: *sf, Seed: *seed})
+	if *explain {
+		desc, err := plan.Explain(d.Catalog(), e.Q.Clone(), tpch.FDsFor(e), plan.Spec{Style: style})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(desc)
+		return
+	}
 	res, err := plan.Run(d.Catalog(), e.Q.Clone(), tpch.FDsFor(e), plan.Spec{Style: style, Workers: *workers})
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("plan: %s\n", res.Stats.Plan)
+	if res.Stats.ChosenStyle != "" {
+		fmt.Printf("auto chose: %s (estimated cost %.3g)\n", res.Stats.ChosenStyle, res.Stats.EstimatedCost)
+	}
 	fmt.Printf("signature: %s\n", res.Stats.Signature)
 	fmt.Printf("answer tuples: %d, distinct: %d, operator scans: %d\n",
 		res.Stats.AnswerTuples, res.Stats.DistinctTuples, res.Stats.Scans)

@@ -121,7 +121,10 @@ func TestEngineConcurrentMixedStyles(t *testing.T) {
 		want[i] = confMap(t, res)
 	}
 
-	e := db.NewEngine(WithWorkers(4), WithSeed(1))
+	e, err := db.NewEngine(WithWorkers(4), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	const goroutines = 8
 	const iters = 3
 	var wg sync.WaitGroup
@@ -169,7 +172,10 @@ func TestEngineRunBatch(t *testing.T) {
 	for i, it := range items {
 		batch[i] = BatchItem{Query: wrapQuery(it.q), Style: it.style}
 	}
-	e := db.NewEngine(WithWorkers(4), WithSeed(1))
+	e, err := db.NewEngine(WithWorkers(4), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	results := e.RunBatch(context.Background(), batch)
 	if len(results) != len(items) {
 		t.Fatalf("got %d results, want %d", len(results), len(items))
@@ -190,7 +196,10 @@ func TestEngineRunBatch(t *testing.T) {
 // Carlo run promptly with the context's error.
 func TestEngineCancellation(t *testing.T) {
 	db := tpchDB(nil)
-	e := db.NewEngine(WithWorkers(2))
+	e, err := db.NewEngine(WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(20 * time.Millisecond)
@@ -199,7 +208,7 @@ func TestEngineCancellation(t *testing.T) {
 	t0 := time.Now()
 	// ε = 0.003 needs ~300k samples per answer over ~1700 answers: minutes
 	// of work when not cancelled.
-	_, err := e.Run(ctx, wrapQuery(benchutil.UnsafeQuery()), MonteCarlo,
+	_, err = e.Run(ctx, wrapQuery(benchutil.UnsafeQuery()), MonteCarlo,
 		WithSeed(1), WithEpsilonDelta(0.003, 0.01))
 	if err != context.Canceled {
 		t.Fatalf("got %v, want context.Canceled", err)
@@ -237,6 +246,8 @@ func TestWorkerCountBitIdentical(t *testing.T) {
 		{"unsafe-mc", benchutil.UnsafeQuery(), MonteCarlo},
 		{"unsafe-obdd", benchutil.UnsafeQuery(), OBDD},
 		{"unsafe-fallback", benchutil.UnsafeQuery(), Eager},
+		{"auto", custOrd(), Auto},
+		{"unsafe-auto", benchutil.UnsafeQuery(), Auto},
 	}
 	for _, tc := range styles {
 		t.Run(tc.name, func(t *testing.T) {

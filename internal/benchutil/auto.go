@@ -1,0 +1,125 @@
+package benchutil
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/prob"
+	"repro/internal/table"
+	"repro/internal/tpch"
+)
+
+// AutoRow is one (query, style) measurement of the adaptive-planner
+// experiment: the full TPC-H suite run under the Auto style and under every
+// fixed style it chooses among, so BENCH_*.json can track planner quality
+// (chosen style, Auto's wall-clock vs. the best fixed style) over time.
+type AutoRow struct {
+	Query string
+	Style string // "auto" or the fixed style name
+	// Chosen is, for auto rows, the style the planner dispatched.
+	Chosen string
+	// Cost is, for auto rows, the cost model's estimate of the chosen plan.
+	Cost float64
+	Wall time.Duration
+	// Identical is, for auto rows, whether the confidences are
+	// bit-identical to the chosen style's direct run (must always hold).
+	Identical bool
+	// Err records per-style runtime failures (MystiQ's §VII failures are
+	// data, not errors of the experiment).
+	Err string
+}
+
+// autoSuiteStyles returns the fixed styles compared against Auto for one
+// query: the styles Auto chooses among (exact sort+scan styles and OBDD
+// when a hierarchical signature exists, OBDD and Monte Carlo when not),
+// plus the MystiQ baseline.
+func autoSuiteStyles(costs []plan.CostEstimate) []plan.Style {
+	var out []plan.Style
+	for _, ce := range costs {
+		if ce.Candidate || (ce.Applicable && ce.Style == plan.SafeMystiQ) {
+			out = append(out, ce.Style)
+		}
+	}
+	return out
+}
+
+// AutoSuite runs every supported catalog query under the Auto style and
+// under each fixed style it chooses among, with identical options (seed 1,
+// default ε/δ/budget). For every query it verifies that Auto's confidences
+// are bit-identical to the chosen style's direct run; the per-style
+// wall-clocks let the harness check Auto against the best fixed style.
+func AutoSuite(d *tpch.Data, reps int) ([]AutoRow, error) {
+	catalog := d.Catalog()
+	catalog.Analyze()
+	entries := tpch.Catalog()
+	names := make([]string, 0, len(entries))
+	for n, e := range entries {
+		if e.Q != nil {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	var rows []AutoRow
+	for _, name := range names {
+		e := entries[name]
+		sigma := tpch.FDsFor(e)
+		mkSpec := func(style plan.Style) plan.Spec {
+			return plan.Spec{Style: style, MC: prob.MCOptions{Seed: 1}}
+		}
+
+		_, costs, err := plan.ChooseStyle(catalog, e.Q.Clone(), sigma, mkSpec(plan.Auto))
+		if err != nil {
+			return nil, fmt.Errorf("auto %s: choose: %w", name, err)
+		}
+
+		autoRes, autoWall, err := timedRun(catalog, e.Q, sigma, mkSpec(plan.Auto), reps)
+		if err != nil {
+			return nil, fmt.Errorf("auto %s: %w", name, err)
+		}
+		chosen := autoRes.Stats.ChosenStyle
+		autoRow := AutoRow{
+			Query:  name,
+			Style:  "auto",
+			Chosen: chosen,
+			Cost:   autoRes.Stats.EstimatedCost,
+			Wall:   autoWall,
+		}
+
+		for _, style := range autoSuiteStyles(costs) {
+			res, wall, err := timedRun(catalog, e.Q, sigma, mkSpec(style), reps)
+			if err != nil {
+				rows = append(rows, AutoRow{Query: name, Style: style.String(), Err: err.Error()})
+				continue
+			}
+			if style.String() == chosen {
+				autoRow.Identical = sameRelations(autoRes.Rows, res.Rows)
+				if !autoRow.Identical {
+					return nil, fmt.Errorf("auto %s: confidences differ from direct %s run", name, chosen)
+				}
+			}
+			rows = append(rows, AutoRow{Query: name, Style: style.String(), Wall: wall})
+		}
+		rows = append(rows, autoRow)
+	}
+	return rows, nil
+}
+
+// sameRelations reports bit-identical equality of two answer relations
+// (same rows, same order, same values — confidences included).
+func sameRelations(a, b *table.Relation) bool {
+	if a.Len() != b.Len() || !a.Schema.Equal(b.Schema) {
+		return false
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		for j := range ra {
+			if ra[j] != rb[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

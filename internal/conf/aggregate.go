@@ -84,6 +84,52 @@ func Aggregate(rel *table.Relation, s signature.Sig, opts Options) (*table.Relat
 	}
 }
 
+// Rep returns the representative source table that Aggregate([s]) leaves
+// behind — a pure function of the signature, mirroring Aggregate's return
+// value without touching data. The planner uses it to compute eager
+// operator schedules at plan-build time; the virtual root of a pure
+// product has no representative and yields "".
+func Rep(s signature.Sig) (string, error) {
+	switch x := s.(type) {
+	case signature.Table:
+		return string(x), nil
+	case signature.Star:
+		_, final := planScans(x)
+		fstar, ok := final.(signature.Star)
+		if !ok {
+			return "", fmt.Errorf("conf: scheduler produced non-star %s from %s", final, s)
+		}
+		return scanRootTable(fstar), nil
+	case signature.Concat:
+		if len(x) == 0 {
+			return "", fmt.Errorf("conf: empty concatenation")
+		}
+		return Rep(x[0])
+	default:
+		return "", fmt.Errorf("conf: unknown signature shape %T", s)
+	}
+}
+
+// scanRootTable is newRuntimeTree's root selection without binding columns:
+// stars delegate to their inner expression, a concatenation's root is
+// picked by the shared concatRootIndex ("" for pure products, whose runtime
+// root is virtual).
+func scanRootTable(s signature.Sig) string {
+	switch x := s.(type) {
+	case signature.Table:
+		return string(x)
+	case signature.Star:
+		return scanRootTable(x.Inner)
+	case signature.Concat:
+		if i := concatRootIndex(x); i >= 0 {
+			return string(x[i].(signature.Table))
+		}
+		return ""
+	default:
+		return ""
+	}
+}
+
 // propagatePair folds P(right) into P(left) and drops right's V/P columns —
 // the JαβK projection of Fig. 5 executed on a materialized relation.
 func propagatePair(rel *table.Relation, left, right string) (*table.Relation, error) {

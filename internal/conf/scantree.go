@@ -88,14 +88,7 @@ func newRuntimeTree(sig signature.Sig, schema *table.Schema) (*runtimeTree, erro
 		case signature.Star:
 			return build(x.Inner)
 		case signature.Concat:
-			rootIdx := -1
-			for i, comp := range x {
-				if tb, ok := comp.(signature.Table); ok {
-					rootIdx = i
-					_ = tb
-					break
-				}
-			}
+			rootIdx := concatRootIndex(x)
 			var root *scanNode
 			if rootIdx >= 0 {
 				n, err := mkNode(string(x[rootIdx].(signature.Table)))
@@ -143,6 +136,20 @@ func newRuntimeTree(sig signature.Sig, schema *table.Schema) (*runtimeTree, erro
 		return nil, fmt.Errorf("conf: signature %s has no tables", sig)
 	}
 	return rt, nil
+}
+
+// concatRootIndex returns the index of the first bare table in a
+// concatenation — the component that roots its scan tree per §V.C — or -1
+// when none exists and the root is virtual. Shared by the runtime tree
+// construction and the planner's static representative (Rep), which must
+// never diverge.
+func concatRootIndex(c signature.Concat) int {
+	for i, comp := range c {
+		if _, ok := comp.(signature.Table); ok {
+			return i
+		}
+	}
+	return -1
 }
 
 // varColumns returns the input column indexes of the variable columns in

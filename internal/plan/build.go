@@ -6,8 +6,10 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/logical"
 	"repro/internal/pool"
 	"repro/internal/query"
+	"repro/internal/stats"
 	"repro/internal/table"
 )
 
@@ -29,12 +31,38 @@ func serialExec() exec {
 // parallel reports whether this run should take the partitioned paths.
 func (ex exec) parallel() bool { return ex.pool.Parallel() }
 
-// selectivity factors for cardinality estimation; exact values only need to
-// rank relations sensibly (selective selections first for lazy plans).
-const (
-	eqSelectivity    = 0.02
-	rangeSelectivity = 0.30
-)
+// colStats returns the base-column statistics behind one occurrence
+// attribute, or nil when the catalog has not been analyzed (the estimators
+// then fall back to stats' default selectivity constants, the planner's
+// historic 0.02/0.30). Occurrence attributes positionally rename the base
+// table's data columns, so the lookup goes through the position.
+func colStats(c *Catalog, ref query.RelRef, attr string) *stats.ColumnStats {
+	ts := c.TableStats(ref.Base)
+	if ts == nil {
+		return nil
+	}
+	base, ok := c.tables[ref.Base]
+	if !ok {
+		return nil
+	}
+	dataIdx := base.Rel.Schema.DataIndexes()
+	for i, a := range ref.Attrs {
+		if a == attr && i < len(dataIdx) {
+			return ts.Cols[base.Rel.Schema.Cols[dataIdx[i]].Name]
+		}
+	}
+	return nil
+}
+
+// selSelectivity estimates the fraction of ref's rows satisfying one
+// selection, histogram-based when the catalog is analyzed.
+func selSelectivity(c *Catalog, ref query.RelRef, s query.Selection) float64 {
+	cs := colStats(c, ref, s.Attr)
+	if s.Op == engine.OpEq {
+		return cs.EqSelectivity(s.Val)
+	}
+	return cs.RangeSelectivity(s.Op.String(), s.Val)
+}
 
 // estimate predicts the post-selection cardinality of a relation occurrence.
 func estimate(c *Catalog, q *query.Query, ref query.RelRef) float64 {
@@ -43,11 +71,7 @@ func estimate(c *Catalog, q *query.Query, ref query.RelRef) float64 {
 		if s.Rel != ref.Name {
 			continue
 		}
-		if s.Op == engine.OpEq {
-			est *= eqSelectivity
-		} else {
-			est *= rangeSelectivity
-		}
+		est *= selSelectivity(c, ref, s)
 	}
 	if est < 1 {
 		est = 1
@@ -142,32 +166,6 @@ func depth(t *query.Tree) int {
 	return d + 1
 }
 
-// neededAttrs returns the data attributes an intermediate over the joined
-// set must keep: the head attributes plus every attribute shared with a
-// not-yet-joined relation (§V.B's "projection on the query's selection
-// attributes and all the join attributes needed for the joins that are not
-// underneath").
-func neededAttrs(q *query.Query, joined map[string]bool) map[string]bool {
-	need := make(map[string]bool)
-	for _, h := range q.Head {
-		need[h] = true
-	}
-	for _, r := range q.Rels {
-		if joined[r.Name] {
-			continue
-		}
-		for _, a := range r.Attrs {
-			// a is needed if some joined relation also has it.
-			for _, jr := range q.Rels {
-				if joined[jr.Name] && jr.HasAttr(a) {
-					need[a] = true
-				}
-			}
-		}
-	}
-	return need
-}
-
 // leafWrap builds the per-tuple pipeline of one relation occurrence —
 // rename → filter → project — over an arbitrary operator with the base
 // table's schema. The projection keeps the occurrence's needed attributes
@@ -196,25 +194,9 @@ func leafWrap(c *Catalog, q *query.Query, ref query.RelRef, in engine.Operator) 
 	}
 	// Project to the attributes the leaf still needs: every attribute it
 	// shares with some other relation (to join with the intermediate built
-	// so far, or with relations joined later) plus head attributes.
-	need := make(map[string]bool)
-	for _, h := range q.Head {
-		need[h] = true
-	}
-	for _, a := range ref.Attrs {
-		for _, other := range q.Rels {
-			if other.Name != ref.Name && other.HasAttr(a) {
-				need[a] = true
-			}
-		}
-	}
-	var names []string
-	for _, a := range ref.Attrs {
-		if need[a] {
-			names = append(names, a)
-		}
-	}
-	names = append(names, "V("+ref.Name+")", "P("+ref.Name+")")
+	// so far, or with relations joined later) plus head attributes —
+	// logical.LeafKeep, §V.B's projection rule.
+	names := append(logical.LeafKeep(q, ref), "V("+ref.Name+")", "P("+ref.Name+")")
 	return engine.NewColumnProject(op, names)
 }
 
@@ -268,7 +250,7 @@ func joinPipeline(ex exec, q *query.Query, left, right engine.Operator, joined m
 	}
 	// Project: needed data attrs (first occurrence wins, removing the
 	// duplicated join columns) + every V/P column.
-	need := neededAttrs(q, joined)
+	need := logical.JoinKeep(q, joined)
 	js := j.Schema()
 	var names []string
 	seen := make(map[string]bool)

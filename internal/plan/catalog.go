@@ -14,21 +14,35 @@
 // exact style falls through the chain instead of rejecting: hierarchical
 // sort+scan → OBDD-exact under budget → Monte Carlo. Spec.RequireExact
 // restores the paper's strict rejection.
+//
+// All styles lower from one shared logical plan IR (internal/logical),
+// built once by Prepare and executed by the lowering in lower.go (safe.go
+// for MystiQ's probability-mode plans). On top sits the cost-based
+// adaptive planner (cost.go): the Auto style analyzes the catalog
+// (internal/stats, cached), prices every applicable style's IR, and
+// dispatches the cheapest; Explain (explain.go) renders the IR and the
+// decision without running the query.
 package plan
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/query"
+	"repro/internal/stats"
 	"repro/internal/table"
 )
 
 // Catalog maps base table names to tuple-independent tables. It is the
-// "database" side of the planner; the sprout facade wraps it.
+// "database" side of the planner; the sprout facade wraps it. Alongside the
+// tables it caches the ANALYZE statistics the cost-based planner consumes.
 type Catalog struct {
 	tables map[string]*table.ProbTable
+
+	statsMu sync.Mutex
+	stats   map[string]*stats.TableStats
 }
 
 // NewCatalog creates an empty catalog.
@@ -40,7 +54,39 @@ func (c *Catalog) Add(t *table.ProbTable) error {
 		return fmt.Errorf("plan: table %s already registered", t.Name)
 	}
 	c.tables[t.Name] = t
+	c.statsMu.Lock()
+	c.stats = nil // new table invalidates the cached ANALYZE snapshot
+	c.statsMu.Unlock()
 	return nil
+}
+
+// Analyze computes (or returns the cached) catalog statistics: one ANALYZE
+// pass per base table. Concurrent Analyze/TableStats calls are safe with
+// each other (the cache is mutex-guarded); like every other catalog read,
+// they must not race with Add — the catalog is frozen while an engine
+// serves it, and Add (setup time) invalidates any cached snapshot.
+func (c *Catalog) Analyze() map[string]*stats.TableStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if c.stats == nil {
+		c.stats = make(map[string]*stats.TableStats, len(c.tables))
+		for name, t := range c.tables {
+			c.stats[name] = stats.Analyze(t)
+		}
+	}
+	return c.stats
+}
+
+// TableStats returns the cached statistics of a base table, or nil when the
+// catalog has not been analyzed (estimators then fall back to the default
+// selectivity constants).
+func (c *Catalog) TableStats(name string) *stats.TableStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if c.stats == nil {
+		return nil
+	}
+	return c.stats[name]
 }
 
 // MustAdd is Add for fixtures.

@@ -1,0 +1,172 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fd"
+	"repro/internal/prob"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// TestAutoBitIdenticalToChosen: an Auto run must agree bit for bit with a
+// direct run of the style it reports choosing — on a hierarchical query and
+// on one without a signature (lineage tiers).
+func TestAutoBitIdenticalToChosen(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		setup func() (*Catalog, *query.Query, *fd.Set)
+	}{
+		{"fig1", func() (*Catalog, *query.Query, *fd.Set) {
+			c, _ := fig1Catalog()
+			return c, introQ(), tpchFDs()
+		}},
+		{"hard", func() (*Catalog, *query.Query, *fd.Set) {
+			return hardDB(rand.New(rand.NewSource(2))), hardQuery(), fd.NewSet()
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cat, q, sigma := tc.setup()
+			auto, err := Run(cat, q.Clone(), sigma, Spec{Style: Auto, MC: prob.MCOptions{Seed: 1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if auto.Stats.ChosenStyle == "" || auto.Stats.EstimatedCost <= 0 {
+				t.Fatalf("auto stats not populated: chosen=%q cost=%g", auto.Stats.ChosenStyle, auto.Stats.EstimatedCost)
+			}
+			chosen, err := ParseStyle(auto.Stats.ChosenStyle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := Run(cat, q.Clone(), sigma, Spec{Style: chosen, MC: prob.MCOptions{Seed: 1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mustBitIdentical(auto.Rows, direct.Rows); err != nil {
+				t.Fatalf("auto vs direct %s: %v", chosen, err)
+			}
+		})
+	}
+}
+
+func mustBitIdentical(a, b *table.Relation) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("row counts %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				return fmt.Errorf("row %d col %d: %v vs %v", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+// TestAutoNeverMCUnderRequireExact: with RequireExact, Monte Carlo is never
+// a candidate — on hierarchical queries (where exact styles win anyway) and
+// on queries without a signature (where Auto must fall to OBDD, whose
+// RequireExact semantics forbid bound-mode results at runtime).
+func TestAutoNeverMCUnderRequireExact(t *testing.T) {
+	hard := hardDB(rand.New(rand.NewSource(3)))
+	fig1, _ := fig1Catalog()
+	for _, tc := range []struct {
+		name  string
+		cat   *Catalog
+		q     *query.Query
+		sigma *fd.Set
+	}{
+		{"hierarchical", fig1, introQ(), tpchFDs()},
+		{"no-signature", hard, hardQuery(), fd.NewSet()},
+	} {
+		chosen, costs, err := ChooseStyle(tc.cat, tc.q, tc.sigma, Spec{Style: Auto, RequireExact: true})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if chosen == MonteCarlo {
+			t.Fatalf("%s: Auto chose MC under RequireExact", tc.name)
+		}
+		for _, ce := range costs {
+			if ce.Style == MonteCarlo && ce.Candidate {
+				t.Fatalf("%s: MC is a candidate under RequireExact", tc.name)
+			}
+		}
+	}
+	// Without RequireExact, the no-signature query admits MC as a
+	// candidate; MystiQ must never be one.
+	_, costs, err := ChooseStyle(hard, hardQuery(), fd.NewSet(), Spec{Style: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcCandidate := false
+	for _, ce := range costs {
+		if ce.Style == MonteCarlo {
+			mcCandidate = ce.Candidate
+		}
+		if ce.Style == SafeMystiQ && ce.Candidate {
+			t.Fatal("MystiQ must never be an Auto candidate")
+		}
+	}
+	if !mcCandidate {
+		t.Fatal("MC should be a candidate on no-signature queries without RequireExact")
+	}
+}
+
+// TestAutoFallbackLadder: on a query without a hierarchical signature, Auto
+// chooses a lineage tier; with one, it never chooses an approximate style
+// and every exact style is a costed candidate.
+func TestAutoFallbackLadder(t *testing.T) {
+	hard := hardDB(rand.New(rand.NewSource(4)))
+	chosen, _, err := ChooseStyle(hard, hardQuery(), fd.NewSet(), Spec{Style: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen != OBDD && chosen != MonteCarlo {
+		t.Fatalf("no-signature query must dispatch a lineage tier, got %v", chosen)
+	}
+	cat, _ := fig1Catalog()
+	chosen, costs, err := ChooseStyle(cat, introQ(), tpchFDs(), Spec{Style: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen == MonteCarlo {
+		t.Fatalf("hierarchical query must not dispatch an approximate style, got %v", chosen)
+	}
+	for _, ce := range costs {
+		switch ce.Style {
+		case Lazy, Eager, Hybrid, OBDD:
+			if !ce.Candidate || ce.Cost <= 0 {
+				t.Errorf("%v should be a costed candidate: %+v", ce.Style, ce)
+			}
+		}
+	}
+}
+
+// TestEstimateUsesStats: once the catalog is analyzed, selectivity comes
+// from the per-attribute statistics instead of the historic constants.
+func TestEstimateUsesStats(t *testing.T) {
+	c := NewCatalog()
+	pt := table.NewProbTable("W", table.DataCol("k", table.KindInt))
+	for i := 0; i < 100; i++ {
+		pt.MustAddRow(prob.Var(i+1), 0.5, table.Int(int64(i%10)))
+	}
+	c.MustAdd(pt)
+	q := &query.Query{
+		Name: "eq",
+		Head: []string{"k"},
+		Rels: []query.RelRef{query.Rel("W", "k")},
+		Sels: []query.Selection{{Rel: "W", Attr: "k", Op: engine.OpEq, Val: table.Int(3)}},
+	}
+	// Unanalyzed: default equality selectivity 0.02 → 100·0.02 = 2.
+	if got := estimate(c, q, q.Rels[0]); got != 2 {
+		t.Fatalf("default estimate = %g, want 2", got)
+	}
+	c.Analyze()
+	// Analyzed: 10 distinct values → selectivity 1/10 → 10 rows.
+	if got := estimate(c, q, q.Rels[0]); got != 10 {
+		t.Fatalf("stats estimate = %g, want 10", got)
+	}
+}

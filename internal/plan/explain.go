@@ -1,0 +1,45 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fd"
+	"repro/internal/query"
+)
+
+// Explain renders the logical plan IR a style would execute for the query —
+// without running it — and, for the Auto style, the cost-based decision:
+// the chosen style plus the per-style cost table derived from the catalog's
+// ANALYZE statistics. The output is deterministic for a fixed catalog (no
+// timings, no pointers), which the golden-file tests pin.
+func Explain(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (string, error) {
+	if err := q.Validate(); err != nil {
+		return "", err
+	}
+	var costs []CostEstimate
+	chosen := spec.Style
+	if spec.Style == Auto {
+		var err error
+		chosen, costs, err = ChooseStyle(c, q, sigma, spec)
+		if err != nil {
+			return "", err
+		}
+		spec.Style = chosen
+	}
+	b, err := buildLogical(c, q, sigma, spec)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "query: %s\n", q)
+	if costs != nil {
+		fmt.Fprintf(&sb, "auto: chose %s by estimated cost\n", chosen)
+	}
+	sb.WriteString(b.lp.String())
+	if costs != nil {
+		sb.WriteString("\n\ncost-based choice (catalog analyzed):\n")
+		sb.WriteString(FormatCosts(costs, chosen))
+	}
+	return strings.TrimRight(sb.String(), "\n"), nil
+}

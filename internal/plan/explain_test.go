@@ -1,0 +1,84 @@
+package plan
+
+import (
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fd"
+)
+
+// Run `go test ./internal/plan -run TestExplainGolden -update` after an
+// intentional planner change to rewrite the golden files.
+var updateGolden = flag.Bool("update", false, "rewrite the Explain golden files")
+
+// TestExplainGolden pins the EXPLAIN rendering — the logical plan IR of
+// every style plus Auto's cost table — against golden files, so planner
+// output cannot silently drift. The fixtures are fully deterministic: a
+// fixed catalog (fig1 / seeded hard instance), no timings, and ANALYZE
+// statistics derived from a fixed-seed reservoir.
+func TestExplainGolden(t *testing.T) {
+	hard := hardDB(rand.New(rand.NewSource(1)))
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{name: "lazy", spec: Spec{Style: Lazy}},
+		{name: "eager", spec: Spec{Style: Eager}},
+		{name: "hybrid", spec: Spec{Style: Hybrid, HybridPrefix: 2}},
+		{name: "mystiq", spec: Spec{Style: SafeMystiQ}},
+		{name: "obdd", spec: Spec{Style: OBDD}},
+		{name: "mc", spec: Spec{Style: MonteCarlo}},
+		{name: "auto", spec: Spec{Style: Auto}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cat, _ := fig1Catalog()
+			got, err := Explain(cat, introQ(), tpchFDs(), tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.name, got)
+		})
+	}
+	t.Run("fallback-chain", func(t *testing.T) {
+		// An exact style on a query without a hierarchical signature
+		// renders the OBDD→MC fallback-chain plan.
+		got, err := Explain(hard, hardQuery(), fd.NewSet(), Spec{Style: Lazy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "fallback-chain", got)
+	})
+	t.Run("auto-unsafe", func(t *testing.T) {
+		// Auto on the same query chooses among the lineage tiers only.
+		got, err := Explain(hard, hardQuery(), fd.NewSet(), Spec{Style: Auto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "auto-unsafe", got)
+	})
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "explain", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got+"\n" != string(want) {
+		t.Errorf("Explain(%s) drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s", name, path, got, want)
+	}
+}

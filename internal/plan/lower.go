@@ -1,0 +1,278 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/conf"
+	"repro/internal/engine"
+	"repro/internal/logical"
+	"repro/internal/query"
+	"repro/internal/signature"
+	"repro/internal/table"
+)
+
+// This file lowers the logical plan IR (internal/logical) to the physical
+// engine and runs it — the single execution path shared by every plan
+// style. Scan/select/project/join subtrees become pipelined engine
+// operators (partition-parallel under a multi-worker pool); confidence
+// placement points materialize their input and run the appropriate
+// algorithm: eager sort+scan aggregation steps, the final sort+scan
+// operator, OBDD compilation, Monte Carlo estimation, or the
+// OBDD-then-Monte-Carlo fallback chain.
+
+// lowerState carries one run's execution bookkeeping through the lowering.
+type lowerState struct {
+	ex   exec
+	c    *Catalog
+	q    *query.Query
+	spec Spec
+
+	// cur is the runtime running signature of a staged plan: every eager
+	// aggregation replaces the operator it applied by its representative
+	// table, exactly as §V.B prescribes.
+	cur signature.Sig
+
+	probTime        time.Duration
+	scans           int
+	applied         []string
+	maxIntermediate int64
+}
+
+func (st *lowerState) track(rel *table.Relation) {
+	if n := int64(rel.Len()); n > st.maxIntermediate {
+		st.maxIntermediate = n
+	}
+}
+
+// scanRefUnder returns the relation occurrence scanned at the bottom of a
+// leaf pipeline (Project → [Select] → Scan).
+func scanRefUnder(n logical.Node) (query.RelRef, bool) {
+	for {
+		switch x := n.(type) {
+		case *logical.Scan:
+			return x.Ref, true
+		case *logical.Select:
+			n = x.Input
+		case *logical.Project:
+			n = x.Input
+		default:
+			return query.RelRef{}, false
+		}
+	}
+}
+
+// joinedUnder collects the occurrence names scanned in a subtree — the
+// "joined set" driving the post-join projection rule.
+func joinedUnder(n logical.Node) map[string]bool {
+	joined := make(map[string]bool)
+	var walk func(logical.Node)
+	walk = func(n logical.Node) {
+		if s, ok := n.(*logical.Scan); ok {
+			joined[s.Ref.Name] = true
+		}
+		for _, in := range n.Inputs() {
+			walk(in)
+		}
+	}
+	walk(n)
+	return joined
+}
+
+// operator lowers a pipelined subtree to one engine operator. Confidence
+// placement points inside the subtree materialize and re-enter the pipeline
+// as in-memory scans.
+func (st *lowerState) operator(n logical.Node) (engine.Operator, error) {
+	switch x := n.(type) {
+	case *logical.Project:
+		if j, ok := x.Input.(*logical.Join); ok {
+			left, err := st.operator(j.Left)
+			if err != nil {
+				return nil, err
+			}
+			right, err := st.operator(j.Right)
+			if err != nil {
+				return nil, err
+			}
+			return joinPipeline(st.ex, st.q, left, right, joinedUnder(x))
+		}
+		ref, ok := scanRefUnder(x)
+		if !ok {
+			return nil, fmt.Errorf("plan: unexpected logical shape under %s", x.Label())
+		}
+		return leafPipeline(st.ex, st.c, st.q, ref)
+	case *logical.Conf:
+		rel, err := st.materializeConf(x)
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewMemScan(rel), nil
+	default:
+		return nil, fmt.Errorf("plan: cannot lower logical node %T", n)
+	}
+}
+
+// materialize runs a subtree to a materialized relation.
+func (st *lowerState) materialize(n logical.Node) (*table.Relation, error) {
+	if cf, ok := n.(*logical.Conf); ok && !cf.Final {
+		return st.materializeConf(cf)
+	}
+	op, err := st.operator(n)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := engine.CollectCtx(st.ex.ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	st.track(rel)
+	return rel, nil
+}
+
+// materializeConf materializes an eager placement point: the input
+// intermediate, with each scheduled probability-computation operator
+// applied as sort+scan passes and the running signature updated with the
+// operator's representative.
+func (st *lowerState) materializeConf(cf *logical.Conf) (*table.Relation, error) {
+	rel, err := st.materialize(cf.Input)
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range cf.Ops {
+		pt0 := time.Now()
+		next, rep, n, err := conf.Aggregate(rel, op, st.spec.Conf)
+		if err != nil {
+			return nil, err
+		}
+		st.probTime += time.Since(pt0)
+		st.scans += n
+		rel = next
+		st.cur = Replace(st.cur, op, signature.Table(rep))
+		st.applied = append(st.applied, "["+op.String()+"]")
+	}
+	return rel, nil
+}
+
+// runLogical executes a built logical plan.
+func runLogical(ex exec, c *Catalog, q *query.Query, b *built, spec Spec) (*Result, error) {
+	if b.lp.Mode == logical.ModeProb {
+		return lowerSafe(ex, c, q, b, spec)
+	}
+	root, ok := b.lp.Root.(*logical.Conf)
+	if !ok || !root.Final {
+		return nil, fmt.Errorf("plan: logical plan for %s lacks a final confidence point", q.Name)
+	}
+	st := &lowerState{ex: ex, c: c, q: q, spec: spec, cur: b.sig}
+	t0 := time.Now()
+	answer, err := st.materialize(root.Input)
+	if err != nil {
+		return nil, err
+	}
+	tupleTime := time.Since(t0) - st.probTime
+
+	switch root.Alg {
+	case logical.AlgSortScan:
+		return st.finishSortScan(b, answer, tupleTime)
+	case logical.AlgOBDD:
+		return finishOBDD(ex, q, b, spec, answer, tupleTime)
+	case logical.AlgMC:
+		return finishMonteCarlo(ex, q, spec, "", b.order, answer, nil, tupleTime, 0)
+	case logical.AlgOBDDThenMC:
+		return finishFallbackChain(ex, q, b, spec, answer, tupleTime)
+	default:
+		return nil, fmt.Errorf("plan: unknown confidence algorithm %v", root.Alg)
+	}
+}
+
+// finishSortScan runs the top sort+scan confidence operator over the
+// materialized intermediate: the full operator when aggregation remains,
+// the bare-table extraction when the eager stages already reduced the
+// signature to a single representative.
+func (st *lowerState) finishSortScan(b *built, rel *table.Relation, tupleTime time.Duration) (*Result, error) {
+	pt0 := time.Now()
+	var out *table.Relation
+	var err error
+	if bare, ok := st.cur.(signature.Table); ok {
+		out, err = conf.FinalizeBare(rel, string(bare))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var cstats *conf.Stats
+		out, cstats, err = conf.ComputeStats(rel, st.cur, st.spec.Conf)
+		if err != nil {
+			return nil, err
+		}
+		st.scans += cstats.Scans
+	}
+	st.probTime += time.Since(pt0)
+	out, err = normalizeAnswer(out, st.q)
+	if err != nil {
+		return nil, err
+	}
+	planLine := fmt.Sprintf("lazy: %s; conf[%s] on top", describeOrder(b.order), st.cur)
+	if b.eagerStages > 0 {
+		planLine = fmt.Sprintf("%s: %s; ops %v; top conf[%s]", b.lp.Style, describeOrder(b.order), st.applied, st.cur)
+	}
+	return &Result{
+		Rows: out,
+		Stats: Stats{
+			Plan:           planLine,
+			Signature:      b.sig.String(),
+			TupleTime:      tupleTime,
+			ProbTime:       st.probTime,
+			AnswerTuples:   st.maxIntermediate,
+			DistinctTuples: int64(out.Len()),
+			Scans:          st.scans,
+		},
+	}, nil
+}
+
+// finishOBDD is the OBDD style's confidence tier over the materialized
+// answer: compile each answer's lineage into a reduced OBDD, exact under
+// the node budget, certified bounds beyond it.
+func finishOBDD(ex exec, q *query.Query, b *built, spec Spec, answer *table.Relation, tupleTime time.Duration) (*Result, error) {
+	t1 := time.Now()
+	out, os, err := conf.OBDD(ex.ctx, ex.pool, answer, b.sig, spec.OBDD, spec.RequireExact)
+	if err != nil {
+		if errors.Is(err, conf.ErrOBDDBudget) {
+			return nil, fmt.Errorf("plan: %s: %w (RequireExact forbids certified bounds)", q.Name, err)
+		}
+		return nil, err
+	}
+	probTime := time.Since(t1)
+	out, err = normalizeAnswer(out, q)
+	if err != nil {
+		return nil, err
+	}
+	return obddResult(q, "", b.orderNote, b.order, answer, out, os, tupleTime, probTime), nil
+}
+
+// finishFallbackChain is the exact styles' path on queries without a
+// hierarchical signature: compile every answer's lineage into an OBDD under
+// the node budget — the result is still exact, just computed by a different
+// engine — and only if some diagram blows the budget, estimate with the
+// Monte Carlo tier. The lineage is collected once and shared.
+func finishFallbackChain(ex exec, q *query.Query, b *built, spec Spec, answer *table.Relation, tupleTime time.Duration) (*Result, error) {
+	t1 := time.Now()
+	l, err := conf.CollectLineage(answer)
+	if err != nil {
+		return nil, err
+	}
+	out, os, err := conf.OBDDLineage(ex.ctx, ex.pool, l, nil, spec.OBDD, true)
+	if err != nil {
+		if !errors.Is(err, conf.ErrOBDDBudget) {
+			return nil, err
+		}
+		note := fmt.Sprintf(" (fallback from %s: no hierarchical signature, OBDD budget exceeded)", spec.Style)
+		return finishMonteCarlo(ex, q, spec, note, b.order, answer, l, tupleTime, time.Since(t1))
+	}
+	probTime := time.Since(t1)
+	out, err = normalizeAnswer(out, q)
+	if err != nil {
+		return nil, err
+	}
+	note := fmt.Sprintf(" (fallback from %s: no hierarchical signature, lineage compiled exactly)", spec.Style)
+	return obddResult(q, note, "interleaved-occurrence order", b.order, answer, out, os, tupleTime, probTime), nil
+}

@@ -9,31 +9,19 @@ import (
 	"repro/internal/table"
 )
 
-// runMonteCarlo is the approximate plan: answer tuples are computed exactly
-// like the lazy plan (greedy selective join order, all V/P columns carried
-// through), then the Monte Carlo confidence operator groups them into
-// per-answer lineage DNFs and estimates each answer's confidence with the
-// (ε, δ) samplers of internal/prob, fanning answers out to a worker pool.
-// No signature is required, so this plan accepts every conjunctive query —
-// including the #P-hard ones every exact style must reject. note annotates
-// the plan line when the run is a fallback from an exact style.
-func runMonteCarlo(ex exec, c *Catalog, q *query.Query, spec Spec, note string) (*Result, error) {
-	order := LazyOrder(c, q)
-	t0 := time.Now()
-	answer, err := answerPipeline(ex, c, q, order)
-	if err != nil {
-		return nil, err
-	}
-	return finishMonteCarlo(ex, q, spec, note, order, answer, nil, time.Since(t0), 0)
-}
-
-// finishMonteCarlo estimates confidences over an already materialized
-// answer relation — shared between the Monte Carlo style and the last rung
-// of the exact styles' fallback chain (obdd.go), which has the answer (and
-// its collected lineage) in hand from its OBDD attempt. l may be nil, in
-// which case the lineage is collected here; probSpent carries the caller's
+// finishMonteCarlo is the Monte Carlo confidence tier: the answer tuples
+// were computed exactly like the lazy plan (greedy selective join order,
+// all V/P columns carried through), and each distinct answer's lineage DNF
+// is estimated with the (ε, δ) samplers of internal/prob, fanning answers
+// out to a worker pool. No signature is required, so this tier accepts
+// every conjunctive query — including the #P-hard ones every exact style
+// must reject. It serves both the MonteCarlo style and the last rung of the
+// exact styles' fallback chain (lower.go), which has the answer (and its
+// collected lineage) in hand from its OBDD attempt. l may be nil, in which
+// case the lineage is collected here; probSpent carries the caller's
 // already-spent confidence-computation time (the aborted OBDD compile) so
-// Stats.ProbTime reports the real cost of the fallback.
+// Stats.ProbTime reports the real cost of the fallback. note annotates the
+// plan line when the run is a fallback from an exact style.
 func finishMonteCarlo(ex exec, q *query.Query, spec Spec, note string, order []query.RelRef, answer *table.Relation, l *conf.Lineage, tupleTime, probSpent time.Duration) (*Result, error) {
 	t1 := time.Now()
 	if l == nil {

@@ -1,98 +1,22 @@
 package plan
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/conf"
-	"repro/internal/fd"
 	"repro/internal/query"
-	"repro/internal/signature"
 	"repro/internal/table"
 )
 
-// This file is the OBDD tier of the plan space: answer tuples are computed
-// exactly like the lazy plan, then each distinct answer's lineage DNF is
-// compiled into a reduced OBDD (internal/obdd) and evaluated — exact when
-// the diagram fits the node budget, certified [lo, hi] bounds when it does
-// not. It is both a style in its own right (Spec.Style = OBDD) and the
-// middle rung of the exact styles' fallback chain on queries without a
-// hierarchical signature: hierarchical sort+scan → OBDD-exact under budget
-// → Monte Carlo.
-
-// runOBDD executes the OBDD style. A hierarchical signature is not
-// required, but when one exists it seeds the variable order (clauses
-// visited root-table first), which keeps the diagrams of hierarchical
-// lineage linear.
-func runOBDD(ex exec, c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) {
-	order := LazyOrder(c, q)
-	t0 := time.Now()
-	answer, err := answerPipeline(ex, c, q, order)
-	if err != nil {
-		return nil, err
-	}
-	tupleTime := time.Since(t0)
-
-	var sig signature.Sig
-	orderNote := "interleaved-occurrence order"
-	if s, err := signature.Best(q, sigma); err == nil {
-		sig = s
-		orderNote = fmt.Sprintf("order from signature %s", s)
-	}
-
-	t1 := time.Now()
-	out, os, err := conf.OBDD(ex.ctx, ex.pool, answer, sig, spec.OBDD, spec.RequireExact)
-	if err != nil {
-		if errors.Is(err, conf.ErrOBDDBudget) {
-			return nil, fmt.Errorf("plan: %s: %w (RequireExact forbids certified bounds)", q.Name, err)
-		}
-		return nil, err
-	}
-	probTime := time.Since(t1)
-	out, err = normalizeAnswer(out, q)
-	if err != nil {
-		return nil, err
-	}
-	return obddResult(q, "", orderNote, order, answer, out, os, tupleTime, probTime), nil
-}
-
-// runExactFallback is the fallback chain for exact styles on queries
-// without a hierarchical signature: compile every answer's lineage into an
-// OBDD under the node budget — the result is still exact, just computed by
-// a different engine — and only if some diagram blows the budget, estimate
-// with the Monte Carlo plan. The answer relation is materialized and its
-// lineage collected once, shared by both attempts.
-func runExactFallback(ex exec, c *Catalog, q *query.Query, spec Spec) (*Result, error) {
-	order := LazyOrder(c, q)
-	t0 := time.Now()
-	answer, err := answerPipeline(ex, c, q, order)
-	if err != nil {
-		return nil, err
-	}
-	tupleTime := time.Since(t0)
-
-	t1 := time.Now()
-	l, err := conf.CollectLineage(answer)
-	if err != nil {
-		return nil, err
-	}
-	out, os, err := conf.OBDDLineage(ex.ctx, ex.pool, l, nil, spec.OBDD, true)
-	if err != nil {
-		if !errors.Is(err, conf.ErrOBDDBudget) {
-			return nil, err
-		}
-		note := fmt.Sprintf(" (fallback from %s: no hierarchical signature, OBDD budget exceeded)", spec.Style)
-		return finishMonteCarlo(ex, q, spec, note, order, answer, l, tupleTime, time.Since(t1))
-	}
-	probTime := time.Since(t1)
-	out, err = normalizeAnswer(out, q)
-	if err != nil {
-		return nil, err
-	}
-	note := fmt.Sprintf(" (fallback from %s: no hierarchical signature, lineage compiled exactly)", spec.Style)
-	return obddResult(q, note, "interleaved-occurrence order", order, answer, out, os, tupleTime, probTime), nil
-}
+// This file assembles the results of the OBDD confidence tier (lower.go):
+// answer tuples are computed exactly like the lazy plan, then each distinct
+// answer's lineage DNF is compiled into a reduced OBDD (internal/obdd) and
+// evaluated — exact when the diagram fits the node budget, certified
+// [lo, hi] bounds when it does not. The tier is both a style in its own
+// right (Spec.Style = OBDD) and the middle rung of the exact styles'
+// fallback chain on queries without a hierarchical signature: hierarchical
+// sort+scan → OBDD-exact under budget → Monte Carlo.
 
 // obddResult assembles the Result of an OBDD run.
 func obddResult(q *query.Query, note, orderNote string, order []query.RelRef, answer, out *table.Relation, os *conf.OBDDStats, tupleTime, probTime time.Duration) *Result {

@@ -7,12 +7,13 @@ import (
 
 	"repro/internal/conf"
 	"repro/internal/engine"
-	"repro/internal/fd"
+	"repro/internal/logical"
 	"repro/internal/query"
 	"repro/internal/table"
 )
 
-// runSafe evaluates q with a MystiQ-style safe plan (Fig. 2): the join
+// This file lowers probability-mode logical plans — the MystiQ safe plans
+// of Fig. 2 (§VII), built by buildSafe — to the physical engine: the join
 // order follows the hierarchy of the query tree (deepest subqueries first),
 // every join and leaf is capped by an independent projection π^ind that
 // eliminates duplicates and aggregates their probabilities, and — unlike
@@ -21,31 +22,24 @@ import (
 // Probabilities are aggregated with MystiQ's 1-POWER(10, SUM(log10(1.001-p)))
 // formula, whose runtime failures on large groups (§VII) are reproduced as
 // errors.
-func runSafe(ex exec, c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Result, error) {
-	// Prefer the head-aware tree of the original query: its labels carry
-	// the actual join attributes. The FD-reduct tree (used when the
-	// original structure is non-hierarchical, e.g. Q18) drops attributes
-	// functionally determined by the head, which is fine there because the
-	// reduct keeps the join attributes that still matter.
-	tree, err := query.TreeFor(q)
-	if err != nil {
-		tree, err = treeForOrder(q, sigma)
-		if err != nil {
-			return nil, fmt.Errorf("plan: no safe plan for %s: %w", q.Name, err)
-		}
+
+// safeProbCol is the single probability column safe plans carry.
+const safeProbCol = "P"
+
+// lowerSafe executes a ModeProb logical plan.
+func lowerSafe(ex exec, c *Catalog, q *query.Query, b *built, spec Spec) (*Result, error) {
+	root, ok := b.lp.Root.(*logical.Conf)
+	if !ok || root.Alg != logical.AlgIndProject || !root.Final {
+		return nil, fmt.Errorf("plan: safe plan for %s lacks the final π^ind", q.Name)
 	}
 	t0 := time.Now()
-	head := make(map[string]bool, len(q.Head))
-	for _, h := range q.Head {
-		head[h] = true
-	}
-	b := &safeBuilder{cat: c, q: q, head: head, ex: ex}
-	op, err := b.node(tree, nil)
+	s := &safeLower{cat: c, q: q, ex: ex}
+	op, err := s.node(root.Input)
 	if err != nil {
 		return nil, err
 	}
 	// Final independent projection onto the head attributes.
-	op, err = b.indProject(op, q.Head)
+	op, err = s.indProject(op, root.Keep)
 	if err != nil {
 		return nil, err
 	}
@@ -76,129 +70,74 @@ func runSafe(ex exec, c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Re
 	return &Result{
 		Rows: out,
 		Stats: Stats{
-			Plan:           fmt.Sprintf("mystiq safe plan over tree %s", tree),
+			Plan:           fmt.Sprintf("mystiq safe plan over tree %s", b.tree),
 			Signature:      "(safe plan; no signature)",
 			TupleTime:      total,
 			ProbTime:       0, // interleaved with tuple computation in safe plans
-			AnswerTuples:   b.maxIntermediate,
+			AnswerTuples:   s.maxIntermediate,
 			DistinctTuples: int64(out.Len()),
-			Scans:          b.aggregations,
+			Scans:          s.aggregations,
 		},
 	}, nil
 }
 
-// safeProbCol is the single probability column safe plans carry.
-const safeProbCol = "P"
-
-type safeBuilder struct {
+// safeLower walks the probability-mode IR, building engine operators.
+type safeLower struct {
 	cat             *Catalog
 	q               *query.Query
-	head            map[string]bool
 	ex              exec
 	maxIntermediate int64
 	aggregations    int
 }
 
-// node compiles a query (sub)tree into an operator whose schema is the
-// node's kept attributes plus the P column.
-func (b *safeBuilder) node(t *query.Tree, parentLabel []string) (engine.Operator, error) {
-	if t.IsLeaf() {
-		// The tree may come from an FD-reduct, whose leaves carry
-		// closure-extended attribute sets; scan the original occurrence.
-		ref, ok := b.q.RelByName(t.Leaf.Name)
-		if !ok {
-			return nil, fmt.Errorf("plan: tree leaf %s not in query", t.Leaf.Name)
-		}
-		return b.leaf(ref, parentLabel)
-	}
-	keep := b.keepAttrs(t)
-	// Children in hierarchy order: deepest first, like the safe plans
-	// MystiQ produces (Fig. 2 joins Ord ⋈ Item before Cust).
-	kids := append([]*query.Tree(nil), t.Children...)
-	for i := 0; i < len(kids); i++ {
-		deepest := i
-		for j := i + 1; j < len(kids); j++ {
-			if depth(kids[j]) > depth(kids[deepest]) {
-				deepest = j
-			}
-		}
-		kids[i], kids[deepest] = kids[deepest], kids[i]
-	}
-	cur, err := b.node(kids[0], t.Label)
-	if err != nil {
-		return nil, err
-	}
-	for _, kid := range kids[1:] {
-		right, err := b.node(kid, t.Label)
+// node lowers one IR subtree to an operator whose schema is the node's kept
+// attributes plus the P column.
+func (s *safeLower) node(n logical.Node) (engine.Operator, error) {
+	switch x := n.(type) {
+	case *logical.Conf:
+		in, err := s.node(x.Input)
 		if err != nil {
 			return nil, err
 		}
-		cur, err = b.join(cur, right, keep)
-		if err != nil {
-			return nil, err
+		return s.indProject(in, x.Keep)
+	case *logical.Project:
+		if j, ok := x.Input.(*logical.Join); ok {
+			left, err := s.node(j.Left)
+			if err != nil {
+				return nil, err
+			}
+			right, err := s.node(j.Right)
+			if err != nil {
+				return nil, err
+			}
+			return s.join(left, right, x.Attrs)
 		}
+		return s.leaf(x)
+	default:
+		return nil, fmt.Errorf("plan: cannot lower safe-plan node %T", n)
 	}
-	return cur, nil
 }
 
-// keepAttrs returns the node's label attributes plus head attributes
-// available in its subtree.
-func (b *safeBuilder) keepAttrs(t *query.Tree) []string {
-	inSubtree := make(map[string]bool)
-	var walk func(n *query.Tree)
-	walk = func(n *query.Tree) {
-		if n.IsLeaf() {
-			if ref, ok := b.q.RelByName(n.Leaf.Name); ok {
-				for _, a := range ref.Attrs {
-					inSubtree[a] = true
-				}
-			}
-			return
-		}
-		for _, c := range n.Children {
-			walk(c)
-		}
+// leaf lowers a leaf pipeline: scan → filter → projection to kept attrs +
+// P. The variable column is dropped and P(ref) renamed to the bare P
+// column: MystiQ works on probabilistic tables without variable columns
+// (§V).
+func (s *safeLower) leaf(p *logical.Project) (engine.Operator, error) {
+	ref, ok := scanRefUnder(p)
+	if !ok {
+		return nil, fmt.Errorf("plan: safe-plan leaf %s has no scan", p.Label())
 	}
-	walk(t)
-	var keep []string
-	seen := make(map[string]bool)
-	add := func(a string) {
-		if inSubtree[a] && !seen[a] {
-			keep = append(keep, a)
-			seen[a] = true
-		}
-	}
-	if !t.IsLeaf() {
-		for _, a := range t.Label {
-			add(a)
-		}
-	} else if ref, ok := b.q.RelByName(t.Leaf.Name); ok {
-		for _, a := range ref.Attrs {
-			if b.head[a] {
-				add(a)
-			}
-		}
-	}
-	for _, h := range b.q.Head {
-		add(h)
-	}
-	return keep
-}
-
-// leaf compiles scan → filter → projection to kept attrs + P, followed by
-// π^ind.
-func (b *safeBuilder) leaf(ref query.RelRef, parentLabel []string) (engine.Operator, error) {
-	op, err := b.cat.Scan(ref)
+	op, err := s.cat.Scan(ref)
 	if err != nil {
 		return nil, err
 	}
-	s := op.Schema()
+	sc := op.Schema()
 	var preds engine.And
-	for _, sel := range b.q.Sels {
+	for _, sel := range s.q.Sels {
 		if sel.Rel != ref.Name {
 			continue
 		}
-		idx := s.ColIndex(sel.Attr)
+		idx := sc.ColIndex(sel.Attr)
 		if idx < 0 {
 			return nil, fmt.Errorf("plan: selection attribute %s missing from %s", sel.Attr, ref.Name)
 		}
@@ -207,24 +146,7 @@ func (b *safeBuilder) leaf(ref query.RelRef, parentLabel []string) (engine.Opera
 	if len(preds) > 0 {
 		op = engine.NewFilter(op, preds)
 	}
-	// Keep parent label attrs present in this leaf plus head attrs.
-	seen := make(map[string]bool)
-	var keep []string
-	for _, a := range parentLabel {
-		if ref.HasAttr(a) && !seen[a] {
-			keep = append(keep, a)
-			seen[a] = true
-		}
-	}
-	for _, a := range ref.Attrs {
-		if b.head[a] && !seen[a] {
-			keep = append(keep, a)
-			seen[a] = true
-		}
-	}
-	// Drop the variable column, rename P(ref) to the bare P column: MystiQ
-	// works on probabilistic tables without variable columns (§V).
-	names := append(append([]string(nil), keep...), "P("+ref.Name+")")
+	names := append(append([]string(nil), p.Attrs...), "P("+ref.Name+")")
 	proj, err := engine.NewColumnProject(op, names)
 	if err != nil {
 		return nil, err
@@ -236,16 +158,12 @@ func (b *safeBuilder) leaf(ref query.RelRef, parentLabel []string) (engine.Opera
 	for i, c := range ps.Cols {
 		exprs = append(exprs, engine.ColRef{Idx: i, Name: c.Name})
 	}
-	renamed, err := engine.NewProject(proj, table.NewSchema(cols...), exprs)
-	if err != nil {
-		return nil, err
-	}
-	return b.indProject(renamed, keep)
+	return engine.NewProject(proj, table.NewSchema(cols...), exprs)
 }
 
-// join combines two safe subplans: equi-join on shared attributes,
-// multiply probabilities, project to keep, π^ind.
-func (b *safeBuilder) join(left, right engine.Operator, keep []string) (engine.Operator, error) {
+// join combines two safe subplans: equi-join on shared attributes, multiply
+// probabilities, project to keep, materialize.
+func (s *safeLower) join(left, right engine.Operator, keep []string) (engine.Operator, error) {
 	ls, rs := left.Schema(), right.Schema()
 	var lk, rk []int
 	for i, lc := range ls.Cols {
@@ -283,33 +201,33 @@ func (b *safeBuilder) join(left, right engine.Operator, keep []string) (engine.O
 	if err != nil {
 		return nil, err
 	}
-	mat, err := engine.CollectCtx(b.ex.ctx, proj)
+	mat, err := engine.CollectCtx(s.ex.ctx, proj)
 	if err != nil {
 		return nil, err
 	}
-	if int64(mat.Len()) > b.maxIntermediate {
-		b.maxIntermediate = int64(mat.Len())
+	if int64(mat.Len()) > s.maxIntermediate {
+		s.maxIntermediate = int64(mat.Len())
 	}
-	return b.indProject(engine.NewMemScan(mat), keep)
+	return engine.NewMemScan(mat), nil
 }
 
 // indProject is MystiQ's independent projection: group by the kept
 // attributes and aggregate the probabilities of the (assumed independent)
 // duplicates with the log-based formula.
-func (b *safeBuilder) indProject(in engine.Operator, keep []string) (engine.Operator, error) {
-	b.aggregations++
-	s := in.Schema()
+func (s *safeLower) indProject(in engine.Operator, keep []string) (engine.Operator, error) {
+	s.aggregations++
+	sc := in.Schema()
 	var groupBy []int
 	for _, a := range keep {
-		idx := s.ColIndex(a)
+		idx := sc.ColIndex(a)
 		if idx < 0 {
-			return nil, fmt.Errorf("plan: π^ind attribute %s missing from %v", a, s.Names())
+			return nil, fmt.Errorf("plan: π^ind attribute %s missing from %v", a, sc.Names())
 		}
 		groupBy = append(groupBy, idx)
 	}
-	pi := s.ColIndex(safeProbCol)
+	pi := sc.ColIndex(safeProbCol)
 	if pi < 0 {
-		return nil, fmt.Errorf("plan: π^ind input lacks P column: %v", s.Names())
+		return nil, fmt.Errorf("plan: π^ind input lacks P column: %v", sc.Names())
 	}
 	return engine.GroupSorted(in, groupBy, []engine.AggSpec{
 		{Kind: engine.AggLogOr, Col: pi, Out: table.DataCol(safeProbCol, table.KindFloat)},

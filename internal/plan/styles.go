@@ -7,13 +7,12 @@ import (
 	"time"
 
 	"repro/internal/conf"
-	"repro/internal/engine"
 	"repro/internal/fd"
+	"repro/internal/logical"
 	"repro/internal/obdd"
 	"repro/internal/pool"
 	"repro/internal/prob"
 	"repro/internal/query"
-	"repro/internal/signature"
 	"repro/internal/table"
 )
 
@@ -48,14 +47,22 @@ const (
 	// via Stats.LowerBound/UpperBound) when it does not. Exact styles try
 	// this compilation before falling back to Monte Carlo.
 	OBDD
+	// Auto is the cost-based adaptive planner: it analyzes the catalog
+	// (cached), enumerates the styles applicable to the query — respecting
+	// the hierarchical→OBDD→MC fallback ladder and RequireExact — prices
+	// each with the cost model of cost.go, and dispatches the cheapest.
+	// Stats.ChosenStyle and Stats.EstimatedCost report the decision; the
+	// computed confidences are bit-identical to running the chosen style
+	// directly.
+	Auto
 )
 
 // allStyles lists every style; String, ParseStyle and StyleNames derive
 // from it so the set cannot drift across surfaces.
-var allStyles = []Style{Lazy, Eager, Hybrid, SafeMystiQ, MonteCarlo, OBDD}
+var allStyles = []Style{Lazy, Eager, Hybrid, SafeMystiQ, MonteCarlo, OBDD, Auto}
 
 // styleNames aligns with the Style constants (Lazy = 0, ...).
-var styleNames = [...]string{"lazy", "eager", "hybrid", "mystiq", "mc", "obdd"}
+var styleNames = [...]string{"lazy", "eager", "hybrid", "mystiq", "mc", "obdd", "auto"}
 
 // String names the style.
 func (s Style) String() string {
@@ -153,6 +160,12 @@ type Stats struct {
 	// OBDD run: every reported confidence is within MaxWidth/2 of the
 	// truth (0 for exact and Monte Carlo plans).
 	MaxWidth float64
+	// ChosenStyle names the style the Auto planner dispatched ("" for
+	// fixed-style runs).
+	ChosenStyle string
+	// EstimatedCost is the cost model's estimate (abstract tuple-operation
+	// units) of the chosen plan under the Auto style (0 otherwise).
+	EstimatedCost float64
 }
 
 // Total returns the end-to-end wall-clock time.
@@ -189,9 +202,9 @@ func RunContext(ctx context.Context, c *Catalog, q *query.Query, sigma *fd.Set, 
 }
 
 // Prepared is a query plan resolved once — validation done, style checked,
-// signature computed, fallback chain chosen, worker pool pinned — and
-// runnable many times, concurrently, against the (frozen) catalog. It is
-// the unit the sprout.Engine facade serves.
+// signature computed, the logical plan IR built, fallback chain chosen,
+// worker pool pinned — and runnable many times, concurrently, against the
+// (frozen) catalog. It is the unit the sprout.Engine facade serves.
 type Prepared struct {
 	c     *Catalog
 	q     *query.Query
@@ -199,42 +212,43 @@ type Prepared struct {
 	spec  Spec
 	pool  *pool.Pool
 
-	// sig is the resolved hierarchical signature of an exact style; nil
-	// when the style needs none (MonteCarlo, OBDD) or none exists (the run
-	// takes the fallback chain).
-	sig      signature.Sig
-	fallback bool
+	// b is the built logical plan every run lowers from. For the Auto
+	// style it is the plan of the chosen style, and chosen/costs describe
+	// the decision.
+	b      *built
+	chosen Style
+	costs  []CostEstimate
 }
 
 // Prepare resolves a plan without running it. Errors that do not depend on
 // the data — invalid queries, unknown styles, RequireExact on a query
 // without a hierarchical signature — surface here, once, instead of on
-// every Run.
+// every Run. The returned plan carries the logical IR every style lowers
+// from; for Auto it additionally records the cost-based style choice.
 func Prepare(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*Prepared, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	p := &Prepared{c: c, q: q, sigma: sigma, spec: spec, pool: pool.Get(spec.Pool, spec.Workers)}
-	switch spec.Style {
-	case MonteCarlo, OBDD:
-		return p, nil
-	case Lazy, Eager, Hybrid, SafeMystiQ:
-		// Known exact styles: validated before the fallback below, so an
-		// unknown style errors rather than silently estimating.
-	default:
-		return nil, fmt.Errorf("plan: unknown style %d", spec.Style)
-	}
-	sig, err := signature.Best(q, sigma)
-	if err != nil {
-		if spec.RequireExact {
-			return nil, fmt.Errorf("plan: %s is not tractable (no hierarchical signature): %w", q.Name, err)
+	if spec.Style == Auto {
+		chosen, costs, err := ChooseStyle(c, q, sigma, spec)
+		if err != nil {
+			return nil, err
 		}
-		p.fallback = true
-		return p, nil
+		p.chosen = chosen
+		p.costs = costs
+		spec.Style = chosen
 	}
-	p.sig = sig
+	b, err := buildLogical(c, q, sigma, spec)
+	if err != nil {
+		return nil, err
+	}
+	p.b = b
 	return p, nil
 }
+
+// Logical returns the logical plan IR the prepared query lowers from.
+func (p *Prepared) Logical() *logical.Plan { return p.b.lp }
 
 // Run executes the prepared plan. It is safe for concurrent use: every call
 // carries its own execution state, and calls share only the worker pool and
@@ -245,35 +259,23 @@ func (p *Prepared) Run(ctx context.Context) (*Result, error) {
 	}
 	ex := exec{ctx: ctx, pool: p.pool}
 	spec := p.spec
+	if spec.Style == Auto {
+		spec.Style = p.chosen
+	}
 	// Thread the run's context and pool into the operator options so every
 	// tier draws from the same slot budget and honours cancellation.
 	spec.Conf.Ctx, spec.Conf.Pool = ctx, p.pool
 	spec.MC.Pool = p.pool
-	c, q, sigma := p.c, p.q, p.sigma
-	switch spec.Style {
-	case MonteCarlo:
-		return runMonteCarlo(ex, c, q, spec, "")
-	case OBDD:
-		return runOBDD(ex, c, q, sigma, spec)
+	res, err := runLogical(ex, p.c, p.q, p.b, spec)
+	if err != nil {
+		return nil, err
 	}
-	if p.fallback {
-		return runExactFallback(ex, c, q, spec)
+	if p.spec.Style == Auto {
+		res.Stats.ChosenStyle = p.chosen.String()
+		res.Stats.EstimatedCost = chosenCost(p.costs, p.chosen)
+		res.Stats.Plan = "auto[" + p.chosen.String() + "] → " + res.Stats.Plan
 	}
-	sig := p.sig
-	switch spec.Style {
-	case Lazy:
-		return runLazy(ex, c, q, sig, spec)
-	case Eager:
-		return runStaged(ex, c, q, sigma, sig, spec, len(q.Rels), true)
-	case Hybrid:
-		prefix := spec.HybridPrefix
-		if prefix <= 0 || prefix > len(q.Rels) {
-			prefix = len(q.Rels) - 1
-		}
-		return runStaged(ex, c, q, sigma, sig, spec, prefix, false)
-	default: // SafeMystiQ; Prepare rejected everything else
-		return runSafe(ex, c, q, sigma, spec)
-	}
+	return res, nil
 }
 
 // Answer materializes the answer tuples of q under the lazy join order:
@@ -284,183 +286,11 @@ func Answer(c *Catalog, q *query.Query) (*table.Relation, error) {
 	return answerPipeline(serialExec(), c, q, LazyOrder(c, q))
 }
 
-// answerPipeline joins the relations in the given order, returning the
-// materialized answer with head data attributes and all V/P columns.
+// answerPipeline materializes the left-deep answer tree over the given join
+// order — the lazy skeleton, lowered through the shared logical IR path.
 func answerPipeline(ex exec, c *Catalog, q *query.Query, order []query.RelRef) (*table.Relation, error) {
-	joined := make(map[string]bool)
-	var op engine.Operator
-	for i, ref := range order {
-		leaf, err := leafPipeline(ex, c, q, ref)
-		if err != nil {
-			return nil, err
-		}
-		joined[ref.Name] = true
-		if i == 0 {
-			op = leaf
-			continue
-		}
-		op, err = joinPipeline(ex, q, op, leaf, joined)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return engine.CollectCtx(ex.ctx, op)
-}
-
-// runLazy is Fig. 7(c): compute all answer tuples first (greedy selective
-// join order), then one confidence operator over the materialized answer.
-func runLazy(ex exec, c *Catalog, q *query.Query, sig signature.Sig, spec Spec) (*Result, error) {
-	order := LazyOrder(c, q)
-	t0 := time.Now()
-	answer, err := answerPipeline(ex, c, q, order)
-	if err != nil {
-		return nil, err
-	}
-	tupleTime := time.Since(t0)
-
-	t1 := time.Now()
-	out, cstats, err := conf.ComputeStats(answer, sig, spec.Conf)
-	if err != nil {
-		return nil, err
-	}
-	probTime := time.Since(t1)
-	out, err = normalizeAnswer(out, q)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Rows: out,
-		Stats: Stats{
-			Plan:           fmt.Sprintf("lazy: %s; conf[%s] on top", describeOrder(order), sig),
-			Signature:      sig.String(),
-			TupleTime:      tupleTime,
-			ProbTime:       probTime,
-			AnswerTuples:   int64(answer.Len()),
-			DistinctTuples: int64(out.Len()),
-			Scans:          cstats.Scans,
-		},
-	}, nil
-}
-
-// runStaged implements eager and hybrid plans: relations are joined one at
-// a time; after each of the first `eagerStages` intermediates (and each
-// leaf, for fully eager plans), the §V.B-valid probability-computation
-// operators are applied and the running signature updated. Whatever
-// signature remains at the top is finished by the ordinary operator.
-func runStaged(ex exec, c *Catalog, q *query.Query, sigma *fd.Set, sig signature.Sig, spec Spec, eagerStages int, hierOrder bool) (*Result, error) {
-	full := sig
-	cur := sig
-	var order []query.RelRef
-	if hierOrder {
-		tree, err := treeForOrder(q, sigma)
-		if err != nil {
-			return nil, err
-		}
-		order = HierarchicalOrder(q, tree)
-	} else {
-		order = LazyOrder(c, q)
-	}
-
-	t0 := time.Now()
-	var probTime time.Duration
-	scans := 0
-	var answerTuples int64
-	joined := make(map[string]bool)
-	var rel *table.Relation
-	var applied []string
-
-	applyOps := func() error {
-		ops := Restrict(full, cur, joined)
-		for _, op := range ops {
-			if _, bare := op.(signature.Table); bare {
-				continue
-			}
-			pt0 := time.Now()
-			next, rep, n, err := conf.Aggregate(rel, op, spec.Conf)
-			if err != nil {
-				return err
-			}
-			probTime += time.Since(pt0)
-			scans += n
-			rel = next
-			cur = Replace(cur, op, signature.Table(rep))
-			applied = append(applied, "["+op.String()+"]")
-		}
-		return nil
-	}
-
-	for i, ref := range order {
-		leaf, err := leafPipeline(ex, c, q, ref)
-		if err != nil {
-			return nil, err
-		}
-		joined[ref.Name] = true
-		if i == 0 {
-			rel, err = engine.CollectCtx(ex.ctx, leaf)
-			if err != nil {
-				return nil, err
-			}
-		} else {
-			op, err := joinPipeline(ex, q, engine.NewMemScan(rel), leaf, joined)
-			if err != nil {
-				return nil, err
-			}
-			rel, err = engine.CollectCtx(ex.ctx, op)
-			if err != nil {
-				return nil, err
-			}
-		}
-		if int64(rel.Len()) > answerTuples {
-			answerTuples = int64(rel.Len())
-		}
-		if i < eagerStages {
-			if err := applyOps(); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	// Finish: whatever aggregation remains runs as the top operator.
-	var out *table.Relation
-	pt0 := time.Now()
-	if bare, ok := cur.(signature.Table); ok {
-		var err error
-		out, err = conf.FinalizeBare(rel, string(bare))
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		var cstats *conf.Stats
-		var err error
-		out, cstats, err = conf.ComputeStats(rel, cur, spec.Conf)
-		if err != nil {
-			return nil, err
-		}
-		scans += cstats.Scans
-	}
-	probTime += time.Since(pt0)
-	out, err := normalizeAnswer(out, q)
-	if err != nil {
-		return nil, err
-	}
-	total := time.Since(t0)
-
-	styleName := "eager"
-	if eagerStages < len(order) {
-		styleName = fmt.Sprintf("hybrid(prefix=%d)", eagerStages)
-	}
-	return &Result{
-		Rows: out,
-		Stats: Stats{
-			Plan:           fmt.Sprintf("%s: %s; ops %v; top conf[%s]", styleName, describeOrder(order), applied, cur),
-			Signature:      full.String(),
-			TupleTime:      total - probTime,
-			ProbTime:       probTime,
-			AnswerTuples:   answerTuples,
-			DistinctTuples: int64(out.Len()),
-			Scans:          scans,
-		},
-	}, nil
+	st := &lowerState{ex: ex, c: c, q: q}
+	return st.materialize(logical.AnswerTree(q, order))
 }
 
 // treeForOrder returns the query tree used for hierarchy-driven join

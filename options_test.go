@@ -1,0 +1,151 @@
+package sprout
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRunOptionValidation: invalid option values surface as clear errors
+// from Run instead of silently misbehaving.
+func TestRunOptionValidation(t *testing.T) {
+	db := fig1DB(t)
+	q := introQuery()
+	cases := []struct {
+		name string
+		opt  RunOption
+		want string
+	}{
+		{"workers-zero", WithWorkers(0), "WithWorkers(0)"},
+		{"workers-negative", WithWorkers(-3), "WithWorkers(-3)"},
+		{"eps-zero", WithEpsilonDelta(0, 0.01), "epsilon 0 outside (0,1)"},
+		{"eps-too-big", WithEpsilonDelta(1.5, 0.01), "epsilon 1.5 outside (0,1)"},
+		{"delta-zero", WithEpsilonDelta(0.05, 0), "delta 0 outside (0,1)"},
+		{"delta-one", WithEpsilonDelta(0.05, 1), "delta 1 outside (0,1)"},
+		{"budget-zero", WithNodeBudget(0), "WithNodeBudget(0)"},
+		{"budget-negative", WithNodeBudget(-1), "WithNodeBudget(-1)"},
+		{"samples-zero", WithMaxSamples(0), "WithMaxSamples(0)"},
+		{"width-negative", WithTargetWidth(-0.1), "WithTargetWidth(-0.1)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := db.Run(q, Lazy, tc.opt)
+			if err == nil {
+				t.Fatal("Run accepted an invalid option")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestNewEngineValidation: NewEngine rejects invalid defaults, and per-call
+// options on an engine are validated too.
+func TestNewEngineValidation(t *testing.T) {
+	db := fig1DB(t)
+	if _, err := db.NewEngine(WithWorkers(0)); err == nil {
+		t.Fatal("NewEngine accepted WithWorkers(0)")
+	}
+	if _, err := db.NewEngine(WithEpsilonDelta(2, 0.5)); err == nil {
+		t.Fatal("NewEngine accepted WithEpsilonDelta(2, 0.5)")
+	}
+	e, err := db.NewEngine(WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(context.Background(), introQuery(), Lazy, WithNodeBudget(-1)); err == nil {
+		t.Fatal("Engine.Run accepted WithNodeBudget(-1)")
+	}
+	if _, err := e.Prepare(introQuery(), MonteCarlo, WithEpsilonDelta(0.05, 7)); err == nil {
+		t.Fatal("Engine.Prepare accepted delta = 7")
+	}
+	// Valid options still work end to end.
+	res, err := e.Run(context.Background(), introQuery(), Lazy, WithWorkers(1), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+// TestAutoStyleFacade: the Auto style works through the public API — the
+// decision is reported, Explain renders the IR plus the cost table, and
+// RequireExact keeps Monte Carlo out even on #P-hard queries.
+func TestAutoStyleFacade(t *testing.T) {
+	db := fig1DB(t)
+	res, err := db.Run(introQuery(), Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ChosenStyle == "" || res.Stats.EstimatedCost <= 0 {
+		t.Fatalf("auto decision not reported: %+v", res.Stats)
+	}
+	if !strings.HasPrefix(res.Stats.Plan, "auto["+res.Stats.ChosenStyle+"]") {
+		t.Errorf("plan line %q does not carry the auto prefix", res.Stats.Plan)
+	}
+	direct, err := db.Run(introQuery(), mustParseStyle(t, res.Stats.ChosenStyle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(direct.Rows) {
+		t.Fatalf("auto rows %d != direct rows %d", len(res.Rows), len(direct.Rows))
+	}
+	for i := range res.Rows {
+		if res.Rows[i].Confidence != direct.Rows[i].Confidence {
+			t.Fatalf("row %d: auto %v != direct %v (bit-identical required)",
+				i, res.Rows[i].Confidence, direct.Rows[i].Confidence)
+		}
+	}
+
+	desc, err := db.Explain(introQuery(), Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"auto: chose", "cost-based choice", "scan Cust", "conf["} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Explain(Auto) lacks %q:\n%s", want, desc)
+		}
+	}
+
+	// The prototypical #P-hard query R(a) ⋈ S(a,b) ⋈ T(b): Auto must
+	// dispatch a lineage tier; under RequireExact it must not be Monte
+	// Carlo.
+	db3 := NewDB()
+	r := db3.MustCreateTable("R", IntCol("a"))
+	s := db3.MustCreateTable("S", IntCol("a"), IntCol("b"))
+	u := db3.MustCreateTable("T", IntCol("b"))
+	r.MustInsert(0.5, Int(1))
+	s.MustInsert(0.5, Int(1), Int(2))
+	u.MustInsert(0.5, Int(2))
+	hard := NewQuery("hard").From("R", "a").From("S", "a", "b").From("T", "b")
+	unsafeRes, err := db3.Run(hard, Auto, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := unsafeRes.Stats.ChosenStyle; got != "obdd" && got != "mc" {
+		t.Fatalf("unsafe query dispatched %q, want a lineage tier", got)
+	}
+	exactRes, err := db3.Run(hard, Auto, RequireExact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactRes.Stats.ChosenStyle == "mc" {
+		t.Fatal("Auto picked MC under RequireExact")
+	}
+	if exactRes.Stats.Approximate {
+		t.Fatal("Auto under RequireExact returned an approximate result")
+	}
+}
+
+func mustParseStyle(t *testing.T, name string) PlanStyle {
+	t.Helper()
+	for _, s := range []PlanStyle{Lazy, Eager, Hybrid, MystiQ, MonteCarlo, OBDD} {
+		if s.String() == name {
+			return s
+		}
+	}
+	t.Fatalf("unknown style %q", name)
+	return Lazy
+}

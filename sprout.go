@@ -42,6 +42,14 @@
 // back through OBDD compilation (still exact under the budget) and then
 // Monte Carlo automatically on such queries, unless the RequireExact
 // option is passed.
+//
+// The Auto style makes the choice itself: it analyzes the database (one
+// cached ANALYZE pass per table, internal/stats), prices every applicable
+// style's logical plan with the planner's cost model, and dispatches the
+// cheapest — never an approximate style when an exact one applies, and
+// never Monte Carlo under RequireExact. Explain renders the logical plan
+// IR (internal/logical) a style would execute, plus Auto's per-style cost
+// table.
 package sprout
 
 import (
@@ -93,6 +101,13 @@ const (
 	// bound midpoints and Stats.Approximate is set). Exact styles try
 	// OBDD compilation before falling back to Monte Carlo.
 	OBDD = plan.OBDD
+	// Auto is the cost-based adaptive planner: it analyzes the database
+	// (one cached ANALYZE pass per table), prices every applicable style
+	// with the planner's cost model — respecting the fallback ladder and
+	// RequireExact — and dispatches the cheapest. Stats.ChosenStyle and
+	// Stats.EstimatedCost report the decision; confidences are
+	// bit-identical to running the chosen style directly.
+	Auto = plan.Auto
 )
 
 // CmpOp is a comparison operator for selections.
@@ -292,67 +307,113 @@ type Result struct {
 }
 
 // RunOption tunes a Run call beyond the plan style (Monte Carlo accuracy,
-// seeding, exactness requirements).
-type RunOption func(*plan.Spec)
+// seeding, exactness requirements). Options validate their arguments:
+// invalid values surface as clear errors from Run, RunBatch, Prepare and
+// NewEngine instead of silently misbehaving.
+type RunOption func(*plan.Spec) error
 
 // WithEpsilonDelta sets the Monte Carlo accuracy target: each estimated
 // confidence is within eps of the exact value with probability at least
-// 1-delta. Zero values keep the defaults (0.05, 0.01).
+// 1-delta. Both must lie strictly inside (0, 1); omit the option to keep
+// the defaults (0.05, 0.01).
 func WithEpsilonDelta(eps, delta float64) RunOption {
-	return func(s *plan.Spec) {
+	return func(s *plan.Spec) error {
+		if eps <= 0 || eps >= 1 {
+			return fmt.Errorf("sprout: WithEpsilonDelta: epsilon %g outside (0,1)", eps)
+		}
+		if delta <= 0 || delta >= 1 {
+			return fmt.Errorf("sprout: WithEpsilonDelta: delta %g outside (0,1)", delta)
+		}
 		s.MC.Epsilon = eps
 		s.MC.Delta = delta
+		return nil
 	}
 }
 
 // WithSeed fixes the estimator's random seed, making approximate results
 // reproducible: the same seed, query and data give identical estimates.
 func WithSeed(seed int64) RunOption {
-	return func(s *plan.Spec) { s.MC.Seed = seed }
+	return func(s *plan.Spec) error { s.MC.Seed = seed; return nil }
 }
 
 // WithMaxSamples caps the per-answer sample count; capped estimates report
-// the weaker ε they actually achieve via Result.Stats.Epsilon.
+// the weaker ε they actually achieve via Result.Stats.Epsilon. The cap must
+// be positive; omit the option for the default.
 func WithMaxSamples(n int) RunOption {
-	return func(s *plan.Spec) { s.MC.MaxSamples = n }
+	return func(s *plan.Spec) error {
+		if n <= 0 {
+			return fmt.Errorf("sprout: WithMaxSamples(%d): sample cap must be ≥ 1 (omit the option for the default)", n)
+		}
+		s.MC.MaxSamples = n
+		return nil
+	}
 }
 
 // WithWorkers sizes the shared worker pool driving every parallel stage of
 // a run: partitioned scans and hash-partitioned joins, the
 // partition-parallel aggregation passes of the confidence operator,
-// per-answer OBDD compilation, and Monte Carlo estimation. 0 (the default)
-// selects GOMAXPROCS; 1 forces the classic single-threaded executor.
-// Computed confidences are bit-identical for every worker count — only the
-// wall-clock changes.
+// per-answer OBDD compilation, and Monte Carlo estimation. The count must
+// be ≥ 1 (1 forces the classic single-threaded executor); omit the option
+// for the GOMAXPROCS default. Computed confidences are bit-identical for
+// every worker count — only the wall-clock changes.
 func WithWorkers(n int) RunOption {
-	return func(s *plan.Spec) {
+	return func(s *plan.Spec) error {
+		if n <= 0 {
+			return fmt.Errorf("sprout: WithWorkers(%d): worker count must be ≥ 1 (omit the option for the GOMAXPROCS default)", n)
+		}
 		s.Workers = n
 		s.MC.Workers = n
+		return nil
 	}
 }
 
 // WithNodeBudget caps the per-answer OBDD size (and the anytime mode's
 // expansion steps) for the OBDD style and the exact styles' OBDD fallback
-// tier; 0 keeps the default. Answers whose diagram exceeds the budget are
-// reported as certified [lo, hi] bounds under the OBDD style, and passed
-// on to Monte Carlo by the exact styles.
+// tier. The budget must be positive; omit the option for the default.
+// Answers whose diagram exceeds the budget are reported as certified
+// [lo, hi] bounds under the OBDD style, and passed on to Monte Carlo by the
+// exact styles.
 func WithNodeBudget(n int) RunOption {
-	return func(s *plan.Spec) { s.OBDD.NodeBudget = n }
+	return func(s *plan.Spec) error {
+		if n <= 0 {
+			return fmt.Errorf("sprout: WithNodeBudget(%d): node budget must be ≥ 1 (omit the option for the default)", n)
+		}
+		s.OBDD.NodeBudget = n
+		return nil
+	}
 }
 
 // WithTargetWidth stops the OBDD anytime mode early once the certified
 // interval reaches the given width (hi-lo ≤ w), instead of spending the
 // whole node budget; 0 tightens until the budget is spent.
 func WithTargetWidth(w float64) RunOption {
-	return func(s *plan.Spec) { s.OBDD.TargetWidth = w }
+	return func(s *plan.Spec) error {
+		if w < 0 || w >= 1 {
+			return fmt.Errorf("sprout: WithTargetWidth(%g): width must lie in [0,1)", w)
+		}
+		s.OBDD.TargetWidth = w
+		return nil
+	}
 }
 
 // RequireExact rejects queries without a hierarchical signature instead of
 // falling back to OBDD compilation or Monte Carlo estimation: Run then
 // fails exactly where the paper's framework ends (#P-hard queries, §II).
-// Under the OBDD style it forbids bound-mode results.
+// Under the OBDD style it forbids bound-mode results, and under Auto it
+// removes Monte Carlo from the candidate set.
 func RequireExact() RunOption {
-	return func(s *plan.Spec) { s.RequireExact = true }
+	return func(s *plan.Spec) error { s.RequireExact = true; return nil }
+}
+
+// applyOptions folds options into a spec, surfacing the first validation
+// error.
+func applyOptions(spec *plan.Spec, opts []RunOption) error {
+	for _, o := range opts {
+		if err := o(spec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Run evaluates the query with the given plan style. Queries that are not
@@ -364,8 +425,8 @@ func RequireExact() RunOption {
 // RequireExact option to reject such queries instead.
 func (db *DB) Run(q *Query, style PlanStyle, opts ...RunOption) (*Result, error) {
 	spec := plan.Spec{Style: style}
-	for _, o := range opts {
-		o(&spec)
+	if err := applyOptions(&spec, opts); err != nil {
+		return nil, err
 	}
 	return db.RunSpec(q, spec)
 }
@@ -417,18 +478,20 @@ type Engine struct {
 
 // NewEngine builds a serving engine over the database. opts set the
 // defaults every Run inherits (worker count, Monte Carlo accuracy, OBDD
-// budget, ...); per-call options override them. A per-call WithWorkers
-// that differs from the engine's default gives that run its own transient
-// pool of the requested size instead of the engine's shared one — useful
-// for forcing a serial run — at the price of stepping outside the engine's
+// budget, ...); per-call options override them. Invalid option values —
+// WithWorkers(n ≤ 0), WithEpsilonDelta outside (0,1), WithNodeBudget(≤ 0)
+// — are rejected here with a clear error. A per-call WithWorkers that
+// differs from the engine's default gives that run its own transient pool
+// of the requested size instead of the engine's shared one — useful for
+// forcing a serial run — at the price of stepping outside the engine's
 // global parallelism budget. Requesting exactly the default worker count
 // keeps the shared pool.
-func (db *DB) NewEngine(opts ...RunOption) *Engine {
+func (db *DB) NewEngine(opts ...RunOption) (*Engine, error) {
 	spec := plan.Spec{}
-	for _, o := range opts {
-		o(&spec)
+	if err := applyOptions(&spec, opts); err != nil {
+		return nil, err
 	}
-	return &Engine{db: db, defaults: spec, pool: pool.New(spec.Workers)}
+	return &Engine{db: db, defaults: spec, pool: pool.New(spec.Workers)}, nil
 }
 
 // Workers returns the engine pool's total worker count.
@@ -441,22 +504,26 @@ func (e *Engine) Workers() int { return e.pool.Workers() }
 // honoring the option (WithWorkers(1) really is the single-threaded
 // executor) at the price of stepping outside the engine's global
 // parallelism budget for that one call.
-func (e *Engine) spec(style PlanStyle, opts []RunOption) plan.Spec {
+func (e *Engine) spec(style PlanStyle, opts []RunOption) (plan.Spec, error) {
 	spec := e.defaults
 	spec.Style = style
-	for _, o := range opts {
-		o(&spec)
+	if err := applyOptions(&spec, opts); err != nil {
+		return plan.Spec{}, err
 	}
 	if spec.Workers == e.defaults.Workers {
 		spec.Pool = e.pool
 	}
-	return spec
+	return spec, nil
 }
 
 // Run evaluates one query on the engine, like DB.Run but concurrency-safe,
 // pool-shared and cancellable. A nil ctx means no cancellation.
 func (e *Engine) Run(ctx context.Context, q *Query, style PlanStyle, opts ...RunOption) (*Result, error) {
-	return e.db.runSpecCtx(ctx, q, e.spec(style, opts))
+	spec, err := e.spec(style, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.db.runSpecCtx(ctx, q, spec)
 }
 
 // PreparedQuery is a query resolved against the engine once — validated,
@@ -471,7 +538,11 @@ type PreparedQuery struct {
 // style, RequireExact on an intractable query) surface here instead of on
 // every Run.
 func (e *Engine) Prepare(q *Query, style PlanStyle, opts ...RunOption) (*PreparedQuery, error) {
-	pp, err := plan.Prepare(e.db.catalog, q.q, e.db.sigma, e.spec(style, opts))
+	spec, err := e.spec(style, opts)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := plan.Prepare(e.db.catalog, q.q, e.db.sigma, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -533,16 +604,25 @@ func (db *DB) Signature(q *Query) (string, error) {
 	return s.String(), nil
 }
 
-// Explain returns a human-readable description of the plan the style would
-// use, without running it to completion on large data — it runs the plan
-// (on the current data) and reports the plan line.
-func (db *DB) Explain(q *Query, style PlanStyle) (string, error) {
-	res, err := db.Run(q, style)
-	if err != nil {
+// Explain renders the logical plan IR the style would execute for the
+// query — scans, selections, projections, joins and confidence-placement
+// points — without running it. Under the Auto style it additionally prints
+// the cost-based decision: the chosen style and the per-style cost table
+// derived from the catalog's ANALYZE statistics. Options (RequireExact,
+// WithEpsilonDelta, …) influence the plan exactly as they would a Run.
+func (db *DB) Explain(q *Query, style PlanStyle, opts ...RunOption) (string, error) {
+	spec := plan.Spec{Style: style}
+	if err := applyOptions(&spec, opts); err != nil {
 		return "", err
 	}
-	return res.Stats.Plan, nil
+	return plan.Explain(db.catalog, q.q, db.sigma, spec)
 }
+
+// Analyze gathers the catalog statistics the cost-based planner consumes —
+// one pass per base table — and caches them. The Auto style and Explain
+// trigger it implicitly; call it explicitly to pay the ANALYZE cost at load
+// time instead of on the first Auto query.
+func (db *DB) Analyze() { db.catalog.Analyze() }
 
 // NumScans reports how many sort+scan passes the confidence operator needs
 // for this query (Prop. V.10): 1 for signatures with the 1scan property.
