@@ -52,6 +52,7 @@ func data(b *testing.B) *tpch.Data {
 // runStyle benchmarks one catalog query under one plan style.
 func runStyle(b *testing.B, d *tpch.Data, name string, style plan.Style) {
 	b.Helper()
+	b.ReportAllocs()
 	e := tpch.Catalog()[name]
 	catalog := d.Catalog()
 	sigma := tpch.FDsFor(e)
@@ -68,10 +69,12 @@ func runStyle(b *testing.B, d *tpch.Data, name string, style plan.Style) {
 // with selective joins (18, 21, B17), eager and MystiQ close behind or
 // worse; the paper reports up to two orders of magnitude at SF 1.
 func BenchmarkFig09(b *testing.B) {
+	b.ReportAllocs()
 	d := data(b)
 	for _, q := range tpch.Fig9Queries() {
 		q := q
 		b.Run(q+"/mystiq", func(b *testing.B) {
+			b.ReportAllocs()
 			e := tpch.Catalog()[q]
 			catalog := d.Catalog()
 			sigma := tpch.FDsFor(e)
@@ -90,6 +93,7 @@ func BenchmarkFig09(b *testing.B) {
 // queries. The interesting split (tuple time vs probability time) is
 // printed by cmd/sprout-bench; here each query's full lazy run is timed.
 func BenchmarkFig10(b *testing.B) {
+	b.ReportAllocs()
 	d := data(b)
 	for _, q := range tpch.Fig10Queries() {
 		q := q
@@ -101,11 +105,13 @@ func BenchmarkFig10(b *testing.B) {
 // lazy plans — the "prob" series of Fig. 10, expected to be one to two
 // orders of magnitude below the tuple-computation time.
 func BenchmarkFig10ProbOnly(b *testing.B) {
+	b.ReportAllocs()
 	d := data(b)
 	catalog := d.Catalog()
 	for _, q := range tpch.Fig10Queries() {
 		q := q
 		b.Run(q, func(b *testing.B) {
+			b.ReportAllocs()
 			e := tpch.Catalog()[q]
 			sigma := tpch.FDsFor(e)
 			sig, err := signature.Best(e.Q, sigma)
@@ -131,10 +137,12 @@ func BenchmarkFig10ProbOnly(b *testing.B) {
 // selectivity of the constant selections varies. Expected shape: lazy wins
 // at small selectivities, eager at large ones, with a crossover in between.
 func BenchmarkFig11(b *testing.B) {
+	b.ReportAllocs()
 	d := data(b)
 	for _, point := range []string{"0.1", "0.3", "0.5", "0.7", "0.9"} {
 		point := point
 		b.Run("sel="+point, func(b *testing.B) {
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := benchutil.Fig11(d, 1); err != nil {
@@ -145,6 +153,7 @@ func BenchmarkFig11(b *testing.B) {
 		break // the full sweep is expensive; Fig11 rows cover all points
 	}
 	b.Run("sweep", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := benchutil.Fig11(d, 5); err != nil {
 				b.Fatal(err)
@@ -156,8 +165,10 @@ func BenchmarkFig11(b *testing.B) {
 // BenchmarkFig12 reproduces Fig. 12: hybrid plans against the extremes on
 // queries C and D. Expected shape: hybrid at least as fast as both.
 func BenchmarkFig12(b *testing.B) {
+	b.ReportAllocs()
 	d := data(b)
 	b.Run("table", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := benchutil.Fig12(d); err != nil {
 				b.Fatal(err)
@@ -171,6 +182,7 @@ func BenchmarkFig12(b *testing.B) {
 // baselines. Expected shape: with FDs the operator is close to one
 // sort+scan; without them it needs several times longer (more scans).
 func BenchmarkFig13(b *testing.B) {
+	b.ReportAllocs()
 	d := data(b)
 	catalog := d.Catalog()
 	for _, name := range []string{"2", "7", "11", "B3"} {
@@ -187,6 +199,7 @@ func BenchmarkFig13(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(name+"/operator-withFDs", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cp := *answer
 				if _, err := conf.Compute(&cp, refined, conf.Options{}); err != nil {
@@ -195,6 +208,7 @@ func BenchmarkFig13(b *testing.B) {
 			}
 		})
 		b.Run(name+"/operator-noFDs", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cp := *answer
 				if _, err := conf.Compute(&cp, conservative, conf.Options{}); err != nil {
@@ -203,6 +217,7 @@ func BenchmarkFig13(b *testing.B) {
 			}
 		})
 		b.Run(name+"/seqscan", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := engine.Count(engine.NewMemScan(answer)); err != nil {
 					b.Fatal(err)
@@ -216,6 +231,7 @@ func BenchmarkFig13(b *testing.B) {
 // the literal GRP-sequence semantics of Fig. 5 on the same answer relation
 // (DESIGN.md ablation 1).
 func BenchmarkAblationGRPvs1Scan(b *testing.B) {
+	b.ReportAllocs()
 	d := data(b)
 	catalog := d.Catalog()
 	e := tpch.Catalog()["18"]
@@ -229,6 +245,7 @@ func BenchmarkAblationGRPvs1Scan(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("1scan", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cp := *answer
 			if _, err := conf.Compute(&cp, sig, conf.Options{}); err != nil {
@@ -237,6 +254,7 @@ func BenchmarkAblationGRPvs1Scan(b *testing.B) {
 		}
 	})
 	b.Run("grp-sequence", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := conf.GRPSequence(answer, sig); err != nil {
 				b.Fatal(err)
@@ -249,6 +267,7 @@ func BenchmarkAblationGRPvs1Scan(b *testing.B) {
 // operator under shrinking memory budgets (DESIGN.md ablation 3): smaller
 // budgets spill more runs to disk.
 func BenchmarkAblationSortBudget(b *testing.B) {
+	b.ReportAllocs()
 	d := data(b)
 	catalog := d.Catalog()
 	e := tpch.Catalog()["B17"]
@@ -268,6 +287,7 @@ func BenchmarkAblationSortBudget(b *testing.B) {
 			name = "budget=" + strconv.Itoa(budget)
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cp := *answer
 				if _, err := conf.Compute(&cp, sig, conf.Options{SortBudget: budget, TmpDir: b.TempDir()}); err != nil {
@@ -282,12 +302,14 @@ func BenchmarkAblationSortBudget(b *testing.B) {
 // the Ord ⋈ Item workhorse join (DESIGN.md ablation 4). Merge join's sorted
 // output is what the confidence operator wants, but the sort dominates.
 func BenchmarkAblationJoinChoice(b *testing.B) {
+	b.ReportAllocs()
 	d := data(b)
 	ordScan := func() engine.Operator { return engine.NewMemScan(d.Ord.Rel) }
 	itemScan := func() engine.Operator { return engine.NewMemScan(d.Item.Rel) }
 	ordKey := []int{d.Ord.Rel.Schema.MustColIndex("okey")}
 	itemKey := []int{d.Item.Rel.Schema.MustColIndex("okey")}
 	b.Run("hash", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			j, err := engine.NewHashJoin(ordScan(), itemScan(), ordKey, itemKey)
 			if err != nil {
@@ -299,6 +321,7 @@ func BenchmarkAblationJoinChoice(b *testing.B) {
 		}
 	})
 	b.Run("sort-merge", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			j, err := engine.NewMergeJoin(
 				engine.NewSort(ordScan(), engine.SortSpec{Cols: ordKey}),
@@ -320,12 +343,14 @@ func BenchmarkAblationJoinChoice(b *testing.B) {
 // estimator fans the per-date lineage DNFs out to GOMAXPROCS workers;
 // tighter ε grows the per-answer sample count quadratically.
 func BenchmarkMonteCarloUnsafe(b *testing.B) {
+	b.ReportAllocs()
 	d := data(b)
 	catalog := d.Catalog()
 	sigma := fd.NewSet()
 	for _, eps := range []float64{0.1, 0.05} {
 		eps := eps
 		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := plan.Run(catalog, benchutil.UnsafeQuery().Clone(), sigma, plan.Spec{
 					Style: plan.MonteCarlo,
@@ -343,6 +368,7 @@ func BenchmarkMonteCarloUnsafe(b *testing.B) {
 	// The estimator is also a valid (if approximate) style for safe
 	// queries; query 18's lazy plan is the exact yardstick.
 	b.Run("safe-query-18", func(b *testing.B) {
+		b.ReportAllocs()
 		e := tpch.Catalog()["18"]
 		for i := 0; i < b.N; i++ {
 			if _, err := plan.Run(catalog, e.Q.Clone(), tpch.FDsFor(e), plan.Spec{
@@ -363,6 +389,7 @@ func BenchmarkMonteCarloUnsafe(b *testing.B) {
 // than sampling; the mc sub-benchmark reports the estimates' actual mean
 // absolute error against the OBDD truth as the "mc-abs-err" metric.
 func BenchmarkOBDDUnsafe(b *testing.B) {
+	b.ReportAllocs()
 	d := data(b)
 	catalog := d.Catalog()
 	sigma := fd.NewSet()
@@ -373,6 +400,7 @@ func BenchmarkOBDDUnsafe(b *testing.B) {
 		}
 	}
 	b.Run("obdd", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := plan.Run(catalog, benchutil.UnsafeQuery().Clone(), sigma, spec(plan.OBDD))
 			if err != nil {
@@ -385,6 +413,7 @@ func BenchmarkOBDDUnsafe(b *testing.B) {
 		}
 	})
 	b.Run("mc", func(b *testing.B) {
+		b.ReportAllocs()
 		exact, err := plan.Run(catalog, benchutil.UnsafeQuery().Clone(), sigma, spec(plan.OBDD))
 		if err != nil {
 			b.Fatal(err)
@@ -412,9 +441,11 @@ func BenchmarkOBDDUnsafe(b *testing.B) {
 // growing synthetic answers (linear in input size for 1scan signatures,
 // Prop. III.5 / §V.C).
 func BenchmarkOperatorScaling(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{1000, 10000, 100000} {
 		n := n
 		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
 			sch := table.NewSchema(
 				table.DataCol("d", table.KindInt),
 				table.VarCol("R"), table.ProbCol("R"),

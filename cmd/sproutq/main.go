@@ -18,7 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"slices"
 
 	"repro/internal/plan"
 	"repro/internal/tpch"
@@ -40,7 +40,7 @@ func main() {
 		for n := range catalog {
 			names = append(names, n)
 		}
-		sort.Strings(names)
+		slices.Sort(names)
 		for _, n := range names {
 			e := catalog[n]
 			if e.Unsupported != "" {

@@ -2,7 +2,7 @@ package benchutil
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/plan"
@@ -60,7 +60,7 @@ func AutoSuite(d *tpch.Data, reps int) ([]AutoRow, error) {
 			names = append(names, n)
 		}
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 
 	var rows []AutoRow
 	for _, name := range names {

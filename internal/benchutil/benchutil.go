@@ -6,7 +6,7 @@ package benchutil
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -371,7 +371,7 @@ func cloneRel(r *table.Relation) *table.Relation {
 func CaseStudy() string {
 	var b strings.Builder
 	cls := tpch.Classify()
-	sort.Slice(cls, func(i, j int) bool { return cls[i].Name < cls[j].Name })
+	slices.SortFunc(cls, func(a, b tpch.Classification) int { return strings.Compare(a.Name, b.Name) })
 	fmt.Fprintf(&b, "%-5s %-10s %-10s %-8s %-7s %s\n", "query", "hier(noFD)", "hier(FDs)", "1scan", "#scans", "signature with FDs")
 	hierNo, hierFD := 0, 0
 	for _, c := range cls {

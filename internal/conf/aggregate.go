@@ -177,19 +177,24 @@ func FinalizeBare(rel *table.Relation, rep string) (*table.Relation, error) {
 	}
 	outCols = append(outCols, table.DataCol(ConfCol, table.KindFloat))
 	out := table.NewRelation(table.NewSchema(outCols...))
-	seen := make(map[string]bool)
+	// Dedup through a hash-keyed set over every output column: duplicate
+	// rows are recognized without rendering a key string or retaining the
+	// candidate tuple.
+	all := make([]int, len(outCols))
+	for i := range all {
+		all[i] = i
+	}
+	seen := table.NewTupleSet(all, 0)
+	nr := make(table.Tuple, len(outCols))
 	for _, row := range rel.Rows {
-		nr := make(table.Tuple, 0, len(outCols))
+		nr = nr[:0]
 		for _, i := range dataCols {
 			nr = append(nr, row[i])
 		}
 		nr = append(nr, table.Float(row[pi].F))
-		k := nr.String()
-		if seen[k] {
-			continue
+		if c, added := seen.Add(nr, true); added {
+			out.Rows = append(out.Rows, c)
 		}
-		seen[k] = true
-		out.Rows = append(out.Rows, nr)
 	}
 	return out, nil
 }

@@ -2,9 +2,8 @@ package conf
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/prob"
 	"repro/internal/table"
@@ -80,17 +79,19 @@ func CollectLineage(rel *table.Relation) (*Lineage, error) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return table.CompareOn(rel.Rows[order[a]], rel.Rows[order[b]], dataCols) < 0
+	slices.SortStableFunc(order, func(a, b int) int {
+		return table.CompareOn(rel.Rows[a], rel.Rows[b], dataCols)
 	})
 
-	vs := make([]prob.Var, 0, len(varCols))
+	vs := make(prob.Clause, 0, len(varCols))
 	marginal := make(map[prob.Var]float64)
-	// Clause dedup per group via a hash key: DNF.Add's linear scan would
-	// make collection quadratic in the group size, which large answer
-	// groups (thousands of duplicates per answer) cannot afford.
-	seen := make(map[string]struct{})
-	keyBuf := make([]byte, 0, 64)
+	// Clause dedup per group via an FNV hash with equality-checked collision
+	// chains: DNF.Add's linear scan would make collection quadratic in the
+	// group size, and a rendered string key would allocate on every row —
+	// large answer groups (thousands of duplicates per answer) can afford
+	// neither. Duplicate rows build their candidate clause in a reused
+	// scratch buffer and allocate nothing.
+	seen := make(map[uint64][]prob.Clause)
 	var cur *prob.DNF
 	for n, ri := range order {
 		row := rel.Rows[ri]
@@ -120,13 +121,22 @@ func CollectLineage(rel *table.Relation) (*Lineage, error) {
 			l.DNFs = append(l.DNFs, cur)
 			clear(seen)
 		}
-		clause := prob.NewClause(vs...)
-		keyBuf = keyBuf[:0]
-		for _, v := range clause {
-			keyBuf = binary.AppendVarint(keyBuf, int64(v))
+		// Normalize the scratch clause in place (sorted, deduplicated), the
+		// same canonical form prob.NewClause produces.
+		slices.Sort(vs)
+		vs = slices.Compact(vs)
+		h := vs.Hash()
+		chain := seen[h]
+		dup := false
+		for _, e := range chain {
+			if e.Equal(vs) {
+				dup = true
+				break
+			}
 		}
-		if _, dup := seen[string(keyBuf)]; !dup {
-			seen[string(keyBuf)] = struct{}{}
+		if !dup {
+			clause := slices.Clone(vs)
+			seen[h] = append(chain, clause)
 			cur.Clauses = append(cur.Clauses, clause)
 		}
 	}
@@ -137,20 +147,23 @@ func CollectLineage(rel *table.Relation) (*Lineage, error) {
 		// occurrence order — a function of the answer's lineage *set* rather
 		// than of the join's row order, which is what lets the engine promise
 		// bit-identical confidences across worker counts and join strategies.
-		sort.Slice(d.Clauses, func(a, b int) bool { return lessClause(d.Clauses[a], d.Clauses[b]) })
+		slices.SortFunc(d.Clauses, cmpClause)
 		l.Clauses += int64(len(d.Clauses))
 	}
 	return l, nil
 }
 
-// lessClause orders clauses lexicographically by variable id.
-func lessClause(a, b prob.Clause) bool {
+// cmpClause orders clauses lexicographically by variable id.
+func cmpClause(a, b prob.Clause) int {
 	for i := 0; i < len(a) && i < len(b); i++ {
 		if a[i] != b[i] {
-			return a[i] < b[i]
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
 		}
 	}
-	return len(a) < len(b)
+	return len(a) - len(b)
 }
 
 // MCStats reports what the Monte Carlo operator did.

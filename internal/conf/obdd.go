@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/obdd"
 	"repro/internal/pool"
@@ -83,11 +84,30 @@ func OBDDLineage(ctx context.Context, p *pool.Pool, l *Lineage, sig signature.Si
 	// Compile every answer on the pool; reduce the results serially in
 	// answer order so the stats aggregation is deterministic. pool.Do
 	// returns the lowest-index error, matching the serial loop's behaviour
-	// on budget overruns.
+	// on budget overruns. Builders are reused across the fan-out through a
+	// sync.Pool — one set of unique/apply/memo tables per worker, Reset
+	// between answers — which changes nothing about the result (each
+	// compilation is a pure function of its lineage, order and budget) but
+	// drops the per-answer map allocations.
+	type compileState struct {
+		b     *obdd.Builder
+		order obdd.OrderScratch
+	}
+	var builders sync.Pool
 	results := make([]obdd.Result, len(l.Keys))
 	err := pool.Get(p, 1).Do(ctx, len(l.Keys), func(i int) error {
-		order := obdd.OccurrenceOrder(l.DNFs[i], rank)
-		res, err := obdd.Prob(l.DNFs[i], l.Assign, order, opts)
+		cs, _ := builders.Get().(*compileState)
+		if cs == nil {
+			cs = &compileState{}
+		}
+		order := cs.order.OccurrenceOrder(l.DNFs[i], rank)
+		if cs.b == nil {
+			cs.b = obdd.NewBuilder(order, opts.NodeBudget)
+		} else {
+			cs.b.Reset(order, opts.NodeBudget)
+		}
+		res, err := obdd.ProbWith(cs.b, l.DNFs[i], l.Assign, opts)
+		builders.Put(cs)
 		if err != nil {
 			return fmt.Errorf("conf: answer %d: %w", i, err)
 		}

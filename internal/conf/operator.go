@@ -182,14 +182,15 @@ func representative(s signature.Sig) string {
 }
 
 // sortedScan sorts rel by keyCols (external sort) and streams it to emit,
-// checking the context between tuples. Error paths discard any spilled runs.
+// checking the context once per batch of scanBatchSize tuples on both the
+// feeding and the draining side. Error paths discard any spilled runs.
 func sortedScan(rel *table.Relation, keyCols []int, opts Options, emit func(table.Tuple) error) (spills int, err error) {
 	ctx := opts.ctx()
 	sorter := storage.NewExternalSorter(func(a, b table.Tuple) int {
 		return table.CompareOn(a, b, keyCols)
 	}, opts.SortBudget, opts.TmpDir)
 	for i, row := range rel.Rows {
-		if i%scanCancelInterval == 0 && ctx.Err() != nil {
+		if i%scanBatchSize == 0 && ctx.Err() != nil {
 			sorter.Discard()
 			return 0, ctx.Err()
 		}
@@ -204,7 +205,7 @@ func sortedScan(rel *table.Relation, keyCols []int, opts Options, emit func(tabl
 	}
 	defer it.Close()
 	for i := 0; ; i++ {
-		if i%scanCancelInterval == 0 && ctx.Err() != nil {
+		if i%scanBatchSize == 0 && ctx.Err() != nil {
 			return sorter.Spills(), ctx.Err()
 		}
 		t, ok, err := it.Next()
@@ -220,9 +221,10 @@ func sortedScan(rel *table.Relation, keyCols []int, opts Options, emit func(tabl
 	}
 }
 
-// scanCancelInterval is how many tuples a scan processes between context
-// checks.
-const scanCancelInterval = 4096
+// scanBatchSize is the aggregation scans' batch granularity: how many tuples
+// pass between context checks. It mirrors engine.BatchSize, so cancellation
+// latency is uniform across the pipelined and the sort+scan tiers.
+const scanBatchSize = 1024
 
 // parallelScans reports whether an input should take the partition-parallel
 // scan path.

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/prob"
+	"repro/internal/table"
+)
+
+// Allocation-regression guards for the hot paths the batched executor and
+// the hash-keyed containers are supposed to keep allocation-free: probing a
+// built hash join, recognizing duplicates in HashDistinct, and draining
+// batches through the collector. The budgets are deliberately loose (they
+// guard against a per-tuple regression, not against single allocations) but
+// orders of magnitude below the per-row costs of the string-keyed
+// implementations they replaced.
+
+const allocRows = 1024
+
+func allocRel(rows, distinct int) *table.Relation {
+	sch := table.NewSchema(
+		table.DataCol("k", table.KindInt),
+		table.DataCol("v", table.KindInt),
+		table.VarCol("R"), table.ProbCol("R"),
+	)
+	rel := table.NewRelation(sch)
+	for i := 0; i < rows; i++ {
+		rel.MustAppend(table.Tuple{
+			table.Int(int64(i % distinct)),
+			table.Int(int64(i)),
+			table.VarValue(prob.Var(i + 1)), table.Float(0.5),
+		})
+	}
+	return rel
+}
+
+// TestHashJoinProbeAllocs pins the probe side of a built hash join: once
+// Open has built the table, streaming every probe tuple through NextBatch
+// must not allocate per row.
+func TestHashJoinProbeAllocs(t *testing.T) {
+	left := NewMemScan(allocRel(allocRows, allocRows))
+	right := NewMemScan(allocRel(allocRows, allocRows))
+	j, err := NewHashJoin(left, right, []int{0}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	buf := make([]table.Tuple, BatchSize)
+	probe := func() {
+		left.Open() // rewind the probe side; the built table stays
+		j.inN, j.inPos = 0, 0
+		j.curLen, j.curPos = 0, 0
+		rows := 0
+		for {
+			n, err := j.NextBatch(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			rows += n
+		}
+		if rows != allocRows {
+			t.Fatalf("probe produced %d rows, want %d", rows, allocRows)
+		}
+	}
+	probe() // warm up the slot buffers
+	avg := testing.AllocsPerRun(10, probe)
+	if avg > 16 {
+		t.Fatalf("hash join probe allocated %.1f times per %d-row probe pass, want ≤ 16", avg, allocRows)
+	}
+}
+
+// TestHashDistinctAllocs pins duplicate recognition: a stream that is
+// almost entirely duplicates must cost (nearly) nothing beyond the handful
+// of retained uniques.
+func TestHashDistinctAllocs(t *testing.T) {
+	const distinct = 4
+	rel := allocRel(allocRows, 1)
+	// Same k, few distinct (v mod distinct) rows repeated.
+	for i := range rel.Rows {
+		rel.Rows[i][1] = table.Int(int64(i % distinct))
+		rel.Rows[i][2] = table.VarValue(prob.Var(i%distinct + 1))
+	}
+	d := NewHashDistinct(NewMemScan(rel))
+	buf := make([]table.Tuple, BatchSize)
+	run := func() {
+		if err := d.Open(); err != nil {
+			t.Fatal(err)
+		}
+		rows := 0
+		for {
+			n, err := d.NextBatch(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			rows += n
+		}
+		if rows != distinct {
+			t.Fatalf("distinct produced %d rows, want %d", rows, distinct)
+		}
+		d.Close()
+	}
+	run()
+	avg := testing.AllocsPerRun(10, run)
+	// Each run rebuilds the seen set (one map, a few chains) but the 1020
+	// duplicate rows must not contribute: well under one alloc per row.
+	if avg > 32 {
+		t.Fatalf("HashDistinct allocated %.1f times per %d-row pass, want ≤ 32", avg, allocRows)
+	}
+}
+
+// TestCollectBatchIdentity pins that the batched collector produces the
+// same relation for every batch size — including size 1, which degenerates
+// to the classic tuple-at-a-time pull.
+func TestCollectBatchIdentity(t *testing.T) {
+	rel := allocRel(512, 61)
+	build := func() Operator {
+		j, err := NewHashJoin(NewMemScan(rel), NewMemScan(rel), []int{0}, []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var f Operator = NewFilter(j, Cmp{L: ColRef{Idx: 1, Name: "v"}, Op: OpLt, R: Const{V: table.Int(400)}})
+		p, err := NewColumnProject(f, []string{"k", "v"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewHashDistinct(p)
+	}
+	ref, err := CollectCtxBatch(nil, build(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Len() == 0 {
+		t.Fatal("reference run produced no rows")
+	}
+	for _, bs := range []int{1, 7, 1024} {
+		got, err := CollectCtxBatch(nil, build(), bs)
+		if err != nil {
+			t.Fatalf("batch size %d: %v", bs, err)
+		}
+		if got.Len() != ref.Len() {
+			t.Fatalf("batch size %d: %d rows, want %d", bs, got.Len(), ref.Len())
+		}
+		for i := range ref.Rows {
+			if table.CompareOn(got.Rows[i], ref.Rows[i], []int{0, 1}) != 0 {
+				t.Fatalf("batch size %d: row %d = %v, want %v", bs, i, got.Rows[i], ref.Rows[i])
+			}
+		}
+	}
+}

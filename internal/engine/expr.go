@@ -3,6 +3,16 @@
 // group-by, distinct) over the table data model. It plays the role of the
 // PostgreSQL executor that SPROUT extends — the confidence operator in
 // internal/conf consumes the sorted tuple streams produced here.
+//
+// The hot paths are allocation-conscious: every core operator implements
+// the batched BatchOperator extension (batch.go), moving tuples in batches
+// of BatchSize through reused buffers with cancellation checks at batch
+// boundaries, and all tuple-keyed equality state (hash-join build sides,
+// duplicate elimination) lives in the hash-keyed containers of
+// internal/table (TupleMap/TupleSet) — FNV hashes with Compare-based
+// collision chains, so equal keys never allocate. Operators that never
+// reuse tuple storage advertise it through StableTuples, which lets the
+// collectors skip defensive clones; the rest clone through table.Slab.
 package engine
 
 import (

@@ -137,6 +137,9 @@ type SortedGroupBy struct {
 	pending  table.Tuple
 	havePend bool
 	done     bool
+	in       []table.Tuple // reused input batch
+	inN      int
+	inPos    int
 }
 
 // NewSortedGroupBy builds the operator. The output schema is the grouping
@@ -162,7 +165,25 @@ func (g *SortedGroupBy) Open() error {
 	g.have = false
 	g.havePend = false
 	g.done = false
+	g.inN, g.inPos = 0, 0
 	return g.In.Open()
+}
+
+// nextInput pulls the next input tuple through the reused batch buffer. The
+// returned tuple is valid until the batch is refilled; callers that keep it
+// across group boundaries (curKey, pending) clone it.
+func (g *SortedGroupBy) nextInput() (table.Tuple, bool, error) {
+	if g.inPos >= g.inN {
+		g.in = batchScratch(g.in, BatchSize)
+		n, err := NextBatch(g.In, g.in)
+		if err != nil || n == 0 {
+			return nil, false, err
+		}
+		g.inN, g.inPos = n, 0
+	}
+	t := g.in[g.inPos]
+	g.inPos++
+	return t, true, nil
 }
 
 // Next emits one aggregated row per group.
@@ -177,7 +198,7 @@ func (g *SortedGroupBy) Next() (table.Tuple, bool, error) {
 		if g.havePend {
 			t, ok, g.havePend = g.pending, true, false
 		} else {
-			t, ok, err = g.In.Next()
+			t, ok, err = g.nextInput()
 			if err != nil {
 				return nil, false, err
 			}
@@ -208,6 +229,15 @@ func (g *SortedGroupBy) Next() (table.Tuple, bool, error) {
 	}
 }
 
+// NextBatch emits aggregated rows. Emitted rows are freshly built (one per
+// group), so they are stable.
+func (g *SortedGroupBy) NextBatch(dst []table.Tuple) (int, error) {
+	return fillBatch(dst, func(int) (table.Tuple, bool, error) { return g.Next() })
+}
+
+// StableTuples: every emitted row is a fresh per-group tuple.
+func (g *SortedGroupBy) StableTuples() bool { return true }
+
 func (g *SortedGroupBy) startGroup(t table.Tuple) {
 	g.curKey = t.Clone()
 	for i := range g.states {
@@ -232,12 +262,15 @@ func (g *SortedGroupBy) emit() table.Tuple {
 func (g *SortedGroupBy) Close() error { return g.In.Close() }
 
 // HashDistinct removes duplicate tuples (all columns) without requiring
-// sorted input. Safe plans use it after independent projections; the answer
+// sorted input. Seen tuples are tracked in a hash-keyed TupleSet (FNV hash
+// plus Compare-based collision chains), so recognizing a duplicate never
+// allocates. Safe plans use it after independent projections; the answer
 // enumeration path uses it to list distinct data tuples.
 type HashDistinct struct {
-	In   Operator
-	seen map[string]bool
-	all  []int
+	In     Operator
+	seen   *table.TupleSet
+	all    []int
+	stable bool
 }
 
 // NewHashDistinct wraps in.
@@ -248,12 +281,13 @@ func (d *HashDistinct) Schema() *table.Schema { return d.In.Schema() }
 
 // Open opens the input and clears the seen set.
 func (d *HashDistinct) Open() error {
-	d.seen = make(map[string]bool)
 	n := d.In.Schema().Len()
 	d.all = make([]int, n)
 	for i := range d.all {
 		d.all[i] = i
 	}
+	d.seen = table.NewTupleSet(d.all, 0)
+	d.stable = Stable(d.In)
 	return d.In.Open()
 }
 
@@ -264,14 +298,35 @@ func (d *HashDistinct) Next() (table.Tuple, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		k := hashKey(t, d.all)
-		if d.seen[k] {
-			continue
+		if _, added := d.seen.Add(t, !d.stable); added {
+			return t, true, nil
 		}
-		d.seen[k] = true
-		return t, true, nil
 	}
 }
+
+// NextBatch pulls an input batch into dst and compacts the first-seen
+// tuples in place.
+func (d *HashDistinct) NextBatch(dst []table.Tuple) (int, error) {
+	for {
+		n, err := NextBatch(d.In, dst)
+		if err != nil || n == 0 {
+			return 0, err
+		}
+		k := 0
+		for _, t := range dst[:n] {
+			if _, added := d.seen.Add(t, !d.stable); added {
+				dst[k] = t
+				k++
+			}
+		}
+		if k > 0 {
+			return k, nil
+		}
+	}
+}
+
+// StableTuples: a distinct passes its input's tuples through untouched.
+func (d *HashDistinct) StableTuples() bool { return Stable(d.In) }
 
 // Close closes the input.
 func (d *HashDistinct) Close() error {

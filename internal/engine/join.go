@@ -2,45 +2,53 @@ package engine
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/table"
 )
 
-// hashKey builds a string key for the values at the given indexes. Strings
-// are length-prefixed so that concatenations cannot collide.
-func hashKey(t table.Tuple, idx []int) string {
-	var b strings.Builder
-	for _, i := range idx {
-		v := t[i]
-		fmt.Fprintf(&b, "%d:", v.Kind)
-		switch v.Kind {
-		case table.KindInt, table.KindBool:
-			fmt.Fprintf(&b, "%d|", v.I)
-		case table.KindFloat:
-			fmt.Fprintf(&b, "%g|", v.F)
-		case table.KindString:
-			fmt.Fprintf(&b, "%d/%s|", len(v.S), v.S)
-		default:
-			b.WriteString("null|")
+// buildSide drains an operator into a TupleMap keyed on the given columns;
+// tuples are retained, so drainEach's stable/slab clone rule applies.
+func buildSide(op Operator, keys []int) (*table.TupleMap, error) {
+	if ms, ok := op.(*MemScan); ok {
+		// Fast path: the rows are already materialized and stable. The map
+		// deliberately starts empty — presizing by row count over-allocates
+		// heavily on repeated join keys (FK joins) and measures slower.
+		built := table.NewTupleMap(keys, 0)
+		for _, t := range ms.Rel.Rows {
+			built.Add(t)
 		}
+		return built, nil
 	}
-	return b.String()
+	built := table.NewTupleMap(keys, 0)
+	err := drainEach(op, func(t table.Tuple) error {
+		built.Add(t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return built, nil
 }
 
 // HashJoin is an equi-join: it builds a hash table on the right input and
-// probes with the left. The output schema is left ++ right; the planner
+// probes with the left. The build side is keyed by table.HashOn hashes with
+// Compare-based collision chains, so neither building nor probing renders
+// per-row key strings. The output schema is left ++ right; the planner
 // projects away the duplicated join attributes afterwards (the paper assumes
 // join attributes share names across tables).
 type HashJoin struct {
 	Left, Right        Operator
 	LeftKeys, RightKey []int
 	out                *table.Schema
-	built              map[string][]table.Tuple
-	cur                []table.Tuple // matches for the current probe tuple
+	built              *table.TupleMap
+	in                 []table.Tuple // reused probe batch
+	inN, inPos         int
+	cur                table.Group // matches for the current probe tuple
+	curLen             int         // 1+len(cur.Rest), 0 when no match
 	curLeft            table.Tuple
 	curPos             int
-	buf                table.Tuple
+	slots              slotBufs
+	one                [1]table.Tuple
 }
 
 // NewHashJoin joins left and right on pairwise-equal key columns.
@@ -66,48 +74,67 @@ func (j *HashJoin) Open() error {
 	if err := j.Right.Open(); err != nil {
 		return err
 	}
-	j.built = make(map[string][]table.Tuple)
-	for {
-		t, ok, err := j.Right.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		k := hashKey(t, j.RightKey)
-		j.built[k] = append(j.built[k], t.Clone())
+	built, err := buildSide(j.Right, j.RightKey)
+	if err != nil {
+		return err
 	}
-	j.cur = nil
-	j.curPos = 0
+	j.built = built
+	j.cur = table.Group{}
+	j.curLen, j.curPos = 0, 0
+	j.inN, j.inPos = 0, 0
 	return nil
 }
 
 // Next yields the next joined tuple.
 func (j *HashJoin) Next() (table.Tuple, bool, error) {
-	for {
-		if j.curPos < len(j.cur) {
-			r := j.cur[j.curPos]
-			j.curPos++
-			return j.combine(j.curLeft, r), true, nil
-		}
-		l, ok, err := j.Left.Next()
-		if err != nil || !ok {
-			return nil, false, err
-		}
-		j.curLeft = l.Clone()
-		j.cur = j.built[hashKey(l, j.LeftKeys)]
-		j.curPos = 0
+	n, err := j.NextBatch(j.one[:])
+	if err != nil || n == 0 {
+		return nil, false, err
 	}
+	return j.one[0], true, nil
 }
 
-func (j *HashJoin) combine(l, r table.Tuple) table.Tuple {
-	if j.buf == nil {
-		j.buf = make(table.Tuple, j.out.Len())
+// NextBatch fills dst with joined tuples built in reused per-slot buffers.
+// The current probe tuple references the join's input batch, which is only
+// refilled once its matches are exhausted, so no probe-side clone is needed.
+func (j *HashJoin) NextBatch(dst []table.Tuple) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if j.curPos < j.curLen {
+			r := j.cur.First
+			if j.curPos > 0 {
+				r = j.cur.Rest[j.curPos-1]
+			}
+			j.curPos++
+			buf := j.slots.slot(n, j.out.Len())
+			copy(buf, j.curLeft)
+			copy(buf[len(j.curLeft):], r)
+			dst[n] = buf
+			n++
+			continue
+		}
+		if j.inPos >= j.inN {
+			j.in = batchScratch(j.in, BatchSize)
+			k, err := NextBatch(j.Left, j.in)
+			if err != nil {
+				return 0, err
+			}
+			if k == 0 {
+				return n, nil
+			}
+			j.inN, j.inPos = k, 0
+		}
+		j.curLeft = j.in[j.inPos]
+		j.inPos++
+		g, ok := j.built.Lookup(j.curLeft, j.LeftKeys)
+		j.cur = g
+		j.curLen = 0
+		if ok {
+			j.curLen = 1 + len(g.Rest)
+		}
+		j.curPos = 0
 	}
-	copy(j.buf, l)
-	copy(j.buf[len(l):], r)
-	return j.buf
+	return n, nil
 }
 
 // Close closes both inputs and drops the hash table.
@@ -141,7 +168,7 @@ type MergeJoin struct {
 	blockPos  int
 	inBlock   bool
 	endOfLeft bool
-	buf       table.Tuple
+	slots     slotBufs
 }
 
 // NewMergeJoin joins sorted inputs on pairwise-equal key columns.
@@ -205,13 +232,16 @@ func (j *MergeJoin) cmpKeys(l, r table.Tuple) int {
 }
 
 // Next yields the next joined tuple.
-func (j *MergeJoin) Next() (table.Tuple, bool, error) {
+func (j *MergeJoin) Next() (table.Tuple, bool, error) { return j.next(0) }
+
+// next emits the next joined tuple into slot buffer i.
+func (j *MergeJoin) next(slot int) (table.Tuple, bool, error) {
 	for {
 		if j.inBlock {
 			if j.blockPos < len(j.block) {
 				r := j.block[j.blockPos]
 				j.blockPos++
-				return j.combine(j.l, r), true, nil
+				return j.combine(slot, j.l, r), true, nil
 			}
 			// Done pairing current left tuple with the block; advance left.
 			if err := j.advanceLeft(); err != nil {
@@ -263,13 +293,16 @@ func (j *MergeJoin) Next() (table.Tuple, bool, error) {
 	}
 }
 
-func (j *MergeJoin) combine(l, r table.Tuple) table.Tuple {
-	if j.buf == nil {
-		j.buf = make(table.Tuple, j.out.Len())
-	}
-	copy(j.buf, l)
-	copy(j.buf[len(l):], r)
-	return j.buf
+// NextBatch emits joined tuples into reused per-slot buffers.
+func (j *MergeJoin) NextBatch(dst []table.Tuple) (int, error) {
+	return fillBatch(dst, j.next)
+}
+
+func (j *MergeJoin) combine(slot int, l, r table.Tuple) table.Tuple {
+	buf := j.slots.slot(slot, j.out.Len())
+	copy(buf, l)
+	copy(buf[len(l):], r)
+	return buf
 }
 
 // Close closes both inputs.
@@ -293,7 +326,7 @@ type NestedLoopJoin struct {
 	l           table.Tuple
 	lOK         bool
 	pos         int
-	buf         table.Tuple
+	slots       slotBufs
 }
 
 // NewNestedLoopJoin joins left and right on pred (nil means cross product).
@@ -316,15 +349,12 @@ func (j *NestedLoopJoin) Open() error {
 		return err
 	}
 	j.right = j.right[:0]
-	for {
-		t, ok, err := j.Right.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		j.right = append(j.right, t.Clone())
+	err := drainEach(j.Right, func(t table.Tuple) error {
+		j.right = append(j.right, t)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	j.lOK = false
 	j.pos = len(j.right)
@@ -332,18 +362,18 @@ func (j *NestedLoopJoin) Open() error {
 }
 
 // Next yields the next qualifying pair.
-func (j *NestedLoopJoin) Next() (table.Tuple, bool, error) {
-	if j.buf == nil {
-		j.buf = make(table.Tuple, j.out.Len())
-	}
+func (j *NestedLoopJoin) Next() (table.Tuple, bool, error) { return j.next(0) }
+
+func (j *NestedLoopJoin) next(slot int) (table.Tuple, bool, error) {
+	buf := j.slots.slot(slot, j.out.Len())
 	for {
 		if j.pos < len(j.right) {
 			r := j.right[j.pos]
 			j.pos++
-			copy(j.buf, j.l)
-			copy(j.buf[len(j.l):], r)
-			if j.Pred.Holds(j.buf) {
-				return j.buf, true, nil
+			copy(buf, j.l)
+			copy(buf[len(j.l):], r)
+			if j.Pred.Holds(buf) {
+				return buf, true, nil
 			}
 			continue
 		}
@@ -355,6 +385,11 @@ func (j *NestedLoopJoin) Next() (table.Tuple, bool, error) {
 		j.lOK = true
 		j.pos = 0
 	}
+}
+
+// NextBatch emits qualifying pairs into reused per-slot buffers.
+func (j *NestedLoopJoin) NextBatch(dst []table.Tuple) (int, error) {
+	return fillBatch(dst, j.next)
 }
 
 // Close closes both inputs.

@@ -10,37 +10,15 @@ import (
 // Operator is the Volcano iterator interface. Open prepares the pipeline,
 // Next pulls one tuple at a time (ok=false at end of stream), Close releases
 // resources. Tuples returned by Next may alias internal buffers; operators
-// that retain tuples across Next calls must Clone them.
+// that retain tuples across Next calls must Clone them. Every core operator
+// additionally implements BatchOperator (batch.go), which moves tuples in
+// batches of up to BatchSize through reused buffers — the allocation-free
+// fast path the collectors drive.
 type Operator interface {
 	Schema() *table.Schema
 	Open() error
 	Next() (table.Tuple, bool, error)
 	Close() error
-}
-
-// Collect drains an operator into an in-memory relation (opening and
-// closing it), cloning each tuple.
-func Collect(op Operator) (*table.Relation, error) {
-	return CollectCtx(nil, op)
-}
-
-// Count drains an operator and returns only the row count.
-func Count(op Operator) (int64, error) {
-	if err := op.Open(); err != nil {
-		return 0, err
-	}
-	defer op.Close()
-	var n int64
-	for {
-		_, ok, err := op.Next()
-		if err != nil {
-			return 0, err
-		}
-		if !ok {
-			return n, nil
-		}
-		n++
-	}
 }
 
 // MemScan iterates an in-memory relation.
@@ -67,6 +45,16 @@ func (s *MemScan) Next() (table.Tuple, bool, error) {
 	s.pos++
 	return t, true, nil
 }
+
+// NextBatch copies up to len(dst) row references out of the relation.
+func (s *MemScan) NextBatch(dst []table.Tuple) (int, error) {
+	n := copy(dst, s.Rel.Rows[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// StableTuples: rows are owned by the relation and never overwritten.
+func (s *MemScan) StableTuples() bool { return true }
 
 // Close is a no-op.
 func (s *MemScan) Close() error { return nil }
@@ -106,6 +94,14 @@ func (s *HeapScan) Next() (table.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch decodes up to len(dst) stored tuples.
+func (s *HeapScan) NextBatch(dst []table.Tuple) (int, error) {
+	return fillBatch(dst, func(int) (table.Tuple, bool, error) { return s.Next() })
+}
+
+// StableTuples: the scanner decodes into arena storage it never reuses.
+func (s *HeapScan) StableTuples() bool { return true }
+
 // Close releases the scanner's pinned page.
 func (s *HeapScan) Close() error {
 	if s.sc != nil {
@@ -143,6 +139,30 @@ func (f *Filter) Next() (table.Tuple, bool, error) {
 	}
 }
 
+// NextBatch pulls an input batch into dst and compacts the qualifying
+// tuples in place — no copies, no allocation.
+func (f *Filter) NextBatch(dst []table.Tuple) (int, error) {
+	for {
+		n, err := NextBatch(f.In, dst)
+		if err != nil || n == 0 {
+			return 0, err
+		}
+		k := 0
+		for _, t := range dst[:n] {
+			if f.Pred.Holds(t) {
+				dst[k] = t
+				k++
+			}
+		}
+		if k > 0 {
+			return k, nil
+		}
+	}
+}
+
+// StableTuples: a filter passes its input's tuples through untouched.
+func (f *Filter) StableTuples() bool { return Stable(f.In) }
+
 // Close closes the input.
 func (f *Filter) Close() error { return f.In.Close() }
 
@@ -152,7 +172,8 @@ type Project struct {
 	In    Operator
 	Exprs []Expr
 	Out   *table.Schema
-	buf   table.Tuple
+	in    []table.Tuple // reused input batch
+	slots slotBufs      // reused per-slot output buffers
 }
 
 // NewProject builds a generalized projection.
@@ -194,13 +215,28 @@ func (p *Project) Next() (table.Tuple, bool, error) {
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	if p.buf == nil {
-		p.buf = make(table.Tuple, len(p.Exprs))
-	}
+	buf := p.slots.slot(0, len(p.Exprs))
 	for i, e := range p.Exprs {
-		p.buf[i] = e.Eval(t)
+		buf[i] = e.Eval(t)
 	}
-	return p.buf, true, nil
+	return buf, true, nil
+}
+
+// NextBatch evaluates the projection into reused per-slot buffers.
+func (p *Project) NextBatch(dst []table.Tuple) (int, error) {
+	p.in = batchScratch(p.in, len(dst))
+	n, err := NextBatch(p.In, p.in)
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	for i, t := range p.in[:n] {
+		buf := p.slots.slot(i, len(p.Exprs))
+		for k, e := range p.Exprs {
+			buf[k] = e.Eval(t)
+		}
+		dst[i] = buf
+	}
+	return n, nil
 }
 
 // Close closes the input.
@@ -234,6 +270,23 @@ func (l *Limit) Next() (table.Tuple, bool, error) {
 	l.seen++
 	return t, true, nil
 }
+
+// NextBatch yields a batch truncated to the remaining allowance.
+func (l *Limit) NextBatch(dst []table.Tuple) (int, error) {
+	rem := l.N - l.seen
+	if rem <= 0 {
+		return 0, nil
+	}
+	if int64(len(dst)) > rem {
+		dst = dst[:rem]
+	}
+	n, err := NextBatch(l.In, dst)
+	l.seen += int64(n)
+	return n, err
+}
+
+// StableTuples: a limit passes its input's tuples through untouched.
+func (l *Limit) StableTuples() bool { return Stable(l.In) }
 
 // Close closes the input.
 func (l *Limit) Close() error { return l.In.Close() }

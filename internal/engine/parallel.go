@@ -20,37 +20,6 @@ import (
 // to serial execution; see pool.ParallelMinRows.
 const ParallelMinRows = pool.ParallelMinRows
 
-// collectCancelInterval is how many tuples Collect pulls between context
-// checks.
-const collectCancelInterval = 4096
-
-// CollectCtx drains an operator into an in-memory relation like Collect,
-// checking the context every few thousand tuples so runaway pipelines can be
-// cancelled.
-func CollectCtx(ctx context.Context, op Operator) (*table.Relation, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := op.Open(); err != nil {
-		return nil, err
-	}
-	defer op.Close()
-	rel := table.NewRelation(op.Schema())
-	for n := 0; ; n++ {
-		if n%collectCancelInterval == 0 && ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		t, ok, err := op.Next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return rel, nil
-		}
-		rel.Rows = append(rel.Rows, t.Clone())
-	}
-}
-
 // CollectChunks evaluates a per-tuple operator pipeline over an in-memory
 // relation in parallel: the rows are split into contiguous chunks, each
 // worker runs its own pipeline instance (built by wrap over a scan of its
@@ -141,7 +110,7 @@ func (j *PartitionedHashJoin) Schema() *table.Schema { return j.out }
 // A MemScan already yields rows owned by an in-memory relation (the
 // parallel leaf pipelines and staged intermediates hand those in), so its
 // relation is reused as-is instead of clone-copying every tuple a second
-// time; everything else goes through the cloning collector.
+// time; everything else goes through the batched collector.
 func drainStable(ctx context.Context, op Operator) (*table.Relation, error) {
 	if ms, ok := op.(*MemScan); ok {
 		return ms.Rel, nil
@@ -188,23 +157,32 @@ func (j *PartitionedHashJoin) Open() error {
 }
 
 // joinPartition builds a hash table over the right rows and probes with the
-// left rows in order — one partition's worth of HashJoin.
+// left rows in order — one partition's worth of HashJoin. Output rows are
+// allocated from a per-partition slab (they are retained by the caller).
 func joinPartition(left, right []table.Tuple, lk, rk []int) []table.Tuple {
 	if len(left) == 0 || len(right) == 0 {
 		return nil
 	}
-	built := make(map[string][]table.Tuple, len(right))
+	built := table.NewTupleMap(rk, len(right))
 	for _, t := range right {
-		k := hashKey(t, rk)
-		built[k] = append(built[k], t)
+		built.Add(t)
 	}
 	var out []table.Tuple
+	var slab table.Slab
+	emit := func(l, r table.Tuple) {
+		row := slab.Alloc(len(l) + len(r))
+		copy(row, l)
+		copy(row[len(l):], r)
+		out = append(out, row)
+	}
 	for _, l := range left {
-		for _, r := range built[hashKey(l, lk)] {
-			row := make(table.Tuple, 0, len(l)+len(r))
-			row = append(row, l...)
-			row = append(row, r...)
-			out = append(out, row)
+		g, ok := built.Lookup(l, lk)
+		if !ok {
+			continue
+		}
+		emit(l, g.First)
+		for _, r := range g.Rest {
+			emit(l, r)
 		}
 	}
 	return out
@@ -219,6 +197,16 @@ func (j *PartitionedHashJoin) Next() (table.Tuple, bool, error) {
 	j.pos++
 	return t, true, nil
 }
+
+// NextBatch streams the materialized join result.
+func (j *PartitionedHashJoin) NextBatch(dst []table.Tuple) (int, error) {
+	n := copy(dst, j.rows[j.pos:])
+	j.pos += n
+	return n, nil
+}
+
+// StableTuples: the join result is materialized in slab storage.
+func (j *PartitionedHashJoin) StableTuples() bool { return true }
 
 // Close drops the materialized result.
 func (j *PartitionedHashJoin) Close() error {

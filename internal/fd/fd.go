@@ -9,7 +9,7 @@ package fd
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro/internal/query"
@@ -100,7 +100,7 @@ func (s *Set) Closure(attrs []string) []string {
 	for a := range cur {
 		out = append(out, a)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -11,7 +11,7 @@ package logical
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro/internal/query"
@@ -342,7 +342,7 @@ func JoinStep(q *query.Query, left Node, ref query.RelRef, joined map[string]boo
 			}
 		}
 	}
-	sort.Strings(attrs)
+	slices.Sort(attrs)
 	return &Project{Input: j, Attrs: attrs}
 }
 

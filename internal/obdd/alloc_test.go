@@ -1,0 +1,50 @@
+package obdd
+
+import (
+	"testing"
+
+	"repro/internal/prob"
+)
+
+// TestRecompileAllocs pins the allocation cost of recompiling a cached
+// clause set on a warm, reused builder: the interned memo, the unique/apply
+// tables, the header arena and the cofactor scratch all keep their storage
+// across Reset, so a recompile costs only the lowering of the DNF (its flat
+// literal array and clause-set header) — a handful of allocations for a
+// formula of dozens of clauses, where the string-keyed memo paid several per
+// Shannon recursion step.
+func TestRecompileAllocs(t *testing.T) {
+	d := prob.NewDNF()
+	a := prob.NewAssignment()
+	for i := 0; i < 60; i++ {
+		v1, v2 := prob.Var(i+1), prob.Var(100+i/2)
+		d.Add(prob.NewClause(v1, v2))
+		if err := a.Set(v1, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Set(v2, 0.3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order := OccurrenceOrder(d, nil)
+	b := NewBuilder(order, 0)
+	var ref Ref
+	recompile := func() {
+		b.Reset(order, 0)
+		r, err := b.Compile(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref = r
+	}
+	recompile()
+	want := b.Prob(ref, a)
+	avg := testing.AllocsPerRun(20, recompile)
+	if avg > 8 {
+		t.Fatalf("warm recompile of a %d-clause set allocated %.1f times, want ≤ 8", len(d.Clauses), avg)
+	}
+	// The reused builder must keep producing the same diagram and probability.
+	if got := b.Prob(ref, a); got != want {
+		t.Fatalf("recompiled probability %v != first compile's %v", got, want)
+	}
+}

@@ -2,8 +2,7 @@ package obdd
 
 import (
 	"fmt"
-	"sort"
-	"strings"
+	"slices"
 
 	"repro/internal/prob"
 )
@@ -56,7 +55,15 @@ type Result struct {
 // The order must mention every variable of d. The result is a deterministic
 // function of (d, a, order, o).
 func Prob(d *prob.DNF, a *prob.Assignment, order []prob.Var, o Options) (Result, error) {
-	b := NewBuilder(order, o.budget())
+	return ProbWith(NewBuilder(order, o.budget()), d, a, o)
+}
+
+// ProbWith is Prob over a caller-supplied builder, which must already hold
+// the variable order and node budget (NewBuilder or Reset). It exists so a
+// batch of per-answer compilations can reuse one builder's unique, apply and
+// memo tables across answers (Reset between them) instead of reallocating
+// every map per formula; the result is identical to Prob's.
+func ProbWith(b *Builder, d *prob.DNF, a *prob.Assignment, o Options) (Result, error) {
 	root, err := b.Compile(d)
 	if err == nil {
 		p := b.Prob(root, a)
@@ -65,7 +72,7 @@ func Prob(d *prob.DNF, a *prob.Assignment, order []prob.Var, o Options) (Result,
 	if err != ErrBudget {
 		return Result{}, err
 	}
-	res, err := Bounds(d, a, order, o)
+	res, err := Bounds(d, a, b.order, o)
 	if err != nil {
 		return Result{}, err
 	}
@@ -73,25 +80,133 @@ func Prob(d *prob.DNF, a *prob.Assignment, order []prob.Var, o Options) (Result,
 	return res, nil
 }
 
+// memoEntry interns one residual clause set: the canonical set itself (for
+// structural equality under its FNV hash) and the diagram it compiled to.
+type memoEntry struct {
+	cls [][]int32
+	ref Ref
+}
+
+// hashClauses is FNV-1a (prob's shared primitives) over the canonical
+// clause set — clause literals in order with a separator per clause
+// boundary. Collisions are resolved by structural equality, so hash quality
+// only affects bucket chain length.
+func hashClauses(cls [][]int32) uint64 {
+	h := prob.FNVInit()
+	for _, c := range cls {
+		for _, l := range c {
+			h = prob.FNVUint32(h, uint32(l))
+		}
+		h = prob.FNVByte(h, 0xff)
+	}
+	return h
+}
+
+func equalClauseSets(a, b [][]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !equalClause(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// memoGet looks a canonical clause set up in the interned memo.
+func (b *Builder) memoGet(h uint64, cls [][]int32) (Ref, bool) {
+	e, ok := b.memo[h]
+	if !ok {
+		return False, false
+	}
+	if equalClauseSets(e.cls, cls) {
+		return e.ref, true
+	}
+	for _, o := range b.memoOver[h] {
+		if equalClauseSets(o.cls, cls) {
+			return o.ref, true
+		}
+	}
+	return False, false
+}
+
+// memoPut interns a clause set. The common case stores the entry inline in
+// the map; only genuine hash collisions between distinct sets allocate an
+// overflow chain.
+func (b *Builder) memoPut(h uint64, cls [][]int32, r Ref) {
+	if _, ok := b.memo[h]; !ok {
+		b.memo[h] = memoEntry{cls: cls, ref: r}
+		return
+	}
+	if b.memoOver == nil {
+		b.memoOver = make(map[uint64][]memoEntry)
+	}
+	b.memoOver[h] = append(b.memoOver[h], memoEntry{cls: cls, ref: r})
+}
+
+// hdrArenaBlock is how many clause-set header slots the builder's arena
+// allocates per backing array.
+const hdrArenaBlock = 4096
+
+// getScratch returns a clause-set header with room for n clauses: a
+// recycled one from the free list when it fits, otherwise a slice of the
+// header arena (one allocation per hdrArenaBlock header slots). Headers
+// retained by the memo simply keep their arena storage; recycled ones come
+// back through putScratch.
+func (b *Builder) getScratch(n int) [][]int32 {
+	if k := len(b.scratch); k > 0 {
+		if s := b.scratch[k-1]; cap(s) >= n {
+			b.scratch = b.scratch[:k-1]
+			return s[:0]
+		}
+	}
+	if len(b.hdrs) < n {
+		size := hdrArenaBlock
+		if n > size {
+			size = n
+		}
+		b.hdrs = make([][]int32, size)
+	}
+	s := b.hdrs[:0:n]
+	b.hdrs = b.hdrs[n:]
+	return s
+}
+
+// putScratch recycles a clause-set header whose contents are dead.
+func (b *Builder) putScratch(s [][]int32) {
+	if cap(s) > 0 {
+		b.scratch = append(b.scratch, s)
+	}
+}
+
 // Compile builds the reduced OBDD of a DNF by Shannon expansion under the
 // builder's order: condition the clause set on its topmost variable, recurse
 // on both cofactors, and hash-cons the resulting node. Residual clause sets
-// are memoized under a canonical key, so shared subformulas compile once.
-// Returns ErrBudget when the diagram would exceed the node budget.
+// are memoized under an FNV-1a hash of the canonical set with
+// structural-equality collision chains — no per-recursion key strings — so
+// shared subformulas compile once; cofactor clause-set headers are drawn
+// from a free list and recycled on every memo hit. Returns ErrBudget when
+// the diagram would exceed the node budget.
 func (b *Builder) Compile(d *prob.DNF) (Ref, error) {
 	cls, err := b.lower(d)
 	if err != nil {
 		return False, err
 	}
-	memo := make(map[string]Ref)
-	return b.shannon(cls, memo)
+	return b.shannon(cls)
 }
 
 // lower rewrites clauses as ascending level lists, dropping invalid vars.
+// The literal storage of all clauses shares one backing array.
 func (b *Builder) lower(d *prob.DNF) ([][]int32, error) {
+	total := 0
+	for _, c := range d.Clauses {
+		total += len(c)
+	}
+	flat := make([]int32, 0, total)
 	cls := make([][]int32, 0, len(d.Clauses))
 	for _, c := range d.Clauses {
-		lc := make([]int32, 0, len(c))
+		start := len(flat)
 		for _, v := range c {
 			if !v.Valid() {
 				continue
@@ -100,41 +215,48 @@ func (b *Builder) lower(d *prob.DNF) ([][]int32, error) {
 			if !ok {
 				return nil, fmt.Errorf("obdd: variable %v of %s not in order", v, c)
 			}
-			lc = append(lc, lv)
+			flat = append(flat, lv)
 		}
-		sort.Slice(lc, func(i, j int) bool { return lc[i] < lc[j] })
+		lc := flat[start:len(flat):len(flat)]
+		slices.Sort(lc)
 		cls = append(cls, lc)
 	}
 	return cls, nil
 }
 
-func (b *Builder) shannon(cls [][]int32, memo map[string]Ref) (Ref, error) {
+// shannon compiles a canonical clause set, taking ownership of the cls
+// header: on a memo hit (or a terminal case) the header is recycled into the
+// scratch free list, on a miss it is retained by the memo entry.
+func (b *Builder) shannon(cls [][]int32) (Ref, error) {
 	if len(cls) == 0 {
+		b.putScratch(cls)
 		return False, nil
 	}
 	top := terminalLevel
 	for _, c := range cls {
 		if len(c) == 0 {
+			b.putScratch(cls)
 			return True, nil
 		}
 		if c[0] < top {
 			top = c[0]
 		}
 	}
-	key := clausesKey(cls)
-	if r, ok := memo[key]; ok {
+	h := hashClauses(cls)
+	if r, ok := b.memoGet(h, cls); ok {
+		b.putScratch(cls)
 		return r, nil
 	}
-	pos, neg, posTrue := condition(cls, top)
+	pos, neg, posTrue := b.condition(cls, top)
 	var hi Ref = True
 	var err error
 	if !posTrue {
-		hi, err = b.shannon(pos, memo)
+		hi, err = b.shannon(pos)
 		if err != nil {
 			return False, err
 		}
 	}
-	lo, err := b.shannon(neg, memo)
+	lo, err := b.shannon(neg)
 	if err != nil {
 		return False, err
 	}
@@ -142,7 +264,7 @@ func (b *Builder) shannon(cls [][]int32, memo map[string]Ref) (Ref, error) {
 	if err != nil {
 		return False, err
 	}
-	memo[key] = r
+	b.memoPut(h, cls, r)
 	return r, nil
 }
 
@@ -151,10 +273,11 @@ func (b *Builder) shannon(cls [][]int32, memo map[string]Ref) (Ref, error) {
 // the cofactor under "false" (those clauses dropped). posTrue short-circuits
 // the positive cofactor when stripping the level empties a clause. Both
 // cofactors are normalized — sorted and deduplicated — so the memo key is
-// canonical for the residual set.
-func condition(cls [][]int32, level int32) (pos, neg [][]int32, posTrue bool) {
-	pos = make([][]int32, 0, len(cls))
-	neg = make([][]int32, 0, len(cls))
+// canonical for the residual set; their headers come from the builder's
+// scratch free list.
+func (b *Builder) condition(cls [][]int32, level int32) (pos, neg [][]int32, posTrue bool) {
+	pos = b.getScratch(len(cls))
+	neg = b.getScratch(len(cls))
 	for _, c := range cls {
 		if c[0] == level {
 			if len(c) == 1 {
@@ -168,6 +291,7 @@ func condition(cls [][]int32, level int32) (pos, neg [][]int32, posTrue bool) {
 		}
 	}
 	if posTrue {
+		b.putScratch(pos)
 		pos = nil
 	} else {
 		pos = normalize(pos)
@@ -180,7 +304,7 @@ func condition(cls [][]int32, level int32) (pos, neg [][]int32, posTrue bool) {
 // residual clause sets canonical regardless of the expansion path that
 // produced them.
 func normalize(cls [][]int32) [][]int32 {
-	sort.Slice(cls, func(i, j int) bool { return lessClause(cls[i], cls[j]) })
+	slices.SortFunc(cls, cmpClause)
 	out := cls[:0]
 	for i, c := range cls {
 		if i > 0 && equalClause(cls[i-1], c) {
@@ -191,13 +315,16 @@ func normalize(cls [][]int32) [][]int32 {
 	return out
 }
 
-func lessClause(a, b []int32) bool {
+func cmpClause(a, b []int32) int {
 	for i := 0; i < len(a) && i < len(b); i++ {
 		if a[i] != b[i] {
-			return a[i] < b[i]
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
 		}
 	}
-	return len(a) < len(b)
+	return len(a) - len(b)
 }
 
 func equalClause(a, b []int32) bool {
@@ -210,17 +337,6 @@ func equalClause(a, b []int32) bool {
 		}
 	}
 	return true
-}
-
-func clausesKey(cls [][]int32) string {
-	var sb strings.Builder
-	for _, c := range cls {
-		for _, l := range c {
-			fmt.Fprintf(&sb, "%d,", l)
-		}
-		sb.WriteByte(';')
-	}
-	return sb.String()
 }
 
 // OccurrenceOrder derives a variable order from the lineage itself:
@@ -237,9 +353,31 @@ func clausesKey(cls [][]int32) string {
 // hierarchy the signature encodes. A nil rank visits each clause in its
 // stored (Var id) order.
 func OccurrenceOrder(d *prob.DNF, rank func(prob.Var) int) []prob.Var {
-	seen := make(map[prob.Var]bool)
-	var order []prob.Var
-	buf := make([]prob.Var, 0, 8)
+	var s OrderScratch
+	return s.OccurrenceOrder(d, rank)
+}
+
+// OrderScratch holds the reusable working state of OccurrenceOrder, so a
+// batch of per-answer order derivations (conf's OBDD fan-out) pays the map
+// and slice allocations once per worker instead of once per answer.
+type OrderScratch struct {
+	seen  map[prob.Var]bool
+	order []prob.Var
+	buf   []prob.Var
+}
+
+// OccurrenceOrder is the package-level OccurrenceOrder over reused scratch
+// storage. The returned order aliases the scratch and is only valid until
+// the next call on the same scratch.
+func (s *OrderScratch) OccurrenceOrder(d *prob.DNF, rank func(prob.Var) int) []prob.Var {
+	if s.seen == nil {
+		s.seen = make(map[prob.Var]bool)
+	}
+	clear(s.seen)
+	seen := s.seen
+	order := s.order[:0]
+	buf := s.buf[:0]
+	defer func() { s.order, s.buf = order[:0], buf[:0] }()
 	for _, c := range d.Clauses {
 		buf = buf[:0]
 		for _, v := range c {
@@ -248,12 +386,12 @@ func OccurrenceOrder(d *prob.DNF, rank func(prob.Var) int) []prob.Var {
 			}
 		}
 		if rank != nil {
-			sort.SliceStable(buf, func(i, j int) bool {
-				ri, rj := rank(buf[i]), rank(buf[j])
-				if ri != rj {
-					return ri < rj
+			slices.SortStableFunc(buf, func(x, y prob.Var) int {
+				rx, ry := rank(x), rank(y)
+				if rx != ry {
+					return rx - ry
 				}
-				return buf[i] < buf[j]
+				return int(x - y)
 			})
 		}
 		for _, v := range buf {

@@ -22,6 +22,15 @@
 // deterministic bounds [lo, hi] on the probability that tighten
 // monotonically with every expansion step, terminating early once the
 // interval reaches a target width or the step budget is spent.
+//
+// Compilation is allocation-lean: residual clause sets are interned in a
+// hash-keyed memo (FNV-1a over the canonical set, structural equality on
+// collision) rather than under rendered key strings, cofactor clause-set
+// headers are carved from a per-builder arena and recycled through a free
+// list on every memo hit, and a Builder is reusable across formulas —
+// Reset keeps the capacity of the unique, apply and memo tables, so batch
+// fan-outs (one builder per worker, reset per answer) pay the map
+// allocations once instead of per lineage formula.
 package obdd
 
 import (
@@ -60,7 +69,11 @@ var ErrBudget = errors.New("obdd: node budget exceeded")
 const terminalLevel = int32(math.MaxInt32)
 
 // Builder is an OBDD manager: a variable order plus the hash-consing unique
-// table and memoization caches shared by every diagram built with it.
+// table and memoization caches shared by every diagram built with it. A
+// Builder is reusable: Reset re-arms it for a new order and budget while
+// keeping the capacity of its tables and scratch buffers, so a batch of
+// per-answer compilations (conf's OBDD fan-out) pays the map and slice
+// allocations once per worker instead of once per answer.
 type Builder struct {
 	order  []prob.Var
 	level  map[prob.Var]int32
@@ -68,6 +81,16 @@ type Builder struct {
 	unique map[Node]Ref
 	apply  map[applyKey]Ref
 	budget int
+
+	// Shannon-compilation state (compile.go): the interned residual
+	// clause-set memo (entries inline in the map, hash collisions between
+	// distinct sets spill to memoOver), the cofactor scratch free list, and
+	// the header arena the scratch headers are carved from.
+	memo     map[uint64]memoEntry
+	memoOver map[uint64][]memoEntry
+	scratch  [][][]int32
+	hdrs     [][]int32
+	pr       []float64 // Prob's bottom-up pass scratch
 }
 
 type applyKey struct {
@@ -79,20 +102,40 @@ type applyKey struct {
 // tested first). budget caps the number of internal nodes; 0 means
 // DefaultNodeBudget.
 func NewBuilder(order []prob.Var, budget int) *Builder {
-	if budget <= 0 {
-		budget = DefaultNodeBudget
-	}
 	b := &Builder{
-		order:  order,
 		level:  make(map[prob.Var]int32, len(order)),
 		unique: make(map[Node]Ref),
 		apply:  make(map[applyKey]Ref),
-		budget: budget,
+		memo:   make(map[uint64]memoEntry),
 	}
+	b.Reset(order, budget)
+	return b
+}
+
+// Reset re-arms the builder for a fresh diagram over a new variable order
+// and budget: every table is cleared but keeps its storage. Any Refs
+// obtained before the Reset are invalidated.
+func (b *Builder) Reset(order []prob.Var, budget int) {
+	if budget <= 0 {
+		budget = DefaultNodeBudget
+	}
+	if b.level == nil {
+		b.level = make(map[prob.Var]int32, len(order))
+		b.unique = make(map[Node]Ref)
+		b.apply = make(map[applyKey]Ref)
+		b.memo = make(map[uint64]memoEntry)
+	}
+	b.order = order
+	b.budget = budget
+	b.nodes = b.nodes[:0]
+	clear(b.level)
+	clear(b.unique)
+	clear(b.apply)
+	clear(b.memo)
+	clear(b.memoOver)
 	for i, v := range order {
 		b.level[v] = int32(i)
 	}
-	return b
 }
 
 // Size returns the number of internal nodes allocated so far.
@@ -266,7 +309,12 @@ func (b *Builder) Prob(root Ref, a *prob.Assignment) float64 {
 	if root == True {
 		return 1
 	}
-	pr := make([]float64, len(b.nodes)+2)
+	need := len(b.nodes) + 2
+	if cap(b.pr) < need {
+		b.pr = make([]float64, need)
+	}
+	pr := b.pr[:need]
+	pr[False] = 0
 	pr[True] = 1
 	for i, n := range b.nodes {
 		p := a.P(b.order[n.Level])

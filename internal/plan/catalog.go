@@ -26,7 +26,7 @@ package plan
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/engine"
@@ -108,7 +108,7 @@ func (c *Catalog) Names() []string {
 	for n := range c.tables {
 		out = append(out, n)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

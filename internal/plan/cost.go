@@ -3,7 +3,7 @@ package plan
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/fd"
 	"repro/internal/logical"
@@ -208,7 +208,7 @@ func keptAttrs(rel costRel) []string {
 	for a := range rel.dist {
 		out = append(out, a)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -2,7 +2,7 @@ package prob
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -22,7 +22,7 @@ func NewClause(vs ...Var) Clause {
 			c = append(c, v)
 		}
 	}
-	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	slices.Sort(c)
 	out := c[:0]
 	var prev Var = -1
 	for _, v := range c {
@@ -36,8 +36,8 @@ func NewClause(vs ...Var) Clause {
 
 // Contains reports whether the clause mentions v.
 func (c Clause) Contains(v Var) bool {
-	i := sort.Search(len(c), func(i int) bool { return c[i] >= v })
-	return i < len(c) && c[i] == v
+	_, ok := slices.BinarySearch(c, v)
+	return ok
 }
 
 // String renders the clause as a product of variables, e.g. x1y1z1 -> "x1x2x3"
@@ -71,19 +71,20 @@ func NewDNF(clauses ...Clause) *DNF {
 // Add appends a clause unless an identical clause is already present.
 func (d *DNF) Add(c Clause) {
 	for _, e := range d.Clauses {
-		if clauseEqual(e, c) {
+		if e.Equal(c) {
 			return
 		}
 	}
 	d.Clauses = append(d.Clauses, c)
 }
 
-func clauseEqual(a, b Clause) bool {
-	if len(a) != len(b) {
+// Equal reports whether two normalized clauses are identical.
+func (c Clause) Equal(o Clause) bool {
+	if len(c) != len(o) {
 		return false
 	}
-	for i := range a {
-		if a[i] != b[i] {
+	for i := range c {
+		if c[i] != o[i] {
 			return false
 		}
 	}
@@ -102,7 +103,7 @@ func (d *DNF) Vars() []Var {
 	for v := range seen {
 		vs = append(vs, v)
 	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	slices.Sort(vs)
 	return vs
 }
 

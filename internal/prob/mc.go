@@ -152,21 +152,28 @@ func mcCompile(d *DNF, a *Assignment) *mcCompiled {
 		c.vars = append(c.vars, v)
 		c.probs = append(c.probs, a.P(v))
 	}
+	// All clause index lists share one flat backing array: the whole
+	// formula lowers in four allocations regardless of its clause count.
+	total := 0
+	for _, cl := range d.Clauses {
+		total += len(cl)
+	}
+	flat := make([]int32, 0, total)
 	c.clauses = make([][]int32, 0, len(d.Clauses))
 	c.weights = make([]float64, 0, len(d.Clauses))
 	c.cum = make([]float64, 0, len(d.Clauses))
 	for _, cl := range d.Clauses {
-		ids := make([]int32, 0, len(cl))
+		start := len(flat)
 		w := 1.0
 		for _, v := range cl {
 			if !v.Valid() {
 				continue
 			}
 			i := idx[v]
-			ids = append(ids, i)
+			flat = append(flat, i)
 			w *= c.probs[i]
 		}
-		c.clauses = append(c.clauses, ids)
+		c.clauses = append(c.clauses, flat[start:len(flat):len(flat)])
 		c.weights = append(c.weights, w)
 		c.U += w
 		c.cum = append(c.cum, c.U)

@@ -16,7 +16,7 @@ package prob
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Var identifies an independent Boolean random variable. The paper (§II.A)
@@ -90,7 +90,7 @@ func (a *Assignment) Vars() []Var {
 	for v := range a.p {
 		vs = append(vs, v)
 	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	slices.Sort(vs)
 	return vs
 }
 

@@ -10,7 +10,7 @@ package query
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro/internal/engine"
@@ -334,7 +334,7 @@ func buildTree(rels []*RelRef, isJoin map[string]bool, used []string) (*Tree, er
 		}
 	}
 	label := append(append([]string(nil), used...), shared...)
-	sort.Strings(label)
+	slices.Sort(label)
 	newUsed := append(append([]string(nil), used...), shared...)
 	newUsedSet := make(map[string]bool, len(newUsed))
 	for _, a := range newUsed {

@@ -8,7 +8,7 @@ package signature
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro/internal/fd"
@@ -189,7 +189,7 @@ func sortParts(parts []Sig) {
 			return 2
 		}
 	}
-	sort.SliceStable(parts, func(i, j int) bool { return rank(parts[i]) < rank(parts[j]) })
+	slices.SortStableFunc(parts, func(a, b Sig) int { return rank(a) - rank(b) })
 }
 
 func sameSet(a, b []string) bool {
@@ -198,8 +198,8 @@ func sameSet(a, b []string) bool {
 	}
 	as := append([]string(nil), a...)
 	bs := append([]string(nil), b...)
-	sort.Strings(as)
-	sort.Strings(bs)
+	slices.Sort(as)
+	slices.Sort(bs)
 	for i := range as {
 		if as[i] != bs[i] {
 			return false

@@ -10,7 +10,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro/internal/storage"
@@ -128,7 +128,7 @@ func (c *colAccum) finish(rows int) *ColumnStats {
 	}
 	if len(c.sample) > 0 {
 		sorted := append([]table.Value(nil), c.sample...)
-		sort.Slice(sorted, func(i, j int) bool { return table.Compare(sorted[i], sorted[j]) < 0 })
+		slices.SortFunc(sorted, table.Compare)
 		buckets := HistogramBuckets
 		if len(sorted) < buckets {
 			buckets = len(sorted)
@@ -230,7 +230,7 @@ func (h Histogram) fractionLE(v table.Value) float64 {
 	if n == 0 {
 		return 0.5
 	}
-	below := sort.Search(n, func(i int) bool { return table.Compare(h.Bounds[i], v) >= 0 })
+	below, _ := slices.BinarySearchFunc(h.Bounds, v, table.Compare)
 	// below buckets are entirely ≤ v; assume half of v's own bucket is.
 	f := float64(below) / float64(n)
 	if below < n {
@@ -326,7 +326,7 @@ func (ts *TableStats) String() string {
 	for n := range ts.Cols {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, n := range names {
 		c := ts.Cols[n]
 		fmt.Fprintf(&b, "\n  %s: %d distinct in [%s, %s]", n, c.Distinct, c.Min, c.Max)

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"repro/internal/table"
@@ -75,7 +75,7 @@ func (s *ExternalSorter) Add(t table.Tuple) error {
 }
 
 func (s *ExternalSorter) sortBuf() {
-	sort.SliceStable(s.buf, func(i, j int) bool { return s.cmp(s.buf[i], s.buf[j]) < 0 })
+	slices.SortStableFunc(s.buf, s.cmp)
 }
 
 func (s *ExternalSorter) spill() error {

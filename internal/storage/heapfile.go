@@ -20,6 +20,7 @@ type HeapFile struct {
 	writePg  *Page // tail page being filled, nil when file is read-only
 	writeNo  int64
 	tuples   int64
+	encBuf   []byte // reused Append encode buffer
 }
 
 // CreateHeapFile creates (truncating) a heap file at path.
@@ -61,12 +62,14 @@ func (h *HeapFile) NumPages() int64 { return h.numPages }
 // NumTuples returns the number of tuples appended via Append (write mode).
 func (h *HeapFile) NumTuples() int64 { return h.tuples }
 
-// Append encodes and stores a tuple.
+// Append encodes and stores a tuple. The encode buffer is owned by the file
+// and reused across appends.
 func (h *HeapFile) Append(t table.Tuple) error {
 	if h.writePg == nil {
 		return fmt.Errorf("storage: heap file %s is read-only", h.path)
 	}
-	rec := EncodeTuple(nil, t)
+	h.encBuf = EncodeTuple(h.encBuf[:0], t)
+	rec := h.encBuf
 	if _, err := h.writePg.Insert(rec); err != nil {
 		if !IsPageFull(err) {
 			return err
@@ -135,8 +138,16 @@ func (h *HeapFile) Remove() error {
 	return os.Remove(h.path)
 }
 
+// scanArenaBlock is how many decoded values a scanner allocates per arena
+// block; tuples wider than this fall back to a direct allocation.
+const scanArenaBlock = 4096
+
 // Scanner iterates the tuples of a heap file in storage order, fetching
-// pages through a buffer pool when one is supplied.
+// pages through a buffer pool when one is supplied. Decoded tuples draw
+// their value storage from a per-scanner arena — one allocation per
+// scanArenaBlock values instead of one per tuple — and stay valid for the
+// life of the program (arena blocks are never reused), so callers may
+// retain them without cloning.
 type Scanner struct {
 	h      *HeapFile
 	pool   *BufferPool
@@ -144,6 +155,8 @@ type Scanner struct {
 	pinned *Frame
 	pageNo int64
 	slot   int
+	arena  []table.Value
+	arity  int // widest tuple seen, for arena refill sizing
 }
 
 // NewScanner returns a scanner positioned before the first tuple. pool may
@@ -162,9 +175,16 @@ func (s *Scanner) Next() (table.Tuple, bool, error) {
 				return nil, false, err
 			}
 			s.slot++
-			t, _, err := DecodeTuple(rec)
+			if len(s.arena) < s.arity && s.arity <= scanArenaBlock {
+				s.arena = make([]table.Value, scanArenaBlock)
+			}
+			t, rest, _, err := DecodeTupleArena(rec, s.arena)
 			if err != nil {
 				return nil, false, err
+			}
+			s.arena = rest
+			if len(t) > s.arity {
+				s.arity = len(t)
 			}
 			return t, true, nil
 		}

@@ -1,6 +1,10 @@
 package table
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/prob"
+)
 
 // HashOn hashes the values at the given column indexes with FNV-1a — the
 // partitioning hash of the parallel execution layer (hash-partitioned joins
@@ -9,20 +13,9 @@ import "math"
 // image so an int join key matches a float one, mirroring Compare's
 // cross-kind numeric semantics.
 func HashOn(t Tuple, idx []int) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= prime64
-	}
-	mix64 := func(v uint64) {
-		for s := 0; s < 64; s += 8 {
-			mix(byte(v >> s))
-		}
-	}
+	h := prob.FNVInit()
+	mix := func(b byte) { h = prob.FNVByte(h, b) }
+	mix64 := func(v uint64) { h = prob.FNVUint64(h, v) }
 	for _, j := range idx {
 		v := t[j]
 		switch v.Kind {

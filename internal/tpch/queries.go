@@ -2,7 +2,7 @@ package tpch
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/engine"
 	"repro/internal/fd"
@@ -381,7 +381,7 @@ func Classify() []Classification {
 	for n := range cat {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	var out []Classification
 	for _, n := range names {
 		e := cat[n]
