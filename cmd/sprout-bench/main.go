@@ -5,9 +5,15 @@
 //
 // Usage:
 //
-//	sprout-bench [-sf 0.02] [-seed 1] [-exp all|fig9|fig10|fig11|fig12|fig13|mc|obdd|parallel|auto|casestudy] [-points 9] [-workers 4] [-json]
+//	sprout-bench [-sf 0.02] [-seed 1] [-exp all|fig9|fig10|fig11|fig12|fig13|mc|obdd|dtree|parallel|auto|casestudy] [-points 9] [-workers 4] [-json]
 //	sprout-bench -style mc [-query 18] [-eps 0.05] [-delta 0.01] [-workers 4]
 //	sprout-bench -style obdd [-query 18] [-budget 131072]
+//	sprout-bench -style dtree [-query 18] [-budget 131072]
+//
+// -exp dtree runs the d-tree tier twice: against the OBDD tier on the
+// interleaved-blocks lineage class — where every variable order blows the
+// OBDD past its node budget while the order-free decomposition stays exact —
+// and against Monte Carlo on the unsafe TPC-H query (mirroring -exp obdd).
 //
 // -exp parallel runs the partition-parallel scaling experiment: the unsafe
 // TPC-H query under the mc and obdd styles for worker counts 1, 2, ...,
@@ -21,10 +27,11 @@
 // verifying Auto's confidences are bit-identical to the chosen style's
 // direct run.
 //
-// The second form runs a single catalog query under one plan style and
-// prints its execution statistics — -style=mc estimates confidences by
-// Monte Carlo sampling and -style=obdd compiles lineage into OBDDs even
-// for queries that also admit sort+scan plans.
+// The single-query forms run one catalog query under one plan style and
+// print its execution statistics — -style=mc estimates confidences by
+// Monte Carlo sampling, -style=obdd compiles lineage into OBDDs and
+// -style=dtree decomposes it with order-free d-trees, even for queries
+// that also admit sort+scan plans.
 //
 // With -json, every experiment emits machine-readable per-measurement
 // records (experiment, name, style, wall-clock, samples/nodes, and the
@@ -42,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/benchutil"
+	"repro/internal/dtree"
 	"repro/internal/obdd"
 	"repro/internal/plan"
 	"repro/internal/prob"
@@ -77,13 +85,13 @@ type record struct {
 func main() {
 	sf := flag.Float64("sf", 0.02, "TPC-H scale factor (paper: 1.0)")
 	seed := flag.Int64("seed", 1, "generator seed")
-	exp := flag.String("exp", "all", "experiment: all|fig9|fig10|fig11|fig12|fig13|mc|obdd|parallel|auto|casestudy")
+	exp := flag.String("exp", "all", "experiment: all|fig9|fig10|fig11|fig12|fig13|mc|obdd|dtree|parallel|auto|casestudy")
 	points := flag.Int("points", 9, "selectivity points for fig11")
 	style := flag.String("style", "", "run one catalog query under a plan style: "+plan.StyleNames())
 	queryName := flag.String("query", "18", "catalog query for -style mode")
 	eps := flag.Float64("eps", 0.05, "Monte Carlo additive error bound ε (-style mode and -exp mc)")
 	delta := flag.Float64("delta", 0.01, "Monte Carlo failure probability δ (-style mode and -exp mc)")
-	budget := flag.Int("budget", 0, "OBDD node budget (-style mode and -exp obdd; 0 = default)")
+	budget := flag.Int("budget", 0, "OBDD node / d-tree step budget (-style mode, -exp obdd and -exp dtree; 0 = default)")
 	workers := flag.Int("workers", 4, "max worker count (-exp parallel sweeps 1,2,...,workers; -style mode runs with this many)")
 	jsonOut := flag.Bool("json", false, "emit per-measurement JSON records on stdout (tables move to stderr)")
 	flag.Parse()
@@ -316,6 +324,55 @@ func main() {
 		say("\n")
 	}
 
+	if run("dtree") {
+		say("== d-tree: order-free decomposition vs OBDD and Monte Carlo ==\n")
+		say("   interleaved-blocks lineage: every variable order gives the OBDD width ~3^k,\n")
+		say("   so past ~11 blocks its default budget only certifies bounds — the d-tree's\n")
+		say("   independent-OR rule splits the blocks apart and stays exact\n")
+		blocks, err := benchutil.DTreeBlocks([]int{4, 8, 12})
+		if err != nil {
+			fail(err)
+		}
+		say("%-8s %8s %8s %12s %12s %12s %12s %12s\n",
+			"blocks", "vars", "clauses", "obdd-exact", "obdd-nodes", "obdd-width", "dtree-steps", "dtree-err")
+		for _, r := range blocks {
+			if !r.DTreeExact {
+				fail(fmt.Errorf("dtree: blocks=%d not resolved exactly", r.Blocks))
+			}
+			say("%-8d %8d %8d %12v %12d %12.3g %12d %12.2e\n",
+				r.Blocks, r.Vars, r.Clauses, r.OBDDExact, r.OBDDNodes, r.OBDDWidth, r.DTreeNodes, r.DTreeErr)
+			name := fmt.Sprintf("blocks=%d", r.Blocks)
+			emit(record{Experiment: "dtree", Name: name, Style: "obdd",
+				Nodes: int64(r.OBDDNodes), BoundWidth: r.OBDDWidth})
+			emit(record{Experiment: "dtree", Name: name, Style: "dtree",
+				Nodes: int64(r.DTreeNodes), MeanAbsErr: r.DTreeErr})
+		}
+		say("   unsafe query π{odate}(Cust ⋈ Ord ⋈ Item), no FDs declared (cf. -exp obdd):\n")
+		rows, err := benchutil.DTreeUnsafe(d, []int{*budget})
+		if err != nil {
+			fail(err)
+		}
+		say("%-10s %10s %10s %10s %10s %12s %12s %12s\n",
+			"budget", "#answers", "steps", "dtree(s)", "mc(s)", "mc-samples", "mean-err", "max-err")
+		for _, r := range rows {
+			name := "default"
+			if r.Budget > 0 {
+				name = fmt.Sprintf("%d", r.Budget)
+			}
+			say("%-10s %10d %10d %10.4f %10.4f %12d %12.2e %12.2e\n",
+				name, r.Answers, r.Steps, r.DTreeTime.Seconds(), r.MCTime.Seconds(),
+				r.MCSamples, r.MeanAbsErr, r.MaxAbsErr)
+			if r.Bounded {
+				say("   budget exceeded on some answers: certified bounds, max width %.3g\n", r.MaxWidth)
+			}
+			emit(record{Experiment: "dtree", Name: "budget=" + name, Style: "dtree",
+				WallClockSec: r.DTreeTime.Seconds(), Answers: r.Answers, Nodes: r.Steps, BoundWidth: r.MaxWidth})
+			emit(record{Experiment: "dtree", Name: "budget=" + name, Style: "mc",
+				WallClockSec: r.MCTime.Seconds(), Answers: r.Answers, Samples: r.MCSamples, MeanAbsErr: r.MeanAbsErr})
+		}
+		say("\n")
+	}
+
 	if run("parallel") {
 		say("== Parallel: worker-count scaling on the unsafe query (mc and obdd styles) ==\n")
 		say("   partition-parallel joins/scans + parallel confidence tiers; confidences\n")
@@ -431,6 +488,7 @@ func runStyleMode(out io.Writer, d *tpch.Data, style plan.Style, styleName strin
 		Workers: workers,
 		MC:      prob.MCOptions{Epsilon: eps, Delta: delta, Seed: 1},
 		OBDD:    obdd.Options{NodeBudget: budget},
+		DTree:   dtree.Options{NodeBudget: budget},
 	})
 	if err != nil {
 		return record{}, err
@@ -444,6 +502,9 @@ func runStyleMode(out io.Writer, d *tpch.Data, style plan.Style, styleName strin
 		res.Stats.AnswerTuples, res.Stats.DistinctTuples)
 	if res.Stats.OBDDNodes > 0 {
 		fmt.Fprintf(out, "  OBDD: %d nodes\n", res.Stats.OBDDNodes)
+	}
+	if res.Stats.DTreeNodes > 0 {
+		fmt.Fprintf(out, "  d-tree: %d decomposition steps\n", res.Stats.DTreeNodes)
 	}
 	if res.Stats.Approximate {
 		if res.Stats.Samples > 0 {
@@ -462,7 +523,7 @@ func runStyleMode(out io.Writer, d *tpch.Data, style plan.Style, styleName strin
 		WallClockSec: (res.Stats.TupleTime + res.Stats.ProbTime).Seconds(),
 		Answers:      res.Stats.DistinctTuples,
 		Samples:      res.Stats.Samples,
-		Nodes:        res.Stats.OBDDNodes,
+		Nodes:        res.Stats.OBDDNodes + res.Stats.DTreeNodes, // at most one tier ran
 		ChosenStyle:  res.Stats.ChosenStyle,
 		EstCost:      res.Stats.EstimatedCost,
 	}, nil

@@ -1,12 +1,12 @@
 // Command sproutq runs one named catalog query (a conjunctive subquery of a
 // TPC-H query, see internal/tpch) against freshly generated data and prints
 // the distinct answers with their confidences (exact; OBDD-compiled under
-// -plan obdd; or Monte Carlo estimates under -plan mc), plus the plan and
-// signature used.
+// -plan obdd; d-tree-decomposed under -plan dtree; or Monte Carlo estimates
+// under -plan mc), plus the plan and signature used.
 //
 // Usage:
 //
-//	sproutq [-sf 0.005] [-seed 1] [-plan lazy|eager|hybrid|mystiq|mc|obdd|auto] [-workers 0] [-limit 20] [-explain] 18
+//	sproutq [-sf 0.005] [-seed 1] [-plan lazy|eager|hybrid|mystiq|mc|obdd|dtree|auto] [-workers 0] [-limit 20] [-explain] 18
 //	sproutq -list
 //
 // -plan auto lets the cost-based planner pick the style from the catalog's

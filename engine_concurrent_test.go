@@ -80,8 +80,8 @@ func mustSameConfidences(t *testing.T, label string, got, want map[string]float6
 }
 
 // workload is the mixed style/query matrix of the stress tests: exact
-// sort+scan styles and the OBDD tier on a hierarchical query, plus the
-// OBDD-exact fallback and Monte Carlo tiers on the unsafe query (which has
+// sort+scan styles and the OBDD and d-tree tiers on a hierarchical query,
+// plus the compilation and Monte Carlo tiers on the unsafe query (which has
 // no hierarchical signature under an empty FD set).
 func workload() []struct {
 	name  string
@@ -97,8 +97,10 @@ func workload() []struct {
 		{"custOrd/eager", custOrd(), Eager},
 		{"custOrd/hybrid", custOrd(), Hybrid},
 		{"custOrd/obdd", custOrd(), OBDD},
+		{"custOrd/dtree", custOrd(), DTree},
 		{"unsafe/mc", benchutil.UnsafeQuery(), MonteCarlo},
 		{"unsafe/obdd", benchutil.UnsafeQuery(), OBDD},
+		{"unsafe/dtree", benchutil.UnsafeQuery(), DTree},
 		{"unsafe/lazy-fallback", benchutil.UnsafeQuery(), Lazy},
 	}
 }
@@ -228,8 +230,8 @@ func TestEngineCancellation(t *testing.T) {
 // TestWorkerCountBitIdentical: every style returns bit-identical
 // confidences for workers=1 and workers=N — the engine's determinism
 // contract, pinned across the exact sort+scan styles, the safe-plan
-// baseline, the OBDD tier, Monte Carlo, and the unsafe-query fallback
-// chain.
+// baseline, the OBDD and d-tree tiers, Monte Carlo, and the unsafe-query
+// fallback chain.
 func TestWorkerCountBitIdentical(t *testing.T) {
 	db := tpchDB(nil)
 	styles := []struct {
@@ -242,9 +244,11 @@ func TestWorkerCountBitIdentical(t *testing.T) {
 		{"hybrid", custOrd(), Hybrid},
 		{"mystiq", custOrd(), MystiQ},
 		{"obdd", custOrd(), OBDD},
+		{"dtree", custOrd(), DTree},
 		{"mc", custOrd(), MonteCarlo},
 		{"unsafe-mc", benchutil.UnsafeQuery(), MonteCarlo},
 		{"unsafe-obdd", benchutil.UnsafeQuery(), OBDD},
+		{"unsafe-dtree", benchutil.UnsafeQuery(), DTree},
 		{"unsafe-fallback", benchutil.UnsafeQuery(), Eager},
 		{"auto", custOrd(), Auto},
 		{"unsafe-auto", benchutil.UnsafeQuery(), Auto},

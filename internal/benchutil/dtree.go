@@ -1,0 +1,181 @@
+package benchutil
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/dtree"
+	"repro/internal/fd"
+	"repro/internal/obdd"
+	"repro/internal/plan"
+	"repro/internal/prob"
+	"repro/internal/tpch"
+)
+
+// BlocksDNF builds the "interleaved blocks" lineage class: k variable-
+// disjoint blocks, each the complete bipartite product of two x-variables
+// and two y-variables — in DNF, the four clauses x_i ∧ y_j, i.e. block_b ≡
+// (x₁∨x₂)(y₁∨y₂) — OR-ed together. The clauses are emitted (i, j)-major and
+// block-minor, so the occurrence-derived variable order interleaves all k
+// blocks; an OBDD under that order must track every unfinished block's
+// residual simultaneously (three live states per block) and its width
+// reaches ~3^k. A d-tree, by contrast, is order-free: independent-OR splits
+// the k blocks apart in one step and each block resolves in a handful of
+// Shannon steps. This is the benchmark class where the OBDD tier exceeds
+// its default node budget while the d-tree tier stays exact.
+//
+// The blocks are variable-disjoint, so the exact probability has a closed
+// form, returned as the oracle:
+//
+//	Pr[φ] = 1 - Π_b (1 - Pr[block_b]),
+//	Pr[block_b] = (1-(1-p(x₁))(1-p(x₂))) · (1-(1-p(y₁))(1-p(y₂)))
+func BlocksDNF(k int) (*prob.DNF, *prob.Assignment, float64) {
+	a := prob.NewAssignment()
+	pv := func(v prob.Var) float64 { return 0.30 + 0.05*float64((int(v)-1)%8) }
+	for v := prob.Var(1); v <= prob.Var(4*k); v++ {
+		a.MustSet(v, pv(v))
+	}
+	d := &prob.DNF{}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			for b := 0; b < k; b++ {
+				x := prob.Var(4*b + 1 + i)
+				y := prob.Var(4*b + 3 + j)
+				d.Add(prob.NewClause(x, y))
+			}
+		}
+	}
+	truth := 1.0
+	for b := 0; b < k; b++ {
+		x1, x2 := prob.Var(4*b+1), prob.Var(4*b+2)
+		y1, y2 := prob.Var(4*b+3), prob.Var(4*b+4)
+		px := 1 - (1-pv(x1))*(1-pv(x2))
+		py := 1 - (1-pv(y1))*(1-pv(y2))
+		truth *= 1 - px*py
+	}
+	return d, a, 1 - truth
+}
+
+// DTreeBlocksRow is one measurement of the OBDD-vs-d-tree comparison on the
+// interleaved-blocks lineage class.
+type DTreeBlocksRow struct {
+	Blocks     int     // number of variable-disjoint blocks (4 vars each)
+	Vars       int     // total variables
+	Clauses    int     // total DNF clauses
+	Truth      float64 // closed-form exact probability
+	OBDDExact  bool    // OBDD tier compiled exactly under the default budget
+	OBDDNodes  int     // OBDD nodes + anytime expansion steps
+	OBDDWidth  float64 // hi-lo of the OBDD tier's certified interval
+	DTreeExact bool    // d-tree tier resolved exactly
+	DTreeNodes int     // d-tree decomposition steps
+	DTreeErr   float64 // |d-tree P − closed form|
+}
+
+// DTreeBlocks compiles the interleaved-blocks class under both lineage
+// tiers (occurrence order, default options) for each block count. Past
+// ~11 blocks the OBDD's interleaved width 3^k crosses the default node
+// budget and its interval opens up, while the d-tree stays exact in a few
+// dozen decomposition steps.
+func DTreeBlocks(ks []int) ([]DTreeBlocksRow, error) {
+	var rows []DTreeBlocksRow
+	for _, k := range ks {
+		d, a, truth := BlocksDNF(k)
+		or, err := obdd.Prob(d, a, obdd.OccurrenceOrder(d, nil), obdd.Options{})
+		if err != nil {
+			return nil, err
+		}
+		dr := dtree.Prob(d, a, dtree.Options{})
+		diff := dr.P - truth
+		if diff < 0 {
+			diff = -diff
+		}
+		rows = append(rows, DTreeBlocksRow{
+			Blocks:     k,
+			Vars:       4 * k,
+			Clauses:    len(d.Clauses),
+			Truth:      truth,
+			OBDDExact:  or.Exact,
+			OBDDNodes:  or.Nodes,
+			OBDDWidth:  or.Hi - or.Lo,
+			DTreeExact: dr.Exact,
+			DTreeNodes: dr.Nodes,
+			DTreeErr:   diff,
+		})
+	}
+	return rows, nil
+}
+
+// DTreeUnsafeRow is one measurement of the d-tree-vs-Monte-Carlo comparison
+// on the unsafe query.
+type DTreeUnsafeRow struct {
+	Budget     int           // d-tree step budget (0 = default)
+	Answers    int64         // distinct answer tuples
+	Steps      int64         // d-tree decomposition steps across all answers
+	Bounded    bool          // some answers only bounded, not exact
+	MaxWidth   float64       // widest certified interval (0 when all exact)
+	DTreeTime  time.Duration // d-tree confidence computation
+	MCTime     time.Duration // Monte Carlo confidence computation (ε = 0.05)
+	MCSamples  int64         // Monte Carlo samples drawn
+	MeanAbsErr float64       // mean |MC estimate − d-tree confidence| per answer
+	MaxAbsErr  float64       // worst per-answer deviation
+}
+
+// DTreeUnsafe runs the unsafe-query scenario π{odate}(Cust ⋈ Ord ⋈ Item)
+// with no FDs declared under the DTree style for each step budget, and once
+// under the Monte Carlo style as the comparison point — the order-free
+// counterpart of OBDDUnsafe. The per-date lineage decomposes without
+// Shannon blow-up, so the d-tree tier is exact under the default budget and
+// the error columns report how far the (ε, δ) estimates actually strayed.
+func DTreeUnsafe(d *tpch.Data, budgets []int) ([]DTreeUnsafeRow, error) {
+	catalog := d.Catalog()
+	sigma := fd.NewSet()
+	if _, err := plan.Run(catalog, UnsafeQuery().Clone(), sigma, plan.Spec{Style: plan.Lazy, RequireExact: true}); err == nil {
+		return nil, fmt.Errorf("benchutil: unsafe query unexpectedly has an exact plan")
+	}
+	mc, err := plan.Run(catalog, UnsafeQuery().Clone(), sigma, plan.Spec{
+		Style: plan.MonteCarlo,
+		MC:    prob.MCOptions{Epsilon: 0.05, Delta: 0.01, Seed: 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []DTreeUnsafeRow
+	for _, budget := range budgets {
+		res, err := plan.Run(catalog, UnsafeQuery().Clone(), sigma, plan.Spec{
+			Style: plan.DTree,
+			DTree: dtree.Options{NodeBudget: budget},
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := DTreeUnsafeRow{
+			Budget:    budget,
+			Answers:   res.Stats.DistinctTuples,
+			Steps:     res.Stats.DTreeNodes,
+			Bounded:   res.Stats.Approximate,
+			MaxWidth:  res.Stats.MaxWidth,
+			DTreeTime: res.Stats.ProbTime,
+			MCTime:    mc.Stats.ProbTime,
+			MCSamples: mc.Stats.Samples,
+		}
+		if mc.Rows.Len() != res.Rows.Len() {
+			return nil, fmt.Errorf("benchutil: d-tree and MC disagree on answer count: %d vs %d", res.Rows.Len(), mc.Rows.Len())
+		}
+		ci := res.Rows.Schema.Len() - 1
+		var sum float64
+		for i := range res.Rows.Rows {
+			dev := math.Abs(res.Rows.Rows[i][ci].F - mc.Rows.Rows[i][ci].F)
+			sum += dev
+			if dev > row.MaxAbsErr {
+				row.MaxAbsErr = dev
+			}
+		}
+		if n := res.Rows.Len(); n > 0 {
+			row.MeanAbsErr = sum / float64(n)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

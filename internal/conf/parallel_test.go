@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/dtree"
 	"repro/internal/obdd"
 	"repro/internal/pool"
 	"repro/internal/prob"
@@ -40,6 +41,26 @@ func TestOBDDParallelBitIdentical(t *testing.T) {
 	}
 	for _, workers := range []int{2, 5} {
 		got, stats, err := OBDD(context.Background(), pool.New(workers), cloneRelation(rel), nil, obdd.Options{}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualRelations(t, got, want, workers)
+		if *stats != *wantStats {
+			t.Fatalf("workers=%d: stats %+v, want %+v", workers, stats, wantStats)
+		}
+	}
+}
+
+// TestDTreeParallelBitIdentical: the per-answer d-tree fan-out returns the
+// serial loop's exact output and stats for every worker count.
+func TestDTreeParallelBitIdentical(t *testing.T) {
+	rel := randomTwoSourceRel(rand.New(rand.NewSource(41)), 500, 5)
+	want, wantStats, err := DTree(context.Background(), nil, cloneRelation(rel), dtree.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		got, stats, err := DTree(context.Background(), pool.New(workers), cloneRelation(rel), dtree.Options{}, false)
 		if err != nil {
 			t.Fatal(err)
 		}

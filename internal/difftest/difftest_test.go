@@ -1,0 +1,79 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/prob"
+)
+
+// TestDecodeDNF pins the byte decoder: clause separators, the mod-12
+// variable map, empty-clause skipping, and the rejection of inputs with no
+// surviving clause.
+func TestDecodeDNF(t *testing.T) {
+	d, a, ok := DecodeDNF([]byte{0x11, 1, 2, 0, 3, 4})
+	if !ok {
+		t.Fatal("decoder rejected a well-formed input")
+	}
+	want := prob.NewDNF(prob.NewClause(2, 3), prob.NewClause(4, 5))
+	if d.String() != want.String() {
+		t.Errorf("decoded %v, want %v", d, want)
+	}
+	for v := prob.Var(1); v <= 12; v++ {
+		if p := a.P(v); !(p >= 0.05 && p <= 0.94) {
+			t.Errorf("marginal P(%v) = %g outside [0.05, 0.94]", v, p)
+		}
+	}
+	// 24 ≡ 12·2, so byte 24 maps to variable 1+24%12 = 1, same as byte 12.
+	d1, _, _ := DecodeDNF([]byte{9, 12})
+	d2, _, _ := DecodeDNF([]byte{9, 24})
+	if d1.String() != d2.String() {
+		t.Errorf("mod-12 collapse broken: %v vs %v", d1, d2)
+	}
+	for _, bad := range [][]byte{nil, {}, {7}, {7, 0}, {7, 0, 0, 0}} {
+		if _, _, ok := DecodeDNF(bad); ok {
+			t.Errorf("decoder accepted %v", bad)
+		}
+	}
+}
+
+// TestRandomDNFShape: generated formulas stay inside the oracle's variable
+// limit and carry marginals for every variable they mention.
+func TestRandomDNFShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		d, a := RandomDNF(rng, 12)
+		vars := d.Vars()
+		if len(vars) == 0 || len(d.Clauses) == 0 {
+			t.Fatalf("degenerate formula %v", d)
+		}
+		for _, v := range vars {
+			if int(v) < 1 || int(v) > 12 {
+				t.Fatalf("variable %v outside [1, 12]", v)
+			}
+			if a.P(v) == 1 {
+				t.Fatalf("variable %v has no assigned marginal", v)
+			}
+		}
+	}
+}
+
+// TestCheckAccepts: the battery passes on hand-picked formulas exercising
+// each decomposition shape (it would be circular to assert much more here —
+// the harness's real coverage is the property tests in the compilation
+// packages that drive it with random formulas).
+func TestCheckAccepts(t *testing.T) {
+	for _, data := range [][]byte{
+		{0x11, 1, 2, 0, 3, 4},
+		{0x42, 1, 2, 3, 0, 1, 4, 0, 2, 5},
+		{0x07, 1, 3, 0, 1, 4, 0, 2, 4, 0, 5, 6},
+	} {
+		d, a, ok := DecodeDNF(data)
+		if !ok {
+			t.Fatalf("seed %v rejected", data)
+		}
+		if err := Check(d, a); err != nil {
+			t.Errorf("Check(%v): %v", d, err)
+		}
+	}
+}

@@ -47,13 +47,18 @@ const (
 	AlgIndProject
 	// AlgOBDD compiles each answer's lineage DNF into a reduced OBDD.
 	AlgOBDD
+	// AlgDTree decomposes each answer's lineage DNF into a d-tree
+	// (independent-AND / independent-OR / Shannon as last resort) — exact
+	// without needing a variable order, budgeted bounds beyond.
+	AlgDTree
 	// AlgMC estimates each answer's confidence with an (ε, δ) Monte Carlo
 	// sampler over its lineage DNF.
 	AlgMC
-	// AlgOBDDThenMC is the exact styles' fallback chain on queries without
-	// a hierarchical signature: OBDD compilation under the node budget,
-	// Monte Carlo when the budget is exceeded.
-	AlgOBDDThenMC
+	// AlgLadder is the exact styles' fallback chain on queries without a
+	// hierarchical signature: OBDD compilation under the node budget,
+	// d-tree decomposition when the diagram blows up, Monte Carlo when the
+	// decomposition budget is exceeded too.
+	AlgLadder
 )
 
 // String names the algorithm as printed by EXPLAIN.
@@ -65,10 +70,12 @@ func (a Alg) String() string {
 		return "π^ind"
 	case AlgOBDD:
 		return "obdd"
+	case AlgDTree:
+		return "dtree"
 	case AlgMC:
 		return "mc"
-	case AlgOBDDThenMC:
-		return "obdd→mc"
+	case AlgLadder:
+		return "obdd→dtree→mc"
 	default:
 		return "?"
 	}

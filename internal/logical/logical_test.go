@@ -71,7 +71,10 @@ func TestAnswerTreeShapeAndRendering(t *testing.T) {
 
 func TestConfLabels(t *testing.T) {
 	leaf := Leaf(q2(), q2().Rels[0])
-	if got := (&Conf{Input: leaf, Alg: AlgOBDDThenMC, Final: true}).Label(); got != "conf[obdd→mc]" {
+	if got := (&Conf{Input: leaf, Alg: AlgLadder, Final: true}).Label(); got != "conf[obdd→dtree→mc]" {
+		t.Errorf("label = %q", got)
+	}
+	if got := (&Conf{Input: leaf, Alg: AlgDTree, Final: true}).Label(); got != "conf[dtree]" {
 		t.Errorf("label = %q", got)
 	}
 	if got := (&Conf{Input: leaf, Alg: AlgIndProject, Keep: []string{"a", "b"}}).Label(); got != "π^ind[a,b]" {

@@ -39,6 +39,12 @@ const (
 	// costNoSigOBDD penalizes OBDD compilation without a signature-seeded
 	// variable order.
 	costNoSigOBDD = 3.0
+	// costDTreeNode prices one d-tree decomposition step: each step scans
+	// its residual clause set for common variables and connected
+	// components, heavier than one hash-consed OBDD node — but the price
+	// never depends on a variable order, so without a signature the
+	// d-tree tier undercuts penalized OBDD compilation.
+	costDTreeNode = 40.0
 )
 
 func sortCost(n float64) float64 {
@@ -259,7 +265,7 @@ func (cs *costState) conf(x *logical.Conf) (costRel, error) {
 		}
 		cs.cost += passes * (sortCost(rel.card) + rel.card*costConfScan)
 		return rel, nil
-	default: // final lineage algorithms: OBDD, MC, OBDD→MC
+	default: // final lineage algorithms: OBDD, d-tree, MC, the ladder
 		cs.cost += cs.lineageCost(x.Alg, rel, x.Sig != nil)
 		return rel, nil
 	}
@@ -268,8 +274,9 @@ func (cs *costState) conf(x *logical.Conf) (costRel, error) {
 // lineageCost prices the lineage-based confidence tiers over the
 // materialized answer: collection (one sort-equivalent pass), then OBDD
 // compilation — expected size ≈ clauses × signature width, penalized
-// without a signature-seeded variable order — or Monte Carlo sampling with
-// the (ε, δ) Hoeffding sample count.
+// without a signature-seeded variable order — or d-tree decomposition
+// (order-free: expected steps ≈ clauses × width, no signature modifier) —
+// or Monte Carlo sampling with the (ε, δ) Hoeffding sample count.
 func (cs *costState) lineageCost(alg logical.Alg, rel costRel, hasSig bool) float64 {
 	cost := sortCost(rel.card) + rel.card*costConfScan // collect lineage
 	answers := cs.groupCount(rel, cs.q.Head, nil)
@@ -281,7 +288,9 @@ func (cs *costState) lineageCost(alg logical.Alg, rel costRel, hasSig bool) floa
 	case logical.AlgMC:
 		samples := hoeffdingSamples(cs.spec)
 		cost += answers * samples * width * costSampleLit
-	default: // AlgOBDD, AlgOBDDThenMC (optimistic: the chain usually compiles)
+	case logical.AlgDTree:
+		cost += rel.card * width * costDTreeNode
+	default: // AlgOBDD, AlgLadder (optimistic: the chain usually compiles)
 		nodes := rel.card * width // total clauses × width
 		if !hasSig {
 			nodes *= costNoSigOBDD
@@ -334,12 +343,12 @@ func EstimateCosts(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) ([]Cost
 	hasSig := sigErr == nil
 
 	var out []CostEstimate
-	for _, style := range []Style{Lazy, Eager, Hybrid, SafeMystiQ, OBDD, MonteCarlo} {
+	for _, style := range []Style{Lazy, Eager, Hybrid, SafeMystiQ, OBDD, DTree, MonteCarlo} {
 		ce := CostEstimate{Style: style}
 		switch style {
 		case Lazy, Eager, Hybrid:
 			if !hasSig {
-				ce.Reason = "no hierarchical signature (would take the OBDD→MC fallback chain)"
+				ce.Reason = "no hierarchical signature (would take the OBDD→dtree→MC fallback ladder)"
 				out = append(out, ce)
 				continue
 			}
@@ -352,7 +361,7 @@ func EstimateCosts(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) ([]Cost
 			}
 			ce.Applicable = true
 			ce.Reason = "baseline with runtime-failure modes; never auto-dispatched"
-		case OBDD:
+		case OBDD, DTree:
 			ce.Applicable, ce.Candidate = true, true
 		case MonteCarlo:
 			ce.Applicable = true
@@ -388,7 +397,8 @@ func EstimateCosts(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) ([]Cost
 // ChooseStyle is the Auto planner's decision procedure: estimate every
 // style's cost and return the cheapest candidate. On queries without a
 // hierarchical signature the candidates honor the fallback ladder (OBDD
-// always, Monte Carlo only without RequireExact) — Auto never dispatches
+// and d-tree always, Monte Carlo only without RequireExact) — Auto never
+// dispatches
 // an approximate style when an exact one applies, and never Monte Carlo
 // under RequireExact.
 func ChooseStyle(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (Style, []CostEstimate, error) {

@@ -124,7 +124,7 @@ func TestAutoFallbackLadder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if chosen != OBDD && chosen != MonteCarlo {
+	if chosen != OBDD && chosen != DTree && chosen != MonteCarlo {
 		t.Fatalf("no-signature query must dispatch a lineage tier, got %v", chosen)
 	}
 	cat, _ := fig1Catalog()
@@ -137,7 +137,7 @@ func TestAutoFallbackLadder(t *testing.T) {
 	}
 	for _, ce := range costs {
 		switch ce.Style {
-		case Lazy, Eager, Hybrid, OBDD:
+		case Lazy, Eager, Hybrid, OBDD, DTree:
 			if !ce.Candidate || ce.Cost <= 0 {
 				t.Errorf("%v should be a costed candidate: %+v", ce.Style, ce)
 			}

@@ -1,0 +1,66 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/conf"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// This file assembles the results of the d-tree confidence tier (lower.go):
+// answer tuples are computed exactly like the lazy plan, then each distinct
+// answer's lineage DNF is decomposed into a d-tree (internal/dtree) —
+// independent-AND / independent-OR decompositions, Shannon cofactoring only
+// as a last resort — exact within the step budget, certified [lo, hi]
+// bounds beyond it. The tier is both a style in its own right (Spec.Style =
+// DTree) and the third rung of the exact styles' fallback ladder on queries
+// without a hierarchical signature: hierarchical sort+scan → OBDD → d-tree
+// → Monte Carlo.
+
+// finishDTree is the DTree style's confidence tier over the materialized
+// answer: decompose each answer's lineage, exact under the step budget,
+// certified bounds beyond it.
+func finishDTree(ex exec, q *query.Query, b *built, spec Spec, answer *table.Relation, tupleTime time.Duration) (*Result, error) {
+	t1 := time.Now()
+	out, ds, err := conf.DTree(ex.ctx, ex.pool, answer, spec.DTree, spec.RequireExact)
+	if err != nil {
+		if errors.Is(err, conf.ErrDTreeBudget) {
+			return nil, fmt.Errorf("plan: %s: %w (RequireExact forbids certified bounds)", q.Name, err)
+		}
+		return nil, err
+	}
+	probTime := time.Since(t1)
+	out, err = normalizeAnswer(out, q)
+	if err != nil {
+		return nil, err
+	}
+	return dtreeResult(q, "", b.order, answer, out, ds, tupleTime, probTime), nil
+}
+
+// dtreeResult assembles the Result of a d-tree run.
+func dtreeResult(q *query.Query, note string, order []query.RelRef, answer, out *table.Relation, ds *conf.DTreeStats, tupleTime, probTime time.Duration) *Result {
+	bounded := ""
+	if ds.Bounded > 0 {
+		bounded = fmt.Sprintf(", %d bounded to width ≤ %.3g", ds.Bounded, ds.MaxWidth)
+	}
+	stats := Stats{
+		Plan: fmt.Sprintf("dtree%s: %s; decompose lineage of %d answers (%d clauses, %d steps, %d exact%s)",
+			note, describeOrder(order), ds.OutputTuples, ds.Clauses, ds.Nodes, ds.ExactAnswers, bounded),
+		Signature:      "(d-tree over lineage; order-free decomposition)",
+		TupleTime:      tupleTime,
+		ProbTime:       probTime,
+		AnswerTuples:   int64(answer.Len()),
+		DistinctTuples: int64(out.Len()),
+		DTreeNodes:     ds.Nodes,
+	}
+	if ds.Bounded > 0 {
+		stats.Approximate = true
+		stats.LowerBound = ds.LowerBound
+		stats.UpperBound = ds.UpperBound
+		stats.MaxWidth = ds.MaxWidth
+	}
+	return &Result{Rows: out, Stats: stats}
+}

@@ -30,6 +30,7 @@ func TestExplainGolden(t *testing.T) {
 		{name: "hybrid", spec: Spec{Style: Hybrid, HybridPrefix: 2}},
 		{name: "mystiq", spec: Spec{Style: SafeMystiQ}},
 		{name: "obdd", spec: Spec{Style: OBDD}},
+		{name: "dtree", spec: Spec{Style: DTree}},
 		{name: "mc", spec: Spec{Style: MonteCarlo}},
 		{name: "auto", spec: Spec{Style: Auto}},
 	}
@@ -45,7 +46,7 @@ func TestExplainGolden(t *testing.T) {
 	}
 	t.Run("fallback-chain", func(t *testing.T) {
 		// An exact style on a query without a hierarchical signature
-		// renders the OBDD→MC fallback-chain plan.
+		// renders the OBDD→dtree→MC fallback-ladder plan.
 		got, err := Explain(hard, hardQuery(), fd.NewSet(), Spec{Style: Lazy})
 		if err != nil {
 			t.Fatal(err)

@@ -54,6 +54,10 @@ func buildLogical(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*built,
 			b.lp.Root.(*logical.Conf).Sig = s
 		}
 		return b, nil
+	case DTree:
+		// Decomposition is order-free, so unlike the OBDD style there is
+		// no signature to resolve or record.
+		return buildLineage(c, q, logical.AlgDTree, "dtree", ""), nil
 	case Lazy, Eager, Hybrid, SafeMystiQ:
 		// Exact styles; resolved below.
 	default:
@@ -66,8 +70,8 @@ func buildLogical(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*built,
 			return nil, fmt.Errorf("plan: %s is not tractable (no hierarchical signature): %w", q.Name, err)
 		}
 		// Fallback chain: OBDD compilation (still exact under the node
-		// budget), then Monte Carlo.
-		b := buildLineage(c, q, logical.AlgOBDDThenMC, spec.Style.String(),
+		// budget), then d-tree decomposition, then Monte Carlo.
+		b := buildLineage(c, q, logical.AlgLadder, spec.Style.String(),
 			fmt.Sprintf("fallback from %s: no hierarchical signature", spec.Style))
 		return b, nil
 	}
@@ -90,7 +94,7 @@ func buildLogical(c *Catalog, q *query.Query, sigma *fd.Set, spec Spec) (*built,
 }
 
 // buildLineage constructs the shared lazy-answer + lineage-algorithm shape
-// of the Monte Carlo, OBDD and fallback-chain plans.
+// of the Monte Carlo, OBDD, d-tree and fallback-chain plans.
 func buildLineage(c *Catalog, q *query.Query, alg logical.Alg, style, note string) *built {
 	order := LazyOrder(c, q)
 	root := &logical.Conf{Input: logical.AnswerTree(q, order), Alg: alg, Final: true}

@@ -19,8 +19,8 @@ import (
 // operators (partition-parallel under a multi-worker pool); confidence
 // placement points materialize their input and run the appropriate
 // algorithm: eager sort+scan aggregation steps, the final sort+scan
-// operator, OBDD compilation, Monte Carlo estimation, or the
-// OBDD-then-Monte-Carlo fallback chain.
+// operator, OBDD compilation, d-tree decomposition, Monte Carlo
+// estimation, or the OBDD → d-tree → Monte Carlo fallback ladder.
 
 // lowerState carries one run's execution bookkeeping through the lowering.
 type lowerState struct {
@@ -176,9 +176,11 @@ func runLogical(ex exec, c *Catalog, q *query.Query, b *built, spec Spec) (*Resu
 		return st.finishSortScan(b, answer, tupleTime)
 	case logical.AlgOBDD:
 		return finishOBDD(ex, q, b, spec, answer, tupleTime)
+	case logical.AlgDTree:
+		return finishDTree(ex, q, b, spec, answer, tupleTime)
 	case logical.AlgMC:
 		return finishMonteCarlo(ex, q, spec, "", b.order, answer, nil, tupleTime, 0)
-	case logical.AlgOBDDThenMC:
+	case logical.AlgLadder:
 		return finishFallbackChain(ex, q, b, spec, answer, tupleTime)
 	default:
 		return nil, fmt.Errorf("plan: unknown confidence algorithm %v", root.Alg)
@@ -252,8 +254,10 @@ func finishOBDD(ex exec, q *query.Query, b *built, spec Spec, answer *table.Rela
 // finishFallbackChain is the exact styles' path on queries without a
 // hierarchical signature: compile every answer's lineage into an OBDD under
 // the node budget — the result is still exact, just computed by a different
-// engine — and only if some diagram blows the budget, estimate with the
-// Monte Carlo tier. The lineage is collected once and shared.
+// engine — then, if some diagram blows the budget, try order-free d-tree
+// decomposition (still exact within its step budget), and only when that
+// budget is exceeded too, estimate with the Monte Carlo tier. The lineage
+// is collected once and shared by every rung.
 func finishFallbackChain(ex exec, q *query.Query, b *built, spec Spec, answer *table.Relation, tupleTime time.Duration) (*Result, error) {
 	t1 := time.Now()
 	l, err := conf.CollectLineage(answer)
@@ -261,18 +265,31 @@ func finishFallbackChain(ex exec, q *query.Query, b *built, spec Spec, answer *t
 		return nil, err
 	}
 	out, os, err := conf.OBDDLineage(ex.ctx, ex.pool, l, nil, spec.OBDD, true)
-	if err != nil {
-		if !errors.Is(err, conf.ErrOBDDBudget) {
+	if err == nil {
+		probTime := time.Since(t1)
+		out, err = normalizeAnswer(out, q)
+		if err != nil {
 			return nil, err
 		}
-		note := fmt.Sprintf(" (fallback from %s: no hierarchical signature, OBDD budget exceeded)", spec.Style)
-		return finishMonteCarlo(ex, q, spec, note, b.order, answer, l, tupleTime, time.Since(t1))
+		note := fmt.Sprintf(" (fallback from %s: no hierarchical signature, lineage compiled exactly)", spec.Style)
+		return obddResult(q, note, "interleaved-occurrence order", b.order, answer, out, os, tupleTime, probTime), nil
 	}
-	probTime := time.Since(t1)
-	out, err = normalizeAnswer(out, q)
-	if err != nil {
+	if !errors.Is(err, conf.ErrOBDDBudget) {
 		return nil, err
 	}
-	note := fmt.Sprintf(" (fallback from %s: no hierarchical signature, lineage compiled exactly)", spec.Style)
-	return obddResult(q, note, "interleaved-occurrence order", b.order, answer, out, os, tupleTime, probTime), nil
+	dout, ds, err := conf.DTreeLineage(ex.ctx, ex.pool, l, spec.DTree, true)
+	if err == nil {
+		probTime := time.Since(t1)
+		dout, err = normalizeAnswer(dout, q)
+		if err != nil {
+			return nil, err
+		}
+		note := fmt.Sprintf(" (fallback from %s: no hierarchical signature, OBDD budget exceeded, lineage decomposed exactly)", spec.Style)
+		return dtreeResult(q, note, b.order, answer, dout, ds, tupleTime, probTime), nil
+	}
+	if !errors.Is(err, conf.ErrDTreeBudget) {
+		return nil, err
+	}
+	note := fmt.Sprintf(" (fallback from %s: no hierarchical signature, OBDD and d-tree budgets exceeded)", spec.Style)
+	return finishMonteCarlo(ex, q, spec, note, b.order, answer, l, tupleTime, time.Since(t1))
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/conf"
+	"repro/internal/dtree"
 	"repro/internal/fd"
 	"repro/internal/obdd"
 	"repro/internal/prob"
@@ -108,10 +109,12 @@ func TestMonteCarloPlanVsWorlds(t *testing.T) {
 	}
 }
 
-// TestExactStylesFallBack: every exact style falls through the chain on the
-// hard query — OBDD compilation first (the small instance fits the budget,
-// so the result stays *exact*), Monte Carlo only when the budget is too
-// tight — annotating the plan line; RequireExact keeps the rejection.
+// TestExactStylesFallBack: every exact style falls through the ladder on
+// the hard query — OBDD compilation first (the small instance fits the
+// budget, so the result stays *exact*), then d-tree decomposition when the
+// node budget is starved (still exact), Monte Carlo only when both budgets
+// are too tight — annotating the plan line; RequireExact keeps the
+// rejection.
 func TestExactStylesFallBack(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	c := hardDB(rng)
@@ -131,11 +134,33 @@ func TestExactStylesFallBack(t *testing.T) {
 			t.Errorf("%v: OBDD fallback should report nodes", style)
 		}
 
-		// A starved node budget pushes the chain down to Monte Carlo.
+		// A starved node budget pushes the ladder to the order-free d-tree
+		// rung, which still resolves the lineage exactly.
 		res, err = Run(c, hardQuery(), fd.NewSet(), Spec{
 			Style: style,
 			MC:    prob.MCOptions{Seed: 2},
 			OBDD:  obdd.Options{NodeBudget: 1},
+		})
+		if err != nil {
+			t.Fatalf("%v: d-tree fallback failed: %v", style, err)
+		}
+		if res.Stats.Approximate {
+			t.Errorf("%v: d-tree fallback under budget must stay exact: %+v", style, res.Stats)
+		}
+		if !strings.Contains(res.Stats.Plan, "dtree") || !strings.Contains(res.Stats.Plan, "OBDD budget exceeded") {
+			t.Errorf("%v: plan line should mention the d-tree rung: %q", style, res.Stats.Plan)
+		}
+		if res.Stats.DTreeNodes == 0 {
+			t.Errorf("%v: d-tree fallback should report steps", style)
+		}
+
+		// Starving both compilation budgets pushes the ladder down to
+		// Monte Carlo.
+		res, err = Run(c, hardQuery(), fd.NewSet(), Spec{
+			Style: style,
+			MC:    prob.MCOptions{Seed: 2},
+			OBDD:  obdd.Options{NodeBudget: 1},
+			DTree: dtree.Options{NodeBudget: 1},
 		})
 		if err != nil {
 			t.Fatalf("%v: MC fallback failed: %v", style, err)
@@ -143,7 +168,7 @@ func TestExactStylesFallBack(t *testing.T) {
 		if !res.Stats.Approximate || res.Stats.Samples == 0 {
 			t.Errorf("%v: starved-budget fallback must be a Monte Carlo estimate: %+v", style, res.Stats)
 		}
-		if !strings.Contains(res.Stats.Plan, "mc") || !strings.Contains(res.Stats.Plan, "budget") {
+		if !strings.Contains(res.Stats.Plan, "mc") || !strings.Contains(res.Stats.Plan, "budgets exceeded") {
 			t.Errorf("%v: plan line should mention the Monte Carlo rung: %q", style, res.Stats.Plan)
 		}
 

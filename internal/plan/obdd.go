@@ -14,9 +14,9 @@ import (
 // answer's lineage DNF is compiled into a reduced OBDD (internal/obdd) and
 // evaluated — exact when the diagram fits the node budget, certified
 // [lo, hi] bounds when it does not. The tier is both a style in its own
-// right (Spec.Style = OBDD) and the middle rung of the exact styles'
-// fallback chain on queries without a hierarchical signature: hierarchical
-// sort+scan → OBDD-exact under budget → Monte Carlo.
+// right (Spec.Style = OBDD) and the second rung of the exact styles'
+// fallback ladder on queries without a hierarchical signature: hierarchical
+// sort+scan → OBDD → d-tree → Monte Carlo.
 
 // obddResult assembles the Result of an OBDD run.
 func obddResult(q *query.Query, note, orderNote string, order []query.RelRef, answer, out *table.Relation, os *conf.OBDDStats, tupleTime, probTime time.Duration) *Result {

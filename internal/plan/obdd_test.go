@@ -154,7 +154,7 @@ func TestOBDDPlanAgreesWithLazyOnHierarchical(t *testing.T) {
 // TestStyleNamesDerived: the ParseStyle error and StyleNames list every
 // style, including new ones, without a hand-maintained literal.
 func TestStyleNamesDerived(t *testing.T) {
-	if got := StyleNames(); got != "lazy|eager|hybrid|mystiq|mc|obdd|auto" {
+	if got := StyleNames(); got != "lazy|eager|hybrid|mystiq|mc|obdd|dtree|auto" {
 		t.Errorf("StyleNames() = %q", got)
 	}
 	if s, err := ParseStyle("obdd"); err != nil || s != OBDD {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/conf"
+	"repro/internal/dtree"
 	"repro/internal/fd"
 	"repro/internal/logical"
 	"repro/internal/obdd"
@@ -47,22 +48,32 @@ const (
 	// via Stats.LowerBound/UpperBound) when it does not. Exact styles try
 	// this compilation before falling back to Monte Carlo.
 	OBDD
+	// DTree computes the answer tuples lazily and decomposes each answer's
+	// lineage DNF into a d-tree (internal/dtree): independent-AND and
+	// independent-OR decompositions with Shannon cofactoring only as a
+	// last resort. It needs no variable order, so lineage whose OBDD
+	// explodes under every occurrence-derived order — e.g. many
+	// variable-disjoint clause blocks with interleaved variables — still
+	// resolves exactly; past the step budget it reports certified
+	// deterministic [lo, hi] bounds like the OBDD style. Exact styles try
+	// it after OBDD compilation and before Monte Carlo.
+	DTree
 	// Auto is the cost-based adaptive planner: it analyzes the catalog
 	// (cached), enumerates the styles applicable to the query — respecting
-	// the hierarchical→OBDD→MC fallback ladder and RequireExact — prices
-	// each with the cost model of cost.go, and dispatches the cheapest.
-	// Stats.ChosenStyle and Stats.EstimatedCost report the decision; the
-	// computed confidences are bit-identical to running the chosen style
-	// directly.
+	// the hierarchical→OBDD→d-tree→MC fallback ladder and RequireExact —
+	// prices each with the cost model of cost.go, and dispatches the
+	// cheapest. Stats.ChosenStyle and Stats.EstimatedCost report the
+	// decision; the computed confidences are bit-identical to running the
+	// chosen style directly.
 	Auto
 )
 
 // allStyles lists every style; String, ParseStyle and StyleNames derive
 // from it so the set cannot drift across surfaces.
-var allStyles = []Style{Lazy, Eager, Hybrid, SafeMystiQ, MonteCarlo, OBDD, Auto}
+var allStyles = []Style{Lazy, Eager, Hybrid, SafeMystiQ, MonteCarlo, OBDD, DTree, Auto}
 
 // styleNames aligns with the Style constants (Lazy = 0, ...).
-var styleNames = [...]string{"lazy", "eager", "hybrid", "mystiq", "mc", "obdd", "auto"}
+var styleNames = [...]string{"lazy", "eager", "hybrid", "mystiq", "mc", "obdd", "dtree", "auto"}
 
 // String names the style.
 func (s Style) String() string {
@@ -108,6 +119,10 @@ type Spec struct {
 	// OBDD tunes lineage compilation (node budget, anytime target width)
 	// for the OBDD style and for the exact styles' OBDD fallback tier.
 	OBDD obdd.Options
+	// DTree tunes lineage decomposition (step budget, anytime target
+	// width) for the DTree style and for the exact styles' d-tree fallback
+	// tier.
+	DTree dtree.Options
 	// RequireExact restores the paper's strict behaviour: exact styles
 	// reject queries without a hierarchical signature instead of falling
 	// through the OBDD and Monte Carlo tiers, and the OBDD style errors
@@ -137,8 +152,8 @@ type Stats struct {
 	DistinctTuples int64         // distinct answer tuples
 	Scans          int           // operator scans (aggregation + final)
 	// Approximate marks non-exact confidences: (ε, δ) Monte Carlo
-	// estimates, or OBDD bound midpoints (then LowerBound/UpperBound
-	// certify the truth deterministically).
+	// estimates, or OBDD/d-tree bound midpoints (then
+	// LowerBound/UpperBound certify the truth deterministically).
 	Approximate bool
 	// Samples is the total number of Monte Carlo samples drawn (0 for
 	// exact plans).
@@ -150,15 +165,18 @@ type Stats struct {
 	// OBDDNodes counts OBDD nodes built plus anytime expansion steps
 	// across all answers (0 for non-OBDD plans).
 	OBDDNodes int64
+	// DTreeNodes counts d-tree decomposition steps across all answers (0
+	// for plans that never reach the d-tree tier).
+	DTreeNodes int64
 	// LowerBound and UpperBound certify every answer's true confidence of
-	// an OBDD run that exceeded its node budget: for each answer, truth ∈
-	// [LowerBound, UpperBound]. Both are 0 when unused; they differ only
-	// on bounded (Approximate) OBDD results.
+	// an OBDD or d-tree run that exceeded its budget: for each answer,
+	// truth ∈ [LowerBound, UpperBound]. Both are 0 when unused; they
+	// differ only on bounded (Approximate) lineage-compilation results.
 	LowerBound float64
 	UpperBound float64
 	// MaxWidth is the widest per-answer certified interval of a bounded
-	// OBDD run: every reported confidence is within MaxWidth/2 of the
-	// truth (0 for exact and Monte Carlo plans).
+	// OBDD or d-tree run: every reported confidence is within MaxWidth/2
+	// of the truth (0 for exact and Monte Carlo plans).
 	MaxWidth float64
 	// ChosenStyle names the style the Auto planner dispatched ("" for
 	// fixed-style runs).

@@ -1,0 +1,25 @@
+// Differential coverage lives in an external test package: internal/difftest
+// imports prob (and both lineage compilers), so the property test must sit
+// outside the package proper to avoid an import cycle.
+package prob_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/difftest"
+)
+
+// TestDifferential cross-checks every confidence tier on random
+// lineage-shaped formulas: the possible-worlds oracle against Shannon
+// expansion, OBDD and d-tree compilation (full and starved budgets), and
+// the (ε, δ) Monte Carlo estimator.
+func TestDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 60; i++ {
+		d, a := difftest.RandomDNF(rng, 12)
+		if err := difftest.Check(d, a); err != nil {
+			t.Fatalf("formula %d: %v", i, err)
+		}
+	}
+}

@@ -124,7 +124,7 @@ func TestAutoStyleFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := unsafeRes.Stats.ChosenStyle; got != "obdd" && got != "mc" {
+	if got := unsafeRes.Stats.ChosenStyle; got != "obdd" && got != "dtree" && got != "mc" {
 		t.Fatalf("unsafe query dispatched %q, want a lineage tier", got)
 	}
 	exactRes, err := db3.Run(hard, Auto, RequireExact())
@@ -141,7 +141,7 @@ func TestAutoStyleFacade(t *testing.T) {
 
 func mustParseStyle(t *testing.T, name string) PlanStyle {
 	t.Helper()
-	for _, s := range []PlanStyle{Lazy, Eager, Hybrid, MystiQ, MonteCarlo, OBDD} {
+	for _, s := range []PlanStyle{Lazy, Eager, Hybrid, MystiQ, MonteCarlo, OBDD, DTree} {
 		if s.String() == name {
 			return s
 		}

@@ -33,15 +33,18 @@
 // the confidence operator once at the top; Eager pushes
 // probability-computation operators onto every table and join; Hybrid mixes
 // the two; MystiQ evaluates the safe-plan baseline the paper compares
-// against. Two styles go beyond the paper: OBDD compiles each answer's
+// against. Three styles go beyond the paper: OBDD compiles each answer's
 // lineage DNF into a reduced ordered binary decision diagram — exact
 // confidences whenever the diagram fits a node budget, certified
-// deterministic [lo, hi] bounds when it does not — and MonteCarlo estimates
-// confidences with an (ε, δ) sampler. Together they answer the conjunctive
-// queries whose exact confidence computation is #P-hard: exact styles fall
-// back through OBDD compilation (still exact under the budget) and then
-// Monte Carlo automatically on such queries, unless the RequireExact
-// option is passed.
+// deterministic [lo, hi] bounds when it does not; DTree decomposes the
+// lineage with an order-free d-tree (independent-OR partitions,
+// independent-AND factoring, Shannon expansion as a last resort) under the
+// same budget-and-bounds contract; and MonteCarlo estimates confidences
+// with an (ε, δ) sampler. Together they answer the conjunctive queries
+// whose exact confidence computation is #P-hard: exact styles fall through
+// a four-tier ladder — sort+scan, OBDD compilation, d-tree decomposition
+// (both still exact under their budgets), and finally Monte Carlo — on
+// such queries, unless the RequireExact option is passed.
 //
 // The Auto style makes the choice itself: it analyzes the database (one
 // cached ANALYZE pass per table, internal/stats), prices every applicable
@@ -99,8 +102,19 @@ const (
 	// [Stats.LowerBound, Stats.UpperBound] intervals around every true
 	// confidence when it does not (the reported confidences are then
 	// bound midpoints and Stats.Approximate is set). Exact styles try
-	// OBDD compilation before falling back to Monte Carlo.
+	// OBDD compilation before falling back to d-tree decomposition and
+	// Monte Carlo.
 	OBDD = plan.OBDD
+	// DTree decomposes each answer's lineage DNF with an order-free
+	// d-tree: variable-disjoint clause partitions evaluate as independent
+	// ORs, common variables factor out as independent ANDs, and Shannon
+	// expansion splits only when neither rule applies. Exact under the
+	// step budget (WithNodeBudget) — including on lineage whose every
+	// variable order blows up an OBDD — with the same certified
+	// [Stats.LowerBound, Stats.UpperBound] bound mode as OBDD when the
+	// budget runs out. The exact styles' fallback ladder tries it between
+	// OBDD and Monte Carlo.
+	DTree = plan.DTree
 	// Auto is the cost-based adaptive planner: it analyzes the database
 	// (one cached ANALYZE pass per table), prices every applicable style
 	// with the planner's cost model — respecting the fallback ladder and
@@ -367,31 +381,34 @@ func WithWorkers(n int) RunOption {
 	}
 }
 
-// WithNodeBudget caps the per-answer OBDD size (and the anytime mode's
-// expansion steps) for the OBDD style and the exact styles' OBDD fallback
-// tier. The budget must be positive; omit the option for the default.
-// Answers whose diagram exceeds the budget are reported as certified
-// [lo, hi] bounds under the OBDD style, and passed on to Monte Carlo by the
-// exact styles.
+// WithNodeBudget caps the per-answer compilation effort — OBDD nodes and
+// d-tree decomposition steps (and both anytime modes' expansion budgets) —
+// for the OBDD and DTree styles and the exact styles' fallback tiers. The
+// budget must be positive; omit the option for the defaults. Answers whose
+// compilation exceeds the budget are reported as certified [lo, hi] bounds
+// under the OBDD and DTree styles, and passed down the ladder by the exact
+// styles.
 func WithNodeBudget(n int) RunOption {
 	return func(s *plan.Spec) error {
 		if n <= 0 {
 			return fmt.Errorf("sprout: WithNodeBudget(%d): node budget must be ≥ 1 (omit the option for the default)", n)
 		}
 		s.OBDD.NodeBudget = n
+		s.DTree.NodeBudget = n
 		return nil
 	}
 }
 
-// WithTargetWidth stops the OBDD anytime mode early once the certified
-// interval reaches the given width (hi-lo ≤ w), instead of spending the
-// whole node budget; 0 tightens until the budget is spent.
+// WithTargetWidth stops the OBDD and d-tree anytime modes early once the
+// certified interval reaches the given width (hi-lo ≤ w), instead of
+// spending the whole node budget; 0 tightens until the budget is spent.
 func WithTargetWidth(w float64) RunOption {
 	return func(s *plan.Spec) error {
 		if w < 0 || w >= 1 {
 			return fmt.Errorf("sprout: WithTargetWidth(%g): width must lie in [0,1)", w)
 		}
 		s.OBDD.TargetWidth = w
+		s.DTree.TargetWidth = w
 		return nil
 	}
 }
@@ -419,10 +436,11 @@ func applyOptions(spec *plan.Spec, opts []RunOption) error {
 // Run evaluates the query with the given plan style. Queries that are not
 // tractable for the sort+scan operator (no hierarchical signature exists
 // even under the database's declared FDs; #P-hard in general, §II) fall
-// through the chain: OBDD lineage compilation — still exact when the
-// per-answer diagrams fit the node budget — and then Monte Carlo
-// confidence estimation (check Result.Stats.Approximate). Pass the
-// RequireExact option to reject such queries instead.
+// through the chain: OBDD lineage compilation, then order-free d-tree
+// decomposition — each still exact when the per-answer compilation fits
+// its budget — and finally Monte Carlo confidence estimation (check
+// Result.Stats.Approximate). Pass the RequireExact option to reject such
+// queries instead.
 func (db *DB) Run(q *Query, style PlanStyle, opts ...RunOption) (*Result, error) {
 	spec := plan.Spec{Style: style}
 	if err := applyOptions(&spec, opts); err != nil {
