@@ -34,10 +34,18 @@
 // that also admit sort+scan plans.
 //
 // With -json, every experiment emits machine-readable per-measurement
-// records (experiment, name, style, wall-clock, samples/nodes, and the
-// accuracy fields eps_bound/mean_abs_err/bound_width) as a JSON array on
-// stdout — redirect to BENCH_<rev>.json to track the perf trajectory run
-// over run; the human-readable tables move to stderr.
+// records (experiment, name, style, wall-clock, per-phase tuple/prob
+// timings, samples/nodes, memo hit rates, and the accuracy fields
+// eps_bound/mean_abs_err/bound_width) as a JSON array on stdout — redirect
+// to BENCH_<rev>.json to track the perf trajectory run over run; the
+// human-readable tables move to stderr.
+//
+// Observability: -listen addr serves the engine metrics (/metrics),
+// liveness (/healthz) and Go profiling (/debug/pprof/) endpoints while the
+// experiments run, and keeps serving after they finish so a harness can
+// scrape at leisure (kill the process to exit). -trace FILE enables
+// per-operator execution tracing in -style mode and writes the trace as
+// JSON to FILE.
 package main
 
 import (
@@ -51,6 +59,7 @@ import (
 	"repro/internal/benchutil"
 	"repro/internal/dtree"
 	"repro/internal/obdd"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/prob"
 	"repro/internal/tpch"
@@ -66,9 +75,14 @@ type record struct {
 	Name         string  `json:"name"`
 	Style        string  `json:"style,omitempty"`
 	WallClockSec float64 `json:"wall_clock_sec"`
+	TupleSec     float64 `json:"tuple_sec,omitempty"`
+	ProbSec      float64 `json:"prob_sec,omitempty"`
 	Answers      int64   `json:"answers,omitempty"`
 	Samples      int64   `json:"samples,omitempty"`
 	Nodes        int64   `json:"nodes,omitempty"`
+	MemoHits     int64   `json:"memo_hits,omitempty"`
+	MemoMisses   int64   `json:"memo_misses,omitempty"`
+	MemoHitRate  float64 `json:"memo_hit_rate,omitempty"`
 	EpsBound     float64 `json:"eps_bound,omitempty"`
 	MeanAbsErr   float64 `json:"mean_abs_err,omitempty"`
 	BoundWidth   float64 `json:"bound_width,omitempty"`
@@ -94,6 +108,8 @@ func main() {
 	budget := flag.Int("budget", 0, "OBDD node / d-tree step budget (-style mode, -exp obdd and -exp dtree; 0 = default)")
 	workers := flag.Int("workers", 4, "max worker count (-exp parallel sweeps 1,2,...,workers; -style mode runs with this many)")
 	jsonOut := flag.Bool("json", false, "emit per-measurement JSON records on stdout (tables move to stderr)")
+	listen := flag.String("listen", "", "serve /metrics, /healthz and /debug/pprof on this address; keeps serving after the experiments finish (kill to exit)")
+	traceFile := flag.String("trace", "", "write the per-operator execution trace as JSON to this file (-style mode only)")
 	flag.Parse()
 	epsSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -132,6 +148,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Observability endpoints come up before data generation so a harness
+	// can poll /healthz from the moment the process starts. The registry is
+	// fed by -style mode runs (experiments drive benchutil's own specs).
+	var metrics *obs.Registry
+	if *listen != "" {
+		metrics = obs.New()
+		_, addr, err := obs.Serve(*listen, metrics)
+		if err != nil {
+			fail(err)
+		}
+		say("observability endpoints on http://%s (/metrics, /healthz, /debug/pprof/)\n", addr)
+	}
+
 	// Reject out-of-range (ε, δ) up front: the estimator would silently
 	// substitute its defaults, making the printed accuracy labels wrong.
 	if *eps <= 0 || *eps >= 1 {
@@ -167,14 +196,28 @@ func main() {
 			d.Item.Rel.Len(), d.Ord.Rel.Len(), d.Cust.Rel.Len(), d.NumVars, time.Since(t0).Seconds())
 	}
 
+	// serveForever keeps the -listen endpoints up after the work is done;
+	// the HTTP server goroutines hold the process alive until it is killed.
+	serveForever := func() {
+		if *listen == "" {
+			return
+		}
+		say("experiments done; still serving observability endpoints (kill to exit)\n")
+		select {}
+	}
+
 	if *style != "" {
-		rec, err := runStyleMode(out, d, styleMode, *style, styleEntry, *eps, *delta, *budget, *workers)
+		rec, err := runStyleMode(out, d, styleMode, *style, styleEntry, *eps, *delta, *budget, *workers, metrics, *traceFile)
 		if err != nil {
 			fail(err)
 		}
 		emit(rec)
 		flush()
+		serveForever()
 		return
+	}
+	if *traceFile != "" {
+		fail(fmt.Errorf("-trace requires -style mode (experiments drive many runs; trace one with e.g. -style obdd -query 18)"))
 	}
 
 	if run("fig9") {
@@ -210,7 +253,9 @@ func main() {
 			say("%-6s %12.4fs %12.4fs %10d %10d\n",
 				r.Query, r.TupleTime.Seconds(), r.ProbTime.Seconds(), r.Answers, r.Distinct)
 			emit(record{Experiment: "fig10", Name: r.Query, Style: "lazy",
-				WallClockSec: (r.TupleTime + r.ProbTime).Seconds(), Answers: r.Distinct})
+				WallClockSec: (r.TupleTime + r.ProbTime).Seconds(),
+				TupleSec:     r.TupleTime.Seconds(), ProbSec: r.ProbTime.Seconds(),
+				Answers: r.Distinct})
 		}
 		say("\n")
 	}
@@ -288,7 +333,9 @@ func main() {
 				r.Epsilon, r.Delta, r.Answers, r.Tuples, r.Samples,
 				r.TupleTime.Seconds(), r.ProbTime.Seconds())
 			emit(record{Experiment: "mc", Name: fmt.Sprintf("eps=%g", r.Epsilon), Style: "mc",
-				WallClockSec: (r.TupleTime + r.ProbTime).Seconds(), Answers: r.Answers, Samples: r.Samples, EpsBound: r.Epsilon})
+				WallClockSec: (r.TupleTime + r.ProbTime).Seconds(),
+				TupleSec:     r.TupleTime.Seconds(), ProbSec: r.ProbTime.Seconds(),
+				Answers: r.Answers, Samples: r.Samples, EpsBound: r.Epsilon})
 		}
 		say("\n")
 	}
@@ -316,10 +363,17 @@ func main() {
 			if r.Bounded {
 				say("   budget exceeded on some answers: certified bounds, max width %.3g\n", r.MaxWidth)
 			}
-			emit(record{Experiment: "obdd", Name: "budget=" + name, Style: "obdd",
-				WallClockSec: r.OBDDTime.Seconds(), Answers: r.Answers, Nodes: r.Nodes, BoundWidth: r.MaxWidth})
+			orec := record{Experiment: "obdd", Name: "budget=" + name, Style: "obdd",
+				WallClockSec: r.OBDDTime.Seconds(), TupleSec: r.TupleTime.Seconds(), ProbSec: r.OBDDTime.Seconds(),
+				Answers: r.Answers, Nodes: r.Nodes, MemoHits: r.MemoHits, MemoMisses: r.MemoMisses,
+				BoundWidth: r.MaxWidth}
+			if probes := r.MemoHits + r.MemoMisses; probes > 0 {
+				orec.MemoHitRate = float64(r.MemoHits) / float64(probes)
+			}
+			emit(orec)
 			emit(record{Experiment: "obdd", Name: "budget=" + name, Style: "mc",
-				WallClockSec: r.MCTime.Seconds(), Answers: r.Answers, Samples: r.MCSamples, MeanAbsErr: r.MeanAbsErr})
+				WallClockSec: r.MCTime.Seconds(), ProbSec: r.MCTime.Seconds(),
+				Answers: r.Answers, Samples: r.MCSamples, MeanAbsErr: r.MeanAbsErr})
 		}
 		say("\n")
 	}
@@ -476,22 +530,35 @@ func main() {
 	}
 
 	flush()
+	serveForever()
 }
 
 // runStyleMode evaluates one catalog query under one plan style and prints
 // its execution statistics — the -style=mc path is the interactive way to
 // try the Monte Carlo estimator on any catalog query, -style=obdd the
 // lineage compiler.
-func runStyleMode(out io.Writer, d *tpch.Data, style plan.Style, styleName string, e *tpch.Entry, eps, delta float64, budget, workers int) (record, error) {
+func runStyleMode(out io.Writer, d *tpch.Data, style plan.Style, styleName string, e *tpch.Entry, eps, delta float64, budget, workers int, metrics *obs.Registry, traceFile string) (record, error) {
 	res, err := plan.Run(d.Catalog(), e.Q.Clone(), tpch.FDsFor(e), plan.Spec{
 		Style:   style,
 		Workers: workers,
 		MC:      prob.MCOptions{Epsilon: eps, Delta: delta, Seed: 1},
 		OBDD:    obdd.Options{NodeBudget: budget},
 		DTree:   dtree.Options{NodeBudget: budget},
+		Trace:   traceFile != "",
+		Metrics: metrics,
 	})
 	if err != nil {
 		return record{}, err
+	}
+	if traceFile != "" {
+		js, err := res.Stats.Trace.JSON()
+		if err != nil {
+			return record{}, err
+		}
+		if err := os.WriteFile(traceFile, js, 0o644); err != nil {
+			return record{}, err
+		}
+		fmt.Fprintf(out, "  trace written to %s\n", traceFile)
 	}
 	fmt.Fprintf(out, "query %s under %s:\n  %s\n", e.Name, styleName, res.Stats.Plan)
 	if res.Stats.ChosenStyle != "" {
@@ -516,15 +583,23 @@ func runStyleMode(out io.Writer, d *tpch.Data, style plan.Style, styleName strin
 				res.Stats.LowerBound, res.Stats.UpperBound)
 		}
 	}
-	return record{
+	rec := record{
 		Experiment:   "style",
 		Name:         e.Name,
 		Style:        styleName,
 		WallClockSec: (res.Stats.TupleTime + res.Stats.ProbTime).Seconds(),
+		TupleSec:     res.Stats.TupleTime.Seconds(),
+		ProbSec:      res.Stats.ProbTime.Seconds(),
 		Answers:      res.Stats.DistinctTuples,
 		Samples:      res.Stats.Samples,
 		Nodes:        res.Stats.OBDDNodes + res.Stats.DTreeNodes, // at most one tier ran
+		MemoHits:     res.Stats.MemoHits,
+		MemoMisses:   res.Stats.MemoMisses,
 		ChosenStyle:  res.Stats.ChosenStyle,
 		EstCost:      res.Stats.EstimatedCost,
-	}, nil
+	}
+	if probes := rec.MemoHits + rec.MemoMisses; probes > 0 {
+		rec.MemoHitRate = float64(rec.MemoHits) / float64(probes)
+	}
+	return rec, nil
 }

@@ -6,12 +6,14 @@
 //
 // Usage:
 //
-//	sproutq [-sf 0.005] [-seed 1] [-plan lazy|eager|hybrid|mystiq|mc|obdd|dtree|auto] [-workers 0] [-limit 20] [-explain] 18
+//	sproutq [-sf 0.005] [-seed 1] [-plan lazy|eager|hybrid|mystiq|mc|obdd|dtree|auto] [-workers 0] [-limit 20] [-explain] [-trace] 18
 //	sproutq -list
 //
 // -plan auto lets the cost-based planner pick the style from the catalog's
 // ANALYZE statistics; -explain prints the logical plan IR (and, under auto,
-// the per-style cost table) instead of running the query.
+// the per-style cost table) instead of running the query; -trace collects a
+// per-operator execution trace during the run and prints it (with row
+// counts, lineage shape, compilation detail and durations) after the stats.
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 	limit := flag.Int("limit", 20, "max answer rows to print")
 	list := flag.Bool("list", false, "list catalog queries and exit")
 	explain := flag.Bool("explain", false, "print the logical plan (and auto's cost table) instead of running")
+	trace := flag.Bool("trace", false, "collect a per-operator execution trace and print it after the stats")
 	flag.Parse()
 
 	catalog := tpch.Catalog()
@@ -78,7 +81,7 @@ func main() {
 		fmt.Println(desc)
 		return
 	}
-	res, err := plan.Run(d.Catalog(), e.Q.Clone(), tpch.FDsFor(e), plan.Spec{Style: style, Workers: *workers})
+	res, err := plan.Run(d.Catalog(), e.Q.Clone(), tpch.FDsFor(e), plan.Spec{Style: style, Workers: *workers, Trace: *trace})
 	if err != nil {
 		fail(err)
 	}
@@ -96,7 +99,12 @@ func main() {
 		fmt.Printf("certified bounds: every true confidence lies in [%g, %g]; printed confidences are midpoints\n",
 			res.Stats.LowerBound, res.Stats.UpperBound)
 	}
-	fmt.Printf("tuple time %.4fs, prob time %.4fs\n\n", res.Stats.TupleTime.Seconds(), res.Stats.ProbTime.Seconds())
+	fmt.Printf("tuple time %.4fs, prob time %.4fs\n", res.Stats.TupleTime.Seconds(), res.Stats.ProbTime.Seconds())
+	if res.Stats.Trace != nil {
+		fmt.Println()
+		fmt.Print(res.Stats.Trace.Render(true))
+	}
+	fmt.Println()
 
 	for _, c := range res.Rows.Schema.Names() {
 		fmt.Printf("%-24s", c)

@@ -231,7 +231,10 @@ func TestEngineCancellation(t *testing.T) {
 // confidences for workers=1 and workers=N — the engine's determinism
 // contract, pinned across the exact sort+scan styles, the safe-plan
 // baseline, the OBDD and d-tree tiers, Monte Carlo, and the unsafe-query
-// fallback chain.
+// fallback chain. The structural execution trace (Trace.Fingerprint: row
+// counts, lineage shape, compilation and sampler detail — everything but
+// timings and the loose scheduling-dependent attributes) is part of the
+// same contract and must also match across worker counts.
 func TestWorkerCountBitIdentical(t *testing.T) {
 	db := tpchDB(nil)
 	styles := []struct {
@@ -255,17 +258,25 @@ func TestWorkerCountBitIdentical(t *testing.T) {
 	}
 	for _, tc := range styles {
 		t.Run(tc.name, func(t *testing.T) {
-			ref, err := db.Run(wrapQuery(tc.q), tc.style, WithWorkers(1), WithSeed(1))
+			ref, err := db.Run(wrapQuery(tc.q), tc.style, WithWorkers(1), WithSeed(1), WithTrace())
 			if err != nil {
 				t.Fatal(err)
 			}
 			want := confMap(t, ref)
+			if ref.Stats.Trace == nil {
+				t.Fatal("WithTrace: no trace collected")
+			}
+			wantTrace := ref.Stats.Trace.Fingerprint()
 			for _, workers := range []int{2, 4, 8} {
-				res, err := db.Run(wrapQuery(tc.q), tc.style, WithWorkers(workers), WithSeed(1))
+				res, err := db.Run(wrapQuery(tc.q), tc.style, WithWorkers(workers), WithSeed(1), WithTrace())
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
 				mustSameConfidences(t, fmt.Sprintf("%s workers=%d", tc.name, workers), confMap(t, res), want)
+				if got := res.Stats.Trace.Fingerprint(); got != wantTrace {
+					t.Errorf("workers=%d: structural trace diverged\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+						workers, wantTrace, workers, got)
+				}
 			}
 		})
 	}

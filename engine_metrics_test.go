@@ -1,0 +1,72 @@
+package sprout
+
+import (
+	"context"
+	"testing"
+)
+
+// TestEngineMetrics: every Engine.Run feeds the engine-owned metrics
+// registry — query counters (total, per style, failed), tuple counters, tier
+// work and latency histograms — and Engine.Metrics snapshots them.
+func TestEngineMetrics(t *testing.T) {
+	db := tpchDB(nil)
+	e, err := db.NewEngine(WithWorkers(2), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := e.Run(context.Background(), wrapQuery(custOrd()), Lazy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(context.Background(), wrapQuery(custOrd()), OBDD); err != nil {
+		t.Fatal(err)
+	}
+	// A cancelled run is a served-but-failed query.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(cancelled, wrapQuery(custOrd()), Lazy); err == nil {
+		t.Fatal("cancelled run should fail")
+	}
+
+	snap := e.Metrics()
+	if got := snap.Counters["queries_total"]; got != 3 {
+		t.Errorf("queries_total = %d, want 3", got)
+	}
+	if got := snap.Counters["queries_failed_total"]; got != 1 {
+		t.Errorf("queries_failed_total = %d, want 1", got)
+	}
+	if got := snap.Counters["queries_style_lazy_total"]; got != 2 {
+		t.Errorf("queries_style_lazy_total = %d, want 2", got)
+	}
+	if got := snap.Counters["queries_style_obdd_total"]; got != 1 {
+		t.Errorf("queries_style_obdd_total = %d, want 1", got)
+	}
+	if got := snap.Counters["answer_tuples_total"]; got <= 0 {
+		t.Errorf("answer_tuples_total = %d, want > 0", got)
+	}
+	if got := snap.Counters["obdd_nodes_total"]; got <= 0 {
+		t.Errorf("obdd_nodes_total = %d, want > 0", got)
+	}
+	if got := snap.Gauges["queries_inflight"]; got != 0 {
+		t.Errorf("queries_inflight = %d, want 0 at rest", got)
+	}
+	h, ok := snap.Histograms["query_seconds"]
+	if !ok {
+		t.Fatal("query_seconds histogram missing")
+	}
+	// Failed runs record no latency: only the two successes are observed.
+	if h.Count != 2 {
+		t.Errorf("query_seconds count = %d, want 2", h.Count)
+	}
+	if h.SumSec <= 0 {
+		t.Errorf("query_seconds sum = %g, want > 0", h.SumSec)
+	}
+
+	if e.MetricsRegistry() == nil {
+		t.Fatal("MetricsRegistry returned nil")
+	}
+	// DB.Run (no engine) keeps working with no registry attached.
+	if _, err := db.Run(wrapQuery(custOrd()), Lazy, WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,7 +20,10 @@ type OBDDRow struct {
 	Nodes      int64         // OBDD nodes + anytime expansion steps
 	Bounded    bool          // some answers only bounded, not exact
 	MaxWidth   float64       // widest certified interval (0 when all exact)
+	TupleTime  time.Duration // answer-tuple computation (shared pipeline)
 	OBDDTime   time.Duration // OBDD confidence computation
+	MemoHits   int64         // OBDD compilation memo hits
+	MemoMisses int64         // OBDD compilation memo misses
 	MCTime     time.Duration // Monte Carlo confidence computation (ε = 0.05)
 	MCSamples  int64         // Monte Carlo samples drawn
 	MeanAbsErr float64       // mean |MC estimate − OBDD confidence| per answer
@@ -59,14 +62,17 @@ func OBDDUnsafe(d *tpch.Data, budgets []int) ([]OBDDRow, error) {
 			return nil, err
 		}
 		row := OBDDRow{
-			Budget:    budget,
-			Answers:   res.Stats.DistinctTuples,
-			Nodes:     res.Stats.OBDDNodes,
-			Bounded:   res.Stats.Approximate,
-			MaxWidth:  res.Stats.MaxWidth,
-			OBDDTime:  res.Stats.ProbTime,
-			MCTime:    mc.Stats.ProbTime,
-			MCSamples: mc.Stats.Samples,
+			Budget:     budget,
+			Answers:    res.Stats.DistinctTuples,
+			Nodes:      res.Stats.OBDDNodes,
+			Bounded:    res.Stats.Approximate,
+			MaxWidth:   res.Stats.MaxWidth,
+			TupleTime:  res.Stats.TupleTime,
+			OBDDTime:   res.Stats.ProbTime,
+			MemoHits:   res.Stats.MemoHits,
+			MemoMisses: res.Stats.MemoMisses,
+			MCTime:     mc.Stats.ProbTime,
+			MCSamples:  mc.Stats.Samples,
 		}
 		if mc.Rows.Len() != res.Rows.Len() {
 			return nil, fmt.Errorf("benchutil: OBDD and MC disagree on answer count: %d vs %d", res.Rows.Len(), mc.Rows.Len())

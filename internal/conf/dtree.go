@@ -33,7 +33,12 @@ type DTreeStats struct {
 	InputTuples  int64 // rows entering lineage collection
 	OutputTuples int64 // distinct answers
 	Clauses      int64 // lineage clauses across all answers
+	Vars         int64 // distinct lineage variables across all answers
+	DupRows      int64 // input rows deduplicated away during collection
 	Nodes        int64 // decomposition steps, all answers
+	MemoHits     int64 // exact-residual memo hits across all decompositions
+	MemoMisses   int64 // exact-residual memo misses across all decompositions
+	HdrRecycled  int64 // clause headers recycled instead of arena-carved (builder-state dependent)
 	ExactAnswers int64 // answers with exact confidences
 	Bounded      int64 // answers resolved only to [lo, hi] bounds
 	// LowerBound and UpperBound certify every answer's true confidence:
@@ -76,6 +81,8 @@ func DTreeLineage(ctx context.Context, p *pool.Pool, l *Lineage, opts dtree.Opti
 		InputTuples:  l.Input,
 		OutputTuples: int64(len(l.Keys)),
 		Clauses:      l.Clauses,
+		Vars:         l.Vars,
+		DupRows:      l.DupRows,
 	}
 	// Decompose every answer on the pool; reduce the results serially in
 	// answer order so the stats aggregation is deterministic. Builders are
@@ -116,6 +123,9 @@ func DTreeLineage(ctx context.Context, p *pool.Pool, l *Lineage, opts dtree.Opti
 			stats.Bounded++
 		}
 		stats.Nodes += int64(res.Nodes)
+		stats.MemoHits += res.MemoHits
+		stats.MemoMisses += res.MemoMisses
+		stats.HdrRecycled += res.HdrRecycled
 		if i == 0 || res.Lo < stats.LowerBound {
 			stats.LowerBound = res.Lo
 		}

@@ -40,6 +40,11 @@ type Lineage struct {
 	Source map[prob.Var]string
 	// Clauses counts lineage clauses across all answers.
 	Clauses int64
+	// Vars counts the distinct variables mentioned across all answers.
+	Vars int64
+	// DupRows counts input rows whose clause duplicated one already in its
+	// answer's DNF (the dedup hits of the clause-hash chains).
+	DupRows int64
 	// Input counts the rows that entered lineage collection.
 	Input int64
 }
@@ -131,6 +136,7 @@ func CollectLineage(rel *table.Relation) (*Lineage, error) {
 		for _, e := range chain {
 			if e.Equal(vs) {
 				dup = true
+				l.DupRows++
 				break
 			}
 		}
@@ -140,6 +146,7 @@ func CollectLineage(rel *table.Relation) (*Lineage, error) {
 			cur.Clauses = append(cur.Clauses, clause)
 		}
 	}
+	l.Vars = int64(len(marginal))
 	for _, d := range l.DNFs {
 		// Canonicalize the clause order (clauses are sorted var lists, so
 		// lexicographic order is well defined). This makes every downstream
@@ -171,8 +178,16 @@ type MCStats struct {
 	InputTuples  int64 // rows entering lineage collection
 	OutputTuples int64 // distinct answers
 	Clauses      int64 // lineage clauses across all answers
+	Vars         int64 // distinct lineage variables across all answers
+	DupRows      int64 // input rows deduplicated away during collection
 	Samples      int64 // Monte Carlo samples drawn across all answers
 	ExactAnswers int64 // answers resolved by an exact shortcut (no sampling)
+	// CappedAnswers counts answers whose run MaxSamples cut short of the
+	// requested (ε, δ) sample count — their early-stop reason is "sample
+	// cap", everyone else's is "target met" (or an exact shortcut).
+	CappedAnswers int64
+	// MaxAnswerSamples is the largest per-answer sample count of the run.
+	MaxAnswerSamples int64
 	// MaxEpsilon is the weakest per-answer additive guarantee of the run:
 	// equal to the requested ε unless MaxSamples capped some estimate.
 	MaxEpsilon float64
@@ -207,6 +222,8 @@ func MonteCarloLineage(ctx context.Context, l *Lineage, opts prob.MCOptions) (*t
 		InputTuples:  l.Input,
 		OutputTuples: int64(len(l.Keys)),
 		Clauses:      l.Clauses,
+		Vars:         l.Vars,
+		DupRows:      l.DupRows,
 	}
 	for i, key := range l.Keys {
 		row := make(table.Tuple, 0, len(outCols))
@@ -214,8 +231,14 @@ func MonteCarloLineage(ctx context.Context, l *Lineage, opts prob.MCOptions) (*t
 		row = append(row, table.Float(ests[i].P))
 		out.Rows = append(out.Rows, row)
 		stats.Samples += int64(ests[i].Samples)
+		if n := int64(ests[i].Samples); n > stats.MaxAnswerSamples {
+			stats.MaxAnswerSamples = n
+		}
 		if ests[i].Samples == 0 {
 			stats.ExactAnswers++
+		}
+		if ests[i].Capped {
+			stats.CappedAnswers++
 		}
 		if ests[i].Epsilon > stats.MaxEpsilon {
 			stats.MaxEpsilon = ests[i].Epsilon

@@ -31,7 +31,12 @@ type OBDDStats struct {
 	InputTuples  int64 // rows entering lineage collection
 	OutputTuples int64 // distinct answers
 	Clauses      int64 // lineage clauses across all answers
+	Vars         int64 // distinct lineage variables across all answers
+	DupRows      int64 // input rows deduplicated away during collection
 	Nodes        int64 // OBDD nodes plus anytime expansion steps, all answers
+	MemoHits     int64 // residual-memo hits across all compilations
+	MemoMisses   int64 // residual-memo misses across all compilations
+	HdrRecycled  int64 // clause headers recycled instead of arena-carved (builder-state dependent)
 	ExactAnswers int64 // answers with exact confidences
 	Bounded      int64 // answers resolved only to [lo, hi] bounds
 	// LowerBound and UpperBound certify every answer's true confidence:
@@ -80,6 +85,8 @@ func OBDDLineage(ctx context.Context, p *pool.Pool, l *Lineage, sig signature.Si
 		InputTuples:  l.Input,
 		OutputTuples: int64(len(l.Keys)),
 		Clauses:      l.Clauses,
+		Vars:         l.Vars,
+		DupRows:      l.DupRows,
 	}
 	// Compile every answer on the pool; reduce the results serially in
 	// answer order so the stats aggregation is deterministic. pool.Do
@@ -133,6 +140,9 @@ func OBDDLineage(ctx context.Context, p *pool.Pool, l *Lineage, sig signature.Si
 			stats.Bounded++
 		}
 		stats.Nodes += int64(res.Nodes)
+		stats.MemoHits += res.MemoHits
+		stats.MemoMisses += res.MemoMisses
+		stats.HdrRecycled += res.HdrRecycled
 		if i == 0 || res.Lo < stats.LowerBound {
 			stats.LowerBound = res.Lo
 		}

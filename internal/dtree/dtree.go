@@ -105,6 +105,12 @@ type Result struct {
 	// TargetWidth mode) — the compilation effort, comparable to the OBDD
 	// tier's node count.
 	Nodes int
+	// MemoHits and MemoMisses count exact-residual memo probes during
+	// decomposition (summed across passes in TargetWidth mode).
+	MemoHits, MemoMisses int64
+	// HdrRecycled counts clause-set headers served from the builder's
+	// free list instead of fresh arena storage.
+	HdrRecycled int64
 }
 
 // Builder holds the reusable state of d-tree compilation: the interned
@@ -124,6 +130,19 @@ type Builder struct {
 	lits     []int32
 
 	count map[int32]int // Shannon variable-frequency scratch
+
+	// Effort counters, cumulative across Resets (ProbWith records per-call
+	// deltas into Result), mirroring obdd.Builder's.
+	memoHits    int64
+	memoMisses  int64
+	hdrRecycled int64
+}
+
+// Counters returns the builder's cumulative effort counters: exact-residual
+// memo hits and misses, and recycled clause-set headers. They survive
+// Reset, so per-formula figures are deltas around a ProbWith call.
+func (b *Builder) Counters() (memoHits, memoMisses, hdrRecycled int64) {
+	return b.memoHits, b.memoMisses, b.hdrRecycled
 }
 
 // memoEntry interns one exactly resolved residual clause set: the canonical
@@ -180,6 +199,14 @@ func Prob(d *prob.DNF, a *prob.Assignment, o Options) Result {
 // is identical to Prob's. The builder is left holding the last formula's
 // memo — Reset before reuse.
 func ProbWith(b *Builder, d *prob.DNF, a *prob.Assignment, o Options) Result {
+	hits0, misses0, rec0 := b.Counters()
+	res := b.probWith(d, a, o)
+	hits, misses, rec := b.Counters()
+	res.MemoHits, res.MemoMisses, res.HdrRecycled = hits-hits0, misses-misses0, rec-rec0
+	return res
+}
+
+func (b *Builder) probWith(d *prob.DNF, a *prob.Assignment, o Options) Result {
 	b.a = a
 	budget := o.budget()
 	if o.TargetWidth <= 0 {
@@ -538,16 +565,20 @@ func hashClauses(cls [][]int32) uint64 {
 func (b *Builder) memoGet(h uint64, cls [][]int32) (float64, bool) {
 	e, ok := b.memo[h]
 	if !ok {
+		b.memoMisses++
 		return 0, false
 	}
 	if equalClauseSets(e.cls, cls) {
+		b.memoHits++
 		return e.p, true
 	}
 	for _, o := range b.memoOver[h] {
 		if equalClauseSets(o.cls, cls) {
+			b.memoHits++
 			return o.p, true
 		}
 	}
+	b.memoMisses++
 	return 0, false
 }
 
@@ -579,6 +610,7 @@ func (b *Builder) getScratch(n int) [][]int32 {
 	if k := len(b.scratch); k > 0 {
 		if s := b.scratch[k-1]; cap(s) >= n {
 			b.scratch = b.scratch[:k-1]
+			b.hdrRecycled++
 			return s[:0]
 		}
 	}

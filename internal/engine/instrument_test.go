@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/table"
+)
+
+// TestCountedTransparent: the Counted wrapper forwards every tuple
+// unchanged (batched and one-at-a-time), counts rows and batches, and
+// preserves the stability promise.
+func TestCountedTransparent(t *testing.T) {
+	rel := table.NewRelation(table.NewSchema(table.DataCol("a", table.KindInt)))
+	for i := 0; i < 2500; i++ {
+		rel.Rows = append(rel.Rows, table.Tuple{table.Int(int64(i))})
+	}
+
+	var s OpStats
+	op := Counted(NewMemScan(rel), &s)
+	if !Stable(op) {
+		t.Fatal("Counted over a MemScan must stay stable")
+	}
+	got, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != rel.Len() {
+		t.Fatalf("rows %d, want %d", got.Len(), rel.Len())
+	}
+	if s.Rows != int64(rel.Len()) {
+		t.Fatalf("counted %d rows, want %d", s.Rows, rel.Len())
+	}
+	if want := int64((rel.Len() + BatchSize - 1) / BatchSize); s.Batches != want {
+		t.Fatalf("counted %d batches, want %d", s.Batches, want)
+	}
+
+	// Next path.
+	s = OpStats{}
+	op = Counted(NewMemScan(rel), &s)
+	if err := op.Open(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok, err := op.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows != int64(n) || n != rel.Len() {
+		t.Fatalf("Next path counted %d of %d rows", s.Rows, n)
+	}
+}

@@ -47,6 +47,15 @@ type Result struct {
 	// results; for bounded results, the nodes built by the abandoned exact
 	// compile plus the anytime mode's Shannon expansion steps.
 	Nodes int
+	// MemoHits and MemoMisses count residual-memo probes during this
+	// formula's Shannon compilation (the abandoned compile's probes, for
+	// bounded results). Their split is a deterministic function of the
+	// formula and order — observability surfaces report it per query.
+	MemoHits, MemoMisses int64
+	// HdrRecycled counts cofactor clause-set headers served from the
+	// builder's free list instead of fresh arena storage during this
+	// compile — the arena-reuse figure of the PR 5 allocation work.
+	HdrRecycled int64
 }
 
 // Prob computes Pr[d] under the given variable order: exact via OBDD
@@ -64,10 +73,14 @@ func Prob(d *prob.DNF, a *prob.Assignment, order []prob.Var, o Options) (Result,
 // memo tables across answers (Reset between them) instead of reallocating
 // every map per formula; the result is identical to Prob's.
 func ProbWith(b *Builder, d *prob.DNF, a *prob.Assignment, o Options) (Result, error) {
+	hits0, misses0, rec0 := b.Counters()
 	root, err := b.Compile(d)
+	hits, misses, rec := b.Counters()
+	hits, misses, rec = hits-hits0, misses-misses0, rec-rec0
 	if err == nil {
 		p := b.Prob(root, a)
-		return Result{Exact: true, P: p, Lo: p, Hi: p, Nodes: b.Size()}, nil
+		return Result{Exact: true, P: p, Lo: p, Hi: p, Nodes: b.Size(),
+			MemoHits: hits, MemoMisses: misses, HdrRecycled: rec}, nil
 	}
 	if err != ErrBudget {
 		return Result{}, err
@@ -77,6 +90,7 @@ func ProbWith(b *Builder, d *prob.DNF, a *prob.Assignment, o Options) (Result, e
 		return Result{}, err
 	}
 	res.Nodes += b.Size() // the abandoned compile's work is effort, too
+	res.MemoHits, res.MemoMisses, res.HdrRecycled = hits, misses, rec
 	return res, nil
 }
 
@@ -118,16 +132,20 @@ func equalClauseSets(a, b [][]int32) bool {
 func (b *Builder) memoGet(h uint64, cls [][]int32) (Ref, bool) {
 	e, ok := b.memo[h]
 	if !ok {
+		b.memoMisses++
 		return False, false
 	}
 	if equalClauseSets(e.cls, cls) {
+		b.memoHits++
 		return e.ref, true
 	}
 	for _, o := range b.memoOver[h] {
 		if equalClauseSets(o.cls, cls) {
+			b.memoHits++
 			return o.ref, true
 		}
 	}
+	b.memoMisses++
 	return False, false
 }
 
@@ -158,6 +176,7 @@ func (b *Builder) getScratch(n int) [][]int32 {
 	if k := len(b.scratch); k > 0 {
 		if s := b.scratch[k-1]; cap(s) >= n {
 			b.scratch = b.scratch[:k-1]
+			b.hdrRecycled++
 			return s[:0]
 		}
 	}

@@ -91,6 +91,21 @@ type Builder struct {
 	scratch  [][][]int32
 	hdrs     [][]int32
 	pr       []float64 // Prob's bottom-up pass scratch
+
+	// Effort counters, cumulative across Resets (ProbWith records per-call
+	// deltas into Result): residual-memo hits and misses during Shannon
+	// compilation, and clause-set headers served from the recycled free
+	// list rather than carved fresh from the arena.
+	memoHits    int64
+	memoMisses  int64
+	hdrRecycled int64
+}
+
+// Counters returns the builder's cumulative effort counters: residual-memo
+// hits and misses, and recycled clause-set headers. They survive Reset, so
+// per-formula figures are deltas around a Compile (see ProbWith).
+func (b *Builder) Counters() (memoHits, memoMisses, hdrRecycled int64) {
+	return b.memoHits, b.memoMisses, b.hdrRecycled
 }
 
 type applyKey struct {

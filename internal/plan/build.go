@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/logical"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/query"
 	"repro/internal/stats"
@@ -14,12 +15,23 @@ import (
 )
 
 // exec carries the cross-cutting execution state of one plan run: the
-// cancellation context and the shared worker pool. A serial exec (one-worker
+// cancellation context, the shared worker pool, and the execution trace
+// being collected (nil when tracing is off). A serial exec (one-worker
 // pool, background context) reproduces the classic single-threaded executor
 // exactly.
 type exec struct {
 	ctx  context.Context
 	pool *pool.Pool
+	tr   *obs.Trace
+}
+
+// span opens a top-level trace span, or returns nil (a no-op span) when
+// tracing is off.
+func (ex exec) span(name string) *obs.Span {
+	if ex.tr == nil {
+		return nil
+	}
+	return ex.tr.Root.Child(name)
 }
 
 // serialExec is the executor used by entry points that predate the parallel

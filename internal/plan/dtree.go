@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/conf"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/table"
 )
@@ -37,15 +38,24 @@ func finishDTree(ex exec, q *query.Query, b *built, spec Spec, answer *table.Rel
 	if err != nil {
 		return nil, err
 	}
-	return dtreeResult(q, "", b.order, answer, out, ds, tupleTime, probTime), nil
+	return dtreeResult(ex.span("conf[dtree]"), q, "", b.order, answer, out, ds, tupleTime, probTime), nil
 }
 
-// dtreeResult assembles the Result of a d-tree run.
-func dtreeResult(q *query.Query, note string, order []query.RelRef, answer, out *table.Relation, ds *conf.DTreeStats, tupleTime, probTime time.Duration) *Result {
+// dtreeResult assembles the Result of a d-tree run, annotating the tier's
+// trace span (nil when tracing is off) with decomposition detail.
+func dtreeResult(sp *obs.Span, q *query.Query, note string, order []query.RelRef, answer, out *table.Relation, ds *conf.DTreeStats, tupleTime, probTime time.Duration) *Result {
 	bounded := ""
 	if ds.Bounded > 0 {
 		bounded = fmt.Sprintf(", %d bounded to width ≤ %.3g", ds.Bounded, ds.MaxWidth)
 	}
+	sp.Int("answers", ds.OutputTuples).Int("clauses", ds.Clauses).Int("vars", ds.Vars).Int("dedup_rows", ds.DupRows)
+	sp.Int("steps", ds.Nodes).Int("memo_hits", ds.MemoHits).Int("memo_misses", ds.MemoMisses)
+	sp.Int("exact", ds.ExactAnswers).Int("bounded", ds.Bounded)
+	if ds.Bounded > 0 {
+		sp.Float("max_width", ds.MaxWidth)
+	}
+	sp.LooseInt("hdr_recycled", ds.HdrRecycled)
+	sp.SetDur(probTime)
 	stats := Stats{
 		Plan: fmt.Sprintf("dtree%s: %s; decompose lineage of %d answers (%d clauses, %d steps, %d exact%s)",
 			note, describeOrder(order), ds.OutputTuples, ds.Clauses, ds.Nodes, ds.ExactAnswers, bounded),
@@ -54,7 +64,10 @@ func dtreeResult(q *query.Query, note string, order []query.RelRef, answer, out 
 		ProbTime:       probTime,
 		AnswerTuples:   int64(answer.Len()),
 		DistinctTuples: int64(out.Len()),
+		Scans:          1, // the lineage-collection grouping pass
 		DTreeNodes:     ds.Nodes,
+		MemoHits:       ds.MemoHits,
+		MemoMisses:     ds.MemoMisses,
 	}
 	if ds.Bounded > 0 {
 		stats.Approximate = true

@@ -65,7 +65,14 @@ func TestExplainGolden(t *testing.T) {
 
 func checkGolden(t *testing.T, name, got string) {
 	t.Helper()
-	path := filepath.Join("testdata", "explain", name+".golden")
+	checkGoldenAt(t, "explain", name, got)
+}
+
+// checkGoldenAt pins got against testdata/<dir>/<name>.golden, rewriting the
+// file under -update.
+func checkGoldenAt(t *testing.T, dir, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", dir, name+".golden")
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
@@ -80,6 +87,6 @@ func checkGolden(t *testing.T, name, got string) {
 		t.Fatalf("missing golden file (run with -update to create): %v", err)
 	}
 	if got+"\n" != string(want) {
-		t.Errorf("Explain(%s) drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s", name, path, got, want)
+		t.Errorf("%s drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s", name, path, got, want)
 	}
 }

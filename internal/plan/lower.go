@@ -8,6 +8,7 @@ import (
 	"repro/internal/conf"
 	"repro/internal/engine"
 	"repro/internal/logical"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/signature"
 	"repro/internal/table"
@@ -38,12 +39,43 @@ type lowerState struct {
 	scans           int
 	applied         []string
 	maxIntermediate int64
+
+	// flushes are deferred trace-attribute writers for Counted wrappers
+	// threaded into the pipeline: counters are only final once the
+	// pipeline has drained, so materialize runs them after CollectCtx.
+	flushes []func()
 }
 
 func (st *lowerState) track(rel *table.Relation) {
 	if n := int64(rel.Len()); n > st.maxIntermediate {
 		st.maxIntermediate = n
 	}
+}
+
+// count wraps op so the rows and batches drained from it land on sp once
+// the enclosing materialize finishes. A nil span returns op untouched —
+// the untraced path pays nothing.
+func (st *lowerState) count(op engine.Operator, sp *obs.Span) engine.Operator {
+	if sp == nil {
+		return op
+	}
+	s := &engine.OpStats{}
+	st.flushes = append(st.flushes, func() {
+		sp.Int("rows_out", s.Rows)
+		sp.LooseInt("batches", s.Batches)
+	})
+	return engine.Counted(op, s)
+}
+
+// flush runs the trace-attribute writers appended since mark — the
+// wrappers belonging to the subtree a materialize call just drained.
+// Writers below the mark belong to enclosing, still-undrained pipelines
+// (a sibling of a nested eager placement point) and must wait for theirs.
+func (st *lowerState) flush(mark int) {
+	for _, f := range st.flushes[mark:] {
+		f()
+	}
+	st.flushes = st.flushes[:mark]
 }
 
 // scanRefUnder returns the relation occurrence scanned at the bottom of a
@@ -80,30 +112,49 @@ func joinedUnder(n logical.Node) map[string]bool {
 	return joined
 }
 
-// operator lowers a pipelined subtree to one engine operator. Confidence
-// placement points inside the subtree materialize and re-enter the pipeline
-// as in-memory scans.
-func (st *lowerState) operator(n logical.Node) (engine.Operator, error) {
+// operator lowers a pipelined subtree to one engine operator, opening trace
+// spans under sp (nil when tracing is off — every span call then no-ops).
+// Confidence placement points inside the subtree materialize and re-enter
+// the pipeline as in-memory scans.
+func (st *lowerState) operator(n logical.Node, sp *obs.Span) (engine.Operator, error) {
 	switch x := n.(type) {
 	case *logical.Project:
 		if j, ok := x.Input.(*logical.Join); ok {
-			left, err := st.operator(j.Left)
+			jsp := sp.Child("join")
+			if jsp != nil {
+				if st.ex.parallel() {
+					jsp.LooseStr("phys", "partitioned-hash")
+				} else {
+					jsp.LooseStr("phys", "hash(build=right)")
+				}
+			}
+			left, err := st.operator(j.Left, jsp)
 			if err != nil {
 				return nil, err
 			}
-			right, err := st.operator(j.Right)
+			right, err := st.operator(j.Right, jsp)
 			if err != nil {
 				return nil, err
 			}
-			return joinPipeline(st.ex, st.q, left, right, joinedUnder(x))
+			op, err := joinPipeline(st.ex, st.q, left, right, joinedUnder(x))
+			if err != nil {
+				return nil, err
+			}
+			return st.count(op, jsp), nil
 		}
 		ref, ok := scanRefUnder(x)
 		if !ok {
 			return nil, fmt.Errorf("plan: unexpected logical shape under %s", x.Label())
 		}
-		return leafPipeline(st.ex, st.c, st.q, ref)
+		ssp := sp.Child("scan " + ref.Name)
+		ssp.Int("base_rows", int64(st.c.Rows(ref.Base)))
+		op, err := leafPipeline(st.ex, st.c, st.q, ref)
+		if err != nil {
+			return nil, err
+		}
+		return st.count(op, ssp), nil
 	case *logical.Conf:
-		rel, err := st.materializeConf(x)
+		rel, err := st.materializeConf(x, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -114,11 +165,12 @@ func (st *lowerState) operator(n logical.Node) (engine.Operator, error) {
 }
 
 // materialize runs a subtree to a materialized relation.
-func (st *lowerState) materialize(n logical.Node) (*table.Relation, error) {
+func (st *lowerState) materialize(n logical.Node, sp *obs.Span) (*table.Relation, error) {
 	if cf, ok := n.(*logical.Conf); ok && !cf.Final {
-		return st.materializeConf(cf)
+		return st.materializeConf(cf, sp)
 	}
-	op, err := st.operator(n)
+	mark := len(st.flushes)
+	op, err := st.operator(n, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -126,6 +178,7 @@ func (st *lowerState) materialize(n logical.Node) (*table.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.flush(mark)
 	st.track(rel)
 	return rel, nil
 }
@@ -134,8 +187,8 @@ func (st *lowerState) materialize(n logical.Node) (*table.Relation, error) {
 // intermediate, with each scheduled probability-computation operator
 // applied as sort+scan passes and the running signature updated with the
 // operator's representative.
-func (st *lowerState) materializeConf(cf *logical.Conf) (*table.Relation, error) {
-	rel, err := st.materialize(cf.Input)
+func (st *lowerState) materializeConf(cf *logical.Conf, sp *obs.Span) (*table.Relation, error) {
+	rel, err := st.materialize(cf.Input, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -145,8 +198,12 @@ func (st *lowerState) materializeConf(cf *logical.Conf) (*table.Relation, error)
 		if err != nil {
 			return nil, err
 		}
-		st.probTime += time.Since(pt0)
+		d := time.Since(pt0)
+		st.probTime += d
 		st.scans += n
+		csp := sp.Child("conf[" + op.String() + "]")
+		csp.Int("rows_in", int64(rel.Len())).Int("rows_out", int64(next.Len())).Int("scans", int64(n))
+		csp.SetDur(d)
 		rel = next
 		st.cur = Replace(st.cur, op, signature.Table(rep))
 		st.applied = append(st.applied, "["+op.String()+"]")
@@ -164,12 +221,15 @@ func runLogical(ex exec, c *Catalog, q *query.Query, b *built, spec Spec) (*Resu
 		return nil, fmt.Errorf("plan: logical plan for %s lacks a final confidence point", q.Name)
 	}
 	st := &lowerState{ex: ex, c: c, q: q, spec: spec, cur: b.sig}
+	answerSp := ex.span("answer: " + describeOrder(b.order))
 	t0 := time.Now()
-	answer, err := st.materialize(root.Input)
+	answer, err := st.materialize(root.Input, answerSp)
 	if err != nil {
 		return nil, err
 	}
 	tupleTime := time.Since(t0) - st.probTime
+	answerSp.Int("rows", int64(answer.Len()))
+	answerSp.SetDur(tupleTime)
 
 	switch root.Alg {
 	case logical.AlgSortScan:
@@ -179,7 +239,7 @@ func runLogical(ex exec, c *Catalog, q *query.Query, b *built, spec Spec) (*Resu
 	case logical.AlgDTree:
 		return finishDTree(ex, q, b, spec, answer, tupleTime)
 	case logical.AlgMC:
-		return finishMonteCarlo(ex, q, spec, "", b.order, answer, nil, tupleTime, 0)
+		return finishMonteCarlo(ex, ex.span("conf[mc]"), q, spec, "", b.order, answer, nil, tupleTime, 0)
 	case logical.AlgLadder:
 		return finishFallbackChain(ex, q, b, spec, answer, tupleTime)
 	default:
@@ -192,6 +252,7 @@ func runLogical(ex exec, c *Catalog, q *query.Query, b *built, spec Spec) (*Resu
 // the bare-table extraction when the eager stages already reduced the
 // signature to a single representative.
 func (st *lowerState) finishSortScan(b *built, rel *table.Relation, tupleTime time.Duration) (*Result, error) {
+	sp := st.ex.span("conf[sort+scan]")
 	pt0 := time.Now()
 	var out *table.Relation
 	var err error
@@ -200,6 +261,7 @@ func (st *lowerState) finishSortScan(b *built, rel *table.Relation, tupleTime ti
 		if err != nil {
 			return nil, err
 		}
+		sp.Str("final", "bare-table extraction")
 	} else {
 		var cstats *conf.Stats
 		out, cstats, err = conf.ComputeStats(rel, st.cur, st.spec.Conf)
@@ -207,8 +269,13 @@ func (st *lowerState) finishSortScan(b *built, rel *table.Relation, tupleTime ti
 			return nil, err
 		}
 		st.scans += cstats.Scans
+		sp.Int("scans", int64(cstats.Scans)).Int("sorts", int64(cstats.Sorts))
+		sp.LooseInt("spilled_runs", int64(cstats.SpilledRuns))
 	}
-	st.probTime += time.Since(pt0)
+	d := time.Since(pt0)
+	sp.Str("sig", st.cur.String()).Int("rows_in", int64(rel.Len())).Int("distinct", int64(out.Len()))
+	sp.SetDur(d)
+	st.probTime += d
 	out, err = normalizeAnswer(out, st.q)
 	if err != nil {
 		return nil, err
@@ -248,7 +315,7 @@ func finishOBDD(ex exec, q *query.Query, b *built, spec Spec, answer *table.Rela
 	if err != nil {
 		return nil, err
 	}
-	return obddResult(q, "", b.orderNote, b.order, answer, out, os, tupleTime, probTime), nil
+	return obddResult(ex.span("conf[obdd]"), q, "", b.orderNote, b.order, answer, out, os, tupleTime, probTime), nil
 }
 
 // finishFallbackChain is the exact styles' path on queries without a
@@ -259,11 +326,13 @@ func finishOBDD(ex exec, q *query.Query, b *built, spec Spec, answer *table.Rela
 // budget is exceeded too, estimate with the Monte Carlo tier. The lineage
 // is collected once and shared by every rung.
 func finishFallbackChain(ex exec, q *query.Query, b *built, spec Spec, answer *table.Relation, tupleTime time.Duration) (*Result, error) {
+	lsp := ex.span("conf[ladder]")
 	t1 := time.Now()
 	l, err := conf.CollectLineage(answer)
 	if err != nil {
 		return nil, err
 	}
+	lsp.Int("answers", int64(len(l.Keys))).Int("clauses", l.Clauses).Int("vars", l.Vars).Int("dedup_rows", l.DupRows)
 	out, os, err := conf.OBDDLineage(ex.ctx, ex.pool, l, nil, spec.OBDD, true)
 	if err == nil {
 		probTime := time.Since(t1)
@@ -272,11 +341,12 @@ func finishFallbackChain(ex exec, q *query.Query, b *built, spec Spec, answer *t
 			return nil, err
 		}
 		note := fmt.Sprintf(" (fallback from %s: no hierarchical signature, lineage compiled exactly)", spec.Style)
-		return obddResult(q, note, "interleaved-occurrence order", b.order, answer, out, os, tupleTime, probTime), nil
+		return obddResult(lsp.Child("obdd"), q, note, "interleaved-occurrence order", b.order, answer, out, os, tupleTime, probTime), nil
 	}
 	if !errors.Is(err, conf.ErrOBDDBudget) {
 		return nil, err
 	}
+	lsp.Child("obdd").Str("outcome", "node budget exceeded")
 	dout, ds, err := conf.DTreeLineage(ex.ctx, ex.pool, l, spec.DTree, true)
 	if err == nil {
 		probTime := time.Since(t1)
@@ -285,11 +355,12 @@ func finishFallbackChain(ex exec, q *query.Query, b *built, spec Spec, answer *t
 			return nil, err
 		}
 		note := fmt.Sprintf(" (fallback from %s: no hierarchical signature, OBDD budget exceeded, lineage decomposed exactly)", spec.Style)
-		return dtreeResult(q, note, b.order, answer, dout, ds, tupleTime, probTime), nil
+		return dtreeResult(lsp.Child("dtree"), q, note, b.order, answer, dout, ds, tupleTime, probTime), nil
 	}
 	if !errors.Is(err, conf.ErrDTreeBudget) {
 		return nil, err
 	}
+	lsp.Child("dtree").Str("outcome", "step budget exceeded")
 	note := fmt.Sprintf(" (fallback from %s: no hierarchical signature, OBDD and d-tree budgets exceeded)", spec.Style)
-	return finishMonteCarlo(ex, q, spec, note, b.order, answer, l, tupleTime, time.Since(t1))
+	return finishMonteCarlo(ex, lsp.Child("mc"), q, spec, note, b.order, answer, l, tupleTime, time.Since(t1))
 }

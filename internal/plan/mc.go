@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/conf"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/table"
 )
@@ -22,7 +23,7 @@ import (
 // already-spent confidence-computation time (the aborted OBDD compile) so
 // Stats.ProbTime reports the real cost of the fallback. note annotates the
 // plan line when the run is a fallback from an exact style.
-func finishMonteCarlo(ex exec, q *query.Query, spec Spec, note string, order []query.RelRef, answer *table.Relation, l *conf.Lineage, tupleTime, probSpent time.Duration) (*Result, error) {
+func finishMonteCarlo(ex exec, sp *obs.Span, q *query.Query, spec Spec, note string, order []query.RelRef, answer *table.Relation, l *conf.Lineage, tupleTime, probSpent time.Duration) (*Result, error) {
 	t1 := time.Now()
 	if l == nil {
 		var err error
@@ -40,6 +41,15 @@ func finishMonteCarlo(ex exec, q *query.Query, spec Spec, note string, order []q
 	if err != nil {
 		return nil, err
 	}
+	sp.Int("answers", mcs.OutputTuples).Int("clauses", mcs.Clauses).Int("vars", mcs.Vars).Int("dedup_rows", mcs.DupRows)
+	sp.Int("samples", mcs.Samples).Int("max_answer_samples", mcs.MaxAnswerSamples)
+	sp.Int("exact", mcs.ExactAnswers).Int("capped", mcs.CappedAnswers).Float("epsilon", mcs.MaxEpsilon)
+	if mcs.CappedAnswers > 0 {
+		sp.Str("early_stop", "sample cap")
+	} else {
+		sp.Str("early_stop", "target met")
+	}
+	sp.SetDur(probTime)
 	return &Result{
 		Rows: out,
 		Stats: Stats{
@@ -50,6 +60,7 @@ func finishMonteCarlo(ex exec, q *query.Query, spec Spec, note string, order []q
 			ProbTime:       probTime,
 			AnswerTuples:   int64(answer.Len()),
 			DistinctTuples: int64(out.Len()),
+			Scans:          1, // the lineage-collection grouping pass
 			Approximate:    true,
 			Samples:        mcs.Samples,
 			Epsilon:        mcs.MaxEpsilon,

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/conf"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/table"
 )
@@ -18,12 +19,21 @@ import (
 // fallback ladder on queries without a hierarchical signature: hierarchical
 // sort+scan → OBDD → d-tree → Monte Carlo.
 
-// obddResult assembles the Result of an OBDD run.
-func obddResult(q *query.Query, note, orderNote string, order []query.RelRef, answer, out *table.Relation, os *conf.OBDDStats, tupleTime, probTime time.Duration) *Result {
+// obddResult assembles the Result of an OBDD run, annotating the tier's
+// trace span (nil when tracing is off) with compilation detail.
+func obddResult(sp *obs.Span, q *query.Query, note, orderNote string, order []query.RelRef, answer, out *table.Relation, os *conf.OBDDStats, tupleTime, probTime time.Duration) *Result {
 	bounded := ""
 	if os.Bounded > 0 {
 		bounded = fmt.Sprintf(", %d bounded to width ≤ %.3g", os.Bounded, os.MaxWidth)
 	}
+	sp.Int("answers", os.OutputTuples).Int("clauses", os.Clauses).Int("vars", os.Vars).Int("dedup_rows", os.DupRows)
+	sp.Int("nodes", os.Nodes).Int("memo_hits", os.MemoHits).Int("memo_misses", os.MemoMisses)
+	sp.Int("exact", os.ExactAnswers).Int("bounded", os.Bounded)
+	if os.Bounded > 0 {
+		sp.Float("max_width", os.MaxWidth)
+	}
+	sp.LooseInt("hdr_recycled", os.HdrRecycled)
+	sp.SetDur(probTime)
 	stats := Stats{
 		Plan: fmt.Sprintf("obdd%s: %s; compile lineage of %d answers (%d clauses, %d nodes, %d exact%s)",
 			note, describeOrder(order), os.OutputTuples, os.Clauses, os.Nodes, os.ExactAnswers, bounded),
@@ -32,7 +42,10 @@ func obddResult(q *query.Query, note, orderNote string, order []query.RelRef, an
 		ProbTime:       probTime,
 		AnswerTuples:   int64(answer.Len()),
 		DistinctTuples: int64(out.Len()),
+		Scans:          1, // the lineage-collection grouping pass
 		OBDDNodes:      os.Nodes,
+		MemoHits:       os.MemoHits,
+		MemoMisses:     os.MemoMisses,
 	}
 	if os.Bounded > 0 {
 		stats.Approximate = true

@@ -67,6 +67,13 @@ func lowerSafe(ex exec, c *Catalog, q *query.Query, b *built, spec Spec) (*Resul
 		return nil, err
 	}
 	total := time.Since(t0)
+	if sp := ex.span("safe plan"); sp != nil {
+		sp.Str("tree", b.tree.String())
+		sp.Int("aggregations", int64(s.aggregations))
+		sp.Int("max_intermediate", s.maxIntermediate)
+		sp.Int("rows", int64(out.Len()))
+		sp.SetDur(total)
+	}
 	return &Result{
 		Rows: out,
 		Stats: Stats{

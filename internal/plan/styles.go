@@ -11,6 +11,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/logical"
 	"repro/internal/obdd"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/prob"
 	"repro/internal/query"
@@ -140,6 +141,18 @@ type Spec struct {
 	// pool here so every concurrently served query draws from one global
 	// slot budget.
 	Pool *pool.Pool
+	// Trace, when set, collects a per-operator execution trace during the
+	// run and attaches it to Stats.Trace: per-operator row counts, lineage
+	// statistics, compilation and sampler detail. The trace's structural
+	// attributes are deterministic across worker counts and batch sizes;
+	// its loose attributes (timings, batch counts) are not.
+	Trace bool
+	// Metrics, when non-nil, receives engine-wide counters and latency
+	// histograms for every run under this spec (queries, failures, tuple
+	// and confidence times, per-tier effort totals). Recording happens
+	// once per query — never on the per-row hot path — and a nil registry
+	// costs nothing.
+	Metrics *obs.Registry
 }
 
 // Stats reports the execution breakdown the paper's figures use.
@@ -150,7 +163,12 @@ type Stats struct {
 	ProbTime       time.Duration // confidence computation
 	AnswerTuples   int64         // answer tuples before duplicate elimination
 	DistinctTuples int64         // distinct answer tuples
-	Scans          int           // operator scans (aggregation + final)
+	// Scans counts confidence-computation passes over materialized
+	// intermediates: eager aggregation steps plus the final sort+scan for
+	// the exact styles, MystiQ's independent projections, and the single
+	// lineage-collection grouping pass of the OBDD/d-tree/Monte Carlo
+	// tiers — every rung of the fallback ladder reports it consistently.
+	Scans int
 	// Approximate marks non-exact confidences: (ε, δ) Monte Carlo
 	// estimates, or OBDD/d-tree bound midpoints (then
 	// LowerBound/UpperBound certify the truth deterministically).
@@ -178,12 +196,21 @@ type Stats struct {
 	// OBDD or d-tree run: every reported confidence is within MaxWidth/2
 	// of the truth (0 for exact and Monte Carlo plans).
 	MaxWidth float64
+	// MemoHits and MemoMisses count residual-memo probes of the lineage
+	// compilation tier that produced the result — OBDD or d-tree (0 for
+	// plans that never compiled lineage). Their ratio is the memo hit
+	// rate the benchmark records track.
+	MemoHits   int64
+	MemoMisses int64
 	// ChosenStyle names the style the Auto planner dispatched ("" for
 	// fixed-style runs).
 	ChosenStyle string
 	// EstimatedCost is the cost model's estimate (abstract tuple-operation
 	// units) of the chosen plan under the Auto style (0 otherwise).
 	EstimatedCost float64
+	// Trace is the per-operator execution trace of the run (nil unless
+	// Spec.Trace was set).
+	Trace *obs.Trace
 }
 
 // Total returns the end-to-end wall-clock time.
@@ -275,17 +302,34 @@ func (p *Prepared) Run(ctx context.Context) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ex := exec{ctx: ctx, pool: p.pool}
 	spec := p.spec
 	if spec.Style == Auto {
 		spec.Style = p.chosen
 	}
+	var tr *obs.Trace
+	if p.spec.Trace {
+		tr = obs.NewTrace(p.q.Name, spec.Style.String(), p.pool.Workers())
+	}
+	ex := exec{ctx: ctx, pool: p.pool, tr: tr}
 	// Thread the run's context and pool into the operator options so every
 	// tier draws from the same slot budget and honours cancellation.
 	spec.Conf.Ctx, spec.Conf.Pool = ctx, p.pool
 	spec.MC.Pool = p.pool
+	reg := p.spec.Metrics
+	t0 := time.Now()
+	// Every served run counts, failed or not; latency and work counters are
+	// only recorded for completed runs. The nil-registry path must stay
+	// zero-cost, so even the name concatenation is guarded.
+	if reg != nil {
+		h := reg.ShardHint()
+		reg.Counter("queries_total").AddShard(h, 1)
+		reg.Counter("queries_style_"+p.spec.Style.String()+"_total").AddShard(h, 1)
+	}
+	reg.Gauge("queries_inflight").Add(1)
 	res, err := runLogical(ex, p.c, p.q, p.b, spec)
+	reg.Gauge("queries_inflight").Add(-1)
 	if err != nil {
+		reg.Counter("queries_failed_total").AddShard(reg.ShardHint(), 1)
 		return nil, err
 	}
 	if p.spec.Style == Auto {
@@ -293,7 +337,32 @@ func (p *Prepared) Run(ctx context.Context) (*Result, error) {
 		res.Stats.EstimatedCost = chosenCost(p.costs, p.chosen)
 		res.Stats.Plan = "auto[" + p.chosen.String() + "] → " + res.Stats.Plan
 	}
+	res.Stats.Trace = tr
+	if reg != nil {
+		p.record(reg, &res.Stats, time.Since(t0))
+	}
 	return res, nil
+}
+
+// record publishes one finished run into the metrics registry — a handful
+// of bulk adds per query, sharded so concurrent Engine queries do not
+// contend on the counter cache lines. Never called on the per-row path.
+func (p *Prepared) record(reg *obs.Registry, s *Stats, wall time.Duration) {
+	h := reg.ShardHint()
+	reg.Counter("answer_tuples_total").AddShard(h, s.AnswerTuples)
+	reg.Counter("distinct_tuples_total").AddShard(h, s.DistinctTuples)
+	reg.Counter("conf_scans_total").AddShard(h, int64(s.Scans))
+	reg.Counter("obdd_nodes_total").AddShard(h, s.OBDDNodes)
+	reg.Counter("dtree_nodes_total").AddShard(h, s.DTreeNodes)
+	reg.Counter("mc_samples_total").AddShard(h, s.Samples)
+	reg.Counter("memo_hits_total").AddShard(h, s.MemoHits)
+	reg.Counter("memo_misses_total").AddShard(h, s.MemoMisses)
+	if s.Approximate {
+		reg.Counter("approximate_results_total").AddShard(h, 1)
+	}
+	reg.Histogram("query_seconds").Observe(wall.Seconds())
+	reg.Histogram("tuple_seconds").Observe(s.TupleTime.Seconds())
+	reg.Histogram("prob_seconds").Observe(s.ProbTime.Seconds())
 }
 
 // Answer materializes the answer tuples of q under the lazy join order:
@@ -308,7 +377,7 @@ func Answer(c *Catalog, q *query.Query) (*table.Relation, error) {
 // order — the lazy skeleton, lowered through the shared logical IR path.
 func answerPipeline(ex exec, c *Catalog, q *query.Query, order []query.RelRef) (*table.Relation, error) {
 	st := &lowerState{ex: ex, c: c, q: q}
-	return st.materialize(logical.AnswerTree(q, order))
+	return st.materialize(logical.AnswerTree(q, order), nil)
 }
 
 // treeForOrder returns the query tree used for hierarchy-driven join

@@ -1,0 +1,155 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dtree"
+	"repro/internal/fd"
+	"repro/internal/obdd"
+	"repro/internal/prob"
+)
+
+// TestStatsLadderPopulation pins the Stats population contract across every
+// plan style and every rung of the exact styles' fallback ladder: whichever
+// tier produces the result must report its timings, the operator scan count
+// and its own tier counter (OBDD nodes, d-tree steps or Monte Carlo
+// samples) — and only its own. Lineage tiers report Scans = 1, the
+// lineage-collection grouping pass.
+func TestStatsLadderPopulation(t *testing.T) {
+	type tc struct {
+		name string
+		hard bool // run the signature-less hard query instead of introQ
+		spec Spec
+		tier string // "sortscan" | "safe" | "obdd" | "dtree" | "mc"
+	}
+	cases := []tc{
+		{name: "lazy", spec: Spec{Style: Lazy}, tier: "sortscan"},
+		{name: "eager", spec: Spec{Style: Eager}, tier: "sortscan"},
+		{name: "hybrid", spec: Spec{Style: Hybrid, HybridPrefix: 2}, tier: "sortscan"},
+		{name: "mystiq", spec: Spec{Style: SafeMystiQ}, tier: "safe"},
+		{name: "obdd", spec: Spec{Style: OBDD}, tier: "obdd"},
+		{name: "dtree", spec: Spec{Style: DTree}, tier: "dtree"},
+		{name: "mc", spec: Spec{Style: MonteCarlo, MC: prob.MCOptions{Seed: 1}}, tier: "mc"},
+		{name: "auto", spec: Spec{Style: Auto}, tier: "sortscan"},
+		// The fallback ladder on the hard query: default budgets land on the
+		// OBDD rung; starving the OBDD drops to the d-tree rung; starving
+		// both drops to Monte Carlo.
+		{name: "ladder-obdd", hard: true, spec: Spec{Style: Lazy}, tier: "obdd"},
+		{name: "ladder-dtree", hard: true,
+			spec: Spec{Style: Lazy, OBDD: obdd.Options{NodeBudget: 1}}, tier: "dtree"},
+		{name: "ladder-mc", hard: true,
+			spec: Spec{Style: Lazy, OBDD: obdd.Options{NodeBudget: 1}, DTree: dtree.Options{NodeBudget: 1},
+				MC: prob.MCOptions{Seed: 1}}, tier: "mc"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var res *Result
+			var err error
+			if c.hard {
+				res, err = Run(hardDB(rand.New(rand.NewSource(1))), hardQuery(), fd.NewSet(), c.spec)
+			} else {
+				cat, _ := fig1Catalog()
+				res, err = Run(cat, introQ(), tpchFDs(), c.spec)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := res.Stats
+			if s.AnswerTuples <= 0 || s.DistinctTuples <= 0 {
+				t.Errorf("tuple counts not populated: answers=%d distinct=%d", s.AnswerTuples, s.DistinctTuples)
+			}
+			// TupleTime alone can round to ~0 on the tiny fixtures, but the
+			// run as a whole takes measurable time on every tier.
+			if s.TupleTime+s.ProbTime <= 0 {
+				t.Errorf("timings not populated: tuple=%v prob=%v", s.TupleTime, s.ProbTime)
+			}
+			if s.Scans <= 0 {
+				t.Errorf("Scans not populated: %d", s.Scans)
+			}
+			lineageTier := c.tier == "obdd" || c.tier == "dtree" || c.tier == "mc"
+			if lineageTier && s.Scans != 1 {
+				t.Errorf("lineage tiers report the single grouping pass, got Scans=%d", s.Scans)
+			}
+			// Exactly the producing tier's counter is set: failed ladder
+			// rungs must not leak theirs.
+			wantOBDD, wantDTree, wantMC := c.tier == "obdd", c.tier == "dtree", c.tier == "mc"
+			if (s.OBDDNodes > 0) != wantOBDD {
+				t.Errorf("OBDDNodes=%d, want populated=%v", s.OBDDNodes, wantOBDD)
+			}
+			if (s.DTreeNodes > 0) != wantDTree {
+				t.Errorf("DTreeNodes=%d, want populated=%v", s.DTreeNodes, wantDTree)
+			}
+			if (s.Samples > 0) != wantMC {
+				t.Errorf("Samples=%d, want populated=%v", s.Samples, wantMC)
+			}
+			if wantOBDD || wantDTree {
+				if s.MemoHits+s.MemoMisses <= 0 {
+					t.Errorf("%s tier should report memo probes, got hits=%d misses=%d", c.tier, s.MemoHits, s.MemoMisses)
+				}
+			}
+			if c.tier == "mc" && !s.Approximate {
+				t.Error("Monte Carlo results must be flagged Approximate")
+			}
+		})
+	}
+}
+
+// TestTraceGolden pins the structural execution trace — Trace.Fingerprint,
+// the deterministic part of Render — against golden files for every tier,
+// including each rung of the fallback ladder. Run with -update after an
+// intentional trace change. Durations and loose attributes (batch counts,
+// physical operator choice, arena recycling) are excluded by construction,
+// so these fixtures are stable across machines and worker counts.
+func TestTraceGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		hard bool
+		spec Spec
+	}{
+		{name: "lazy", spec: Spec{Style: Lazy}},
+		{name: "mystiq", spec: Spec{Style: SafeMystiQ}},
+		{name: "obdd", spec: Spec{Style: OBDD}},
+		{name: "dtree", spec: Spec{Style: DTree}},
+		{name: "mc", spec: Spec{Style: MonteCarlo, MC: prob.MCOptions{Seed: 1}}},
+		{name: "ladder-obdd", hard: true, spec: Spec{Style: Lazy}},
+		{name: "ladder-dtree", hard: true, spec: Spec{Style: Lazy, OBDD: obdd.Options{NodeBudget: 1}}},
+		{name: "ladder-mc", hard: true,
+			spec: Spec{Style: Lazy, OBDD: obdd.Options{NodeBudget: 1}, DTree: dtree.Options{NodeBudget: 1},
+				MC: prob.MCOptions{Seed: 1}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec := c.spec
+			spec.Trace = true
+			var res *Result
+			var err error
+			if c.hard {
+				res, err = Run(hardDB(rand.New(rand.NewSource(1))), hardQuery(), fd.NewSet(), spec)
+			} else {
+				cat, _ := fig1Catalog()
+				res, err = Run(cat, introQ(), tpchFDs(), spec)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Trace == nil {
+				t.Fatal("Spec.Trace set but Stats.Trace is nil")
+			}
+			checkGoldenAt(t, "trace", c.name, res.Stats.Trace.Fingerprint())
+		})
+	}
+}
+
+// TestTraceOffByDefault: without Spec.Trace no trace is collected — the
+// default path must not pay for span bookkeeping.
+func TestTraceOffByDefault(t *testing.T) {
+	cat, _ := fig1Catalog()
+	res, err := Run(cat, introQ(), tpchFDs(), Spec{Style: Lazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Trace != nil {
+		t.Fatal("Stats.Trace populated without Spec.Trace")
+	}
+}

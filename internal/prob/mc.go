@@ -109,6 +109,10 @@ type MCEstimate struct {
 	Epsilon float64
 	// Delta is the failure probability backing Epsilon.
 	Delta float64
+	// Capped reports that MaxSamples cut the run short of the sample
+	// count the requested (ε, δ) bound asked for — the early-stop reason
+	// observability surfaces as "sample cap" rather than "target met".
+	Capped bool
 }
 
 // SampleBound returns the Hoeffding sample count guaranteeing an additive
@@ -276,10 +280,12 @@ func mcEstimate(ctx context.Context, c *mcCompiled, o MCOptions, rng *rand.Rand)
 		width = c.U
 	}
 	eps := o.Epsilon
+	capped := false
 	n := SampleBound(eps, o.Delta, width)
 	if n > o.MaxSamples {
 		n = o.MaxSamples
 		eps = achievedEps(n, o.Delta, width)
+		capped = true
 	}
 	var p float64
 	var err error
@@ -297,7 +303,7 @@ func mcEstimate(ctx context.Context, c *mcCompiled, o MCOptions, rng *rand.Rand)
 	} else if p > 1 {
 		p = 1
 	}
-	return MCEstimate{P: p, Samples: n, Method: method.String(), Epsilon: eps, Delta: o.Delta}, nil
+	return MCEstimate{P: p, Samples: n, Method: method.String(), Epsilon: eps, Delta: o.Delta, Capped: capped}, nil
 }
 
 // MCProb estimates Pr[φ] for a single formula with the given options,

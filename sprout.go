@@ -62,6 +62,7 @@ import (
 	"repro/internal/conf"
 	"repro/internal/engine"
 	"repro/internal/fd"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/pool"
 	"repro/internal/prob"
@@ -413,6 +414,17 @@ func WithTargetWidth(w float64) RunOption {
 	}
 }
 
+// WithTrace collects a per-operator execution trace during the run and
+// attaches it to Result.Stats.Trace: one span per scan, join and
+// confidence-computation tier, annotated with row counts, lineage shape,
+// compilation detail (OBDD nodes, d-tree steps, memo hits, sampler
+// statistics) and wall-clock durations. Tracing allocates a small tree per
+// run; the hot per-tuple paths stay untouched. See Trace.Render and
+// Trace.JSON for the two output forms.
+func WithTrace() RunOption {
+	return func(s *plan.Spec) error { s.Trace = true; return nil }
+}
+
 // RequireExact rejects queries without a hierarchical signature instead of
 // falling back to OBDD compilation or Monte Carlo estimation: Run then
 // fails exactly where the paper's framework ends (#P-hard queries, §II).
@@ -492,6 +504,7 @@ type Engine struct {
 	db       *DB
 	defaults plan.Spec
 	pool     *pool.Pool
+	metrics  *obs.Registry
 }
 
 // NewEngine builds a serving engine over the database. opts set the
@@ -509,11 +522,25 @@ func (db *DB) NewEngine(opts ...RunOption) (*Engine, error) {
 	if err := applyOptions(&spec, opts); err != nil {
 		return nil, err
 	}
-	return &Engine{db: db, defaults: spec, pool: pool.New(spec.Workers)}, nil
+	return &Engine{db: db, defaults: spec, pool: pool.New(spec.Workers), metrics: obs.New()}, nil
 }
 
 // Workers returns the engine pool's total worker count.
 func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// Metrics returns a point-in-time snapshot of the engine-wide counters,
+// gauges and latency histograms every Run has been feeding: queries served
+// (total, per style, failed), answer and distinct tuple counts, confidence
+// tier work (scans, OBDD nodes, d-tree steps, Monte Carlo samples, memo
+// hits/misses) and query/tuple/probability latency distributions. Safe for
+// concurrent use; counters are cumulative since NewEngine.
+func (e *Engine) Metrics() obs.Snapshot { return e.metrics.Snapshot() }
+
+// MetricsRegistry exposes the engine's live metrics registry, for mounting
+// the observability HTTP endpoints: obs.Handler(e.MetricsRegistry()) serves
+// /metrics, /healthz and /debug/pprof. The registry is engine-owned and
+// always live — this accessor only shares it.
+func (e *Engine) MetricsRegistry() *obs.Registry { return e.metrics }
 
 // spec assembles the effective plan spec of one call: engine defaults, then
 // style, then per-call options. Calls normally draw from the engine's
@@ -525,6 +552,7 @@ func (e *Engine) Workers() int { return e.pool.Workers() }
 func (e *Engine) spec(style PlanStyle, opts []RunOption) (plan.Spec, error) {
 	spec := e.defaults
 	spec.Style = style
+	spec.Metrics = e.metrics
 	if err := applyOptions(&spec, opts); err != nil {
 		return plan.Spec{}, err
 	}
