@@ -1,0 +1,210 @@
+// Command sproutvet runs the repo's invariant analyzers (package
+// repro/internal/analyzers) as a `go vet` tool:
+//
+//	go build -o sproutvet ./cmd/sproutvet
+//	go vet -vettool=$(pwd)/sproutvet ./...
+//
+// or, equivalently, let sproutvet re-exec go vet around itself:
+//
+//	go run ./cmd/sproutvet ./...
+//
+// It implements the go command's vet-tool JSON protocol (the unitchecker
+// protocol) directly on the standard library: the go command hands it one
+// *.cfg file per package with file lists, the import map, and export-data
+// paths, and sproutvet typechecks the package with go/types + the gc
+// importer and runs the suite. The x/tools module is deliberately not a
+// dependency — the container this repo builds in has no module cache, so
+// the protocol shim lives in this file and the analyzer framework in
+// internal/analyzers.
+//
+// Diagnostics are silenced per-site with `//sproutvet:allow <analyzer>
+// <reason>`; the reason is mandatory.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
+		// Build-cache fingerprint handshake: `go vet` runs the tool with
+		// -V=full and caches results keyed by the printed id, so the id
+		// must change whenever the binary does — hash the binary.
+		printVersion()
+	case len(args) == 1 && args[0] == "-flags":
+		// The go command asks which analyzer flags the tool supports
+		// before forwarding any; sproutvet has none.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(runUnit(args[0]))
+	case len(args) >= 1:
+		// Convenience mode: sproutvet ./... re-execs go vet around itself.
+		os.Exit(runStandalone(args))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: sproutvet <packages>  (or via go vet -vettool)")
+		os.Exit(2)
+	}
+}
+
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s version devel sproutvet buildID=%02x\n", exe, h.Sum(nil))
+}
+
+func runStandalone(pkgs []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, pkgs...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fatalf("%v", err)
+	}
+	return 0
+}
+
+// vetConfig is the JSON the go command writes for each analyzed package.
+// The field set mirrors x/tools' unitchecker.Config — it is the go
+// command's side of the contract, not ours to vary.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("reading config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing config %s: %v", cfgPath, err)
+	}
+
+	// The go command requires the facts file to exist after every run,
+	// including for dependency packages analyzed only for facts. The suite
+	// exports no cross-package facts, so the file is always empty and
+	// VetxOnly runs are free.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return compilerImp.Import(path)
+		}),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // collect nothing; Check's return says enough
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags := analyzers.Check(fset, files, pkg, info, analyzers.All())
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sproutvet: "+format+"\n", args...)
+	os.Exit(1)
+}

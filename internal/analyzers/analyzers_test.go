@@ -1,0 +1,45 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analyzertest"
+)
+
+// Each analyzer has a fixture package under testdata/src exercising the
+// violation, the clean shape, and the //sproutvet:allow escape hatch.
+// Path-scoped analyzers (detrand, fnvkey) have their fixtures placed at the
+// real import paths they watch.
+
+func TestBatchAlias(t *testing.T) {
+	analyzertest.Run(t, "testdata", analyzers.BatchAlias, "batchalias")
+}
+
+func TestDetRand(t *testing.T) {
+	analyzertest.Run(t, "testdata", analyzers.DetRand, "repro/internal/prob")
+}
+
+func TestMapIter(t *testing.T) {
+	analyzertest.Run(t, "testdata", analyzers.MapIter, "mapiter")
+}
+
+func TestPoolReset(t *testing.T) {
+	analyzertest.Run(t, "testdata", analyzers.PoolReset, "poolreset")
+}
+
+func TestSortSlice(t *testing.T) {
+	analyzertest.Run(t, "testdata", analyzers.SortSlice, "sortslice")
+}
+
+func TestFnvKey(t *testing.T) {
+	analyzertest.Run(t, "testdata", analyzers.FnvKey, "repro/internal/engine")
+}
+
+// TestScopedAnalyzersStayQuietElsewhere pins the package scoping: the
+// scopecheck fixture commits detrand and fnvkey violations but lives
+// outside both watch lists, so neither analyzer may fire there.
+func TestScopedAnalyzersStayQuietElsewhere(t *testing.T) {
+	analyzertest.Run(t, "testdata", analyzers.DetRand, "scopecheck")
+	analyzertest.Run(t, "testdata", analyzers.FnvKey, "scopecheck")
+}

@@ -1,0 +1,193 @@
+// Package analyzertest runs one analyzer over a fixture package under
+// testdata/src and checks its diagnostics against `// want "regexp"`
+// comments, in the style of golang.org/x/tools/go/analysis/analysistest
+// (which is not available in this build environment — the harness is
+// rebuilt here on the standard library).
+//
+// Fixture packages are loaded by import path relative to testdata/src, so a
+// fixture that must live in a specific package to trigger a path-scoped
+// analyzer (e.g. detrand's deterministic-package list) is placed at that
+// path: testdata/src/repro/internal/prob. Imports resolve first against
+// testdata/src (letting fixtures share stub packages like
+// repro/internal/table), then against the standard library, typechecked
+// from GOROOT source.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"slices"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers"
+)
+
+// Run loads the fixture package at testdata/src/<pkgPath>, applies the
+// analyzer, and reports every mismatch between produced diagnostics and
+// `// want` expectations as test errors.
+func Run(t *testing.T, testdata string, a *analyzers.Analyzer, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		srcRoot: filepath.Join(testdata, "src"),
+		fset:    fset,
+		pkgs:    make(map[string]*loaded),
+	}
+	ld.stdlib = importer.ForCompiler(fset, "source", nil)
+
+	pkg, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	diags := analyzers.Check(fset, pkg.files, pkg.pkg, pkg.info, []*analyzers.Analyzer{a})
+	checkWants(t, fset, pkg.files, diags)
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*loaded
+	stdlib  types.Importer
+}
+
+// Import implements types.Importer over testdata/src first, stdlib second.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if p, err := ld.load(path); err == nil {
+		return p.pkg, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return ld.stdlib.Import(path)
+}
+
+func (ld *loader) load(path string) (*loaded, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return p, nil
+	}
+	dir := filepath.Join(ld.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ld.pkgs[path] = nil // cycle marker
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", path, err)
+	}
+	p := &loaded{pkg: pkg, files: files, info: info}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+// expectation is one `// want` pattern at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+}
+
+// wantRE matches the quoted patterns after a `// want` marker: Go string
+// literals, double- or back-quoted.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analyzers.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Accept `// want "..."` line comments and, for lines whose
+				// diagnostic is attached to another comment (directive
+				// misuse), the `/* want "..." */` block form.
+				text := c.Text
+				var pats string
+				if i := strings.Index(text, "// want "); i >= 0 {
+					pats = text[i+len("// want "):]
+				} else if inner, ok := strings.CutPrefix(text, "/*"); ok {
+					inner = strings.TrimSpace(strings.TrimSuffix(inner, "*/"))
+					if w, ok := strings.CutPrefix(inner, "want "); ok {
+						pats = w
+					}
+				}
+				if pats == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range wantRE.FindAllString(pats, -1) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", pos, lit, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, text: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		i := slices.IndexFunc(wants, func(w *expectation) bool {
+			return w != nil && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message)
+		})
+		if i < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		wants[i] = nil // consumed
+	}
+	for _, w := range wants {
+		if w != nil {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.text)
+		}
+	}
+}

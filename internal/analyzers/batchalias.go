@@ -1,0 +1,218 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BatchAlias guards PR 5's batch-storage contract: tuples handed out by
+// BatchOperator.NextBatch (and by the engine.NextBatch/fillBatch adapters)
+// live in reused buffers — they are valid only until the next NextBatch/Next
+// call unless the source operator promises StableTuples. A consumer that
+// retains such a tuple past the batch (appending it to a long-lived slice,
+// storing it in a struct field) without a table.Slab clone sees the tuple
+// silently overwritten by a later batch. This is exactly the aliasing bug
+// class the drainCtx/CollectCtx materialization rule exists to prevent.
+//
+// The analyzer tracks, per function, the batch slices passed to
+// NextBatch-shaped calls and the tuples read out of them (indexing or
+// ranging, one aliasing level deep), and flags a bare batch tuple being
+//
+//   - appended to a slice, or
+//   - stored through a selector (struct field) or into a non-parameter
+//     slice/map element.
+//
+// Passing the tuple through any call (t.Clone(), slab.Clone(t), emit(t)) is
+// treated as a hand-off that honors the contract. Writing into a []Tuple
+// *parameter* is the operator side of the protocol (filling the caller's
+// batch) and is allowed. Sites that legitimately retain a tuple only for
+// the current batch's lifetime (e.g. the hash join's probe cursor) document
+// themselves with //sproutvet:allow batchalias <reason>.
+var BatchAlias = &Analyzer{
+	Name: "batchalias",
+	Doc: "flags retaining tuples obtained from NextBatch/fillBatch without a table.Slab clone; " +
+		"batch buffers are reused and later batches overwrite retained tuples",
+	Run: runBatchAlias,
+}
+
+func runBatchAlias(p *Pass) {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		funcBodies(f, func(decl ast.Node, body *ast.BlockStmt) {
+			checkBatchAliasBody(p, decl, body)
+		})
+	}
+}
+
+// isTupleSlice reports whether t is []table.Tuple.
+func isTupleSlice(t types.Type) bool {
+	sl, ok := types.Unalias(t).(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isNamedType(sl.Elem(), "internal/table", "Tuple")
+}
+
+// batchSourceCall reports whether call hands out reused batch storage and
+// returns the batch-slice argument: X.NextBatch(dst), engine.NextBatch(op,
+// dst), or fillBatch(dst, next).
+func batchSourceCall(p *Pass, call *ast.CallExpr) (batch ast.Expr, ok bool) {
+	if recv, name := methodCall(p.TypesInfo, call); recv != nil && name == "NextBatch" && len(call.Args) == 1 {
+		return call.Args[0], true
+	}
+	switch _, name := pkgFunc(p.TypesInfo, call); name {
+	case "NextBatch":
+		if len(call.Args) == 2 {
+			return call.Args[1], true
+		}
+	case "fillBatch":
+		if len(call.Args) == 2 {
+			return call.Args[0], true
+		}
+	}
+	return nil, false
+}
+
+func checkBatchAliasBody(p *Pass, decl ast.Node, body *ast.BlockStmt) {
+	info := p.TypesInfo
+
+	// Parameters of this function: writes into a []Tuple parameter are the
+	// operator filling its caller's batch, not retention.
+	params := make(map[types.Object]bool)
+	var ftype *ast.FuncType
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		ftype = d.Type
+	case *ast.FuncLit:
+		ftype = d.Type
+	}
+	if ftype != nil && ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if obj := objOf(info, name); obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+
+	// Pass 1: batch slices = []Tuple vars passed as the dst of a batch
+	// source call in this function.
+	batches := make(map[types.Object]bool)
+	walkShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		arg, ok := batchSourceCall(p, call)
+		if !ok {
+			return true
+		}
+		if obj := rootObj(p, arg); obj != nil && isTupleSlice(typeDeref(obj.Type())) {
+			batches[obj] = true
+		}
+		return true
+	})
+	if len(batches) == 0 {
+		return
+	}
+
+	// isBatchIndex reports whether e reads an element out of a batch slice:
+	// buf[i], buf[:n][i], etc.
+	isBatchIndex := func(e ast.Expr) bool {
+		idx, ok := ast.Unparen(e).(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		obj := rootObj(p, idx.X)
+		return obj != nil && batches[obj]
+	}
+
+	// Pass 2: batch tuples = range vars over a batch slice, plus one level
+	// of plain-ident aliasing (t := buf[i]).
+	elems := make(map[types.Object]bool)
+	walkShallow(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.RangeStmt:
+			if obj := rootObj(p, v.X); obj != nil && batches[obj] {
+				if id, ok := v.Value.(*ast.Ident); ok && id.Name != "_" {
+					if o := objOf(info, id); o != nil {
+						elems[o] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isBatchIndex(v.Rhs[i]) {
+					if o := objOf(info, id); o != nil {
+						elems[o] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// isBatchTuple: a bare expression denoting a tuple that still aliases
+	// batch storage — an element read or a tracked alias ident.
+	isBatchTuple := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if isBatchIndex(e) {
+			return true
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if o := objOf(info, id); o != nil && elems[o] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 3: flag retention of bare batch tuples.
+	walkShallow(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if !isBuiltinAppend(p, v) {
+				return true
+			}
+			for _, arg := range v.Args[1:] {
+				if isBatchTuple(arg) {
+					p.Reportf(arg.Pos(), "tuple from a reused batch buffer is appended without a clone; later batches overwrite it — clone through a table.Slab, or source from a StableTuples operator (see engine.drainCtx)")
+				} else if se, ok := ast.Unparen(arg).(*ast.SliceExpr); ok && v.Ellipsis.IsValid() {
+					if obj := rootObj(p, se.X); obj != nil && batches[obj] {
+						p.Reportf(arg.Pos(), "batch buffer contents are appended wholesale without clones; later batches overwrite them — clone through a table.Slab, or source from a StableTuples operator (see engine.drainCtx)")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				if !isBatchTuple(v.Rhs[i]) {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					p.Reportf(v.Rhs[i].Pos(), "tuple from a reused batch buffer is stored in a field without a clone; it is only valid until the next NextBatch call — clone through a table.Slab or document the single-batch lifetime with an allow directive")
+				case *ast.IndexExpr:
+					obj := rootObj(p, l.X)
+					if obj != nil && (params[obj] || batches[obj]) {
+						continue // filling the caller's batch, or shuffling within one
+					}
+					p.Reportf(v.Rhs[i].Pos(), "tuple from a reused batch buffer is stored in long-lived storage without a clone; later batches overwrite it — clone through a table.Slab (see engine.drainCtx)")
+				}
+			}
+		}
+		return true
+	})
+}

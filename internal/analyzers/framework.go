@@ -1,0 +1,198 @@
+package analyzers
+
+import (
+	"cmp"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"slices"
+	"strings"
+)
+
+// This file is the minimal go/analysis-shaped core the suite runs on. The
+// container this repo builds in has no module cache for golang.org/x/tools,
+// so the Analyzer/Pass/Diagnostic surface is redeclared here (same shape,
+// stdlib only) and cmd/sproutvet speaks the `go vet -vettool` JSON protocol
+// directly. If x/tools ever lands in go.mod these types are drop-in
+// replaceable.
+
+// An Analyzer describes one invariant check. Run inspects a fully
+// type-checked package through the Pass and reports diagnostics.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in allow directives
+	Doc  string // what the analyzer enforces and which invariant it guards
+	Run  func(*Pass)
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos. The message is prefixed with the
+// analyzer name so readers know which directive (`//sproutvet:allow <name>
+// <reason>`) would suppress it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  p.Analyzer.Name + ": " + fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned for file:line:col rendering.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// All returns the full suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		BatchAlias,
+		DetRand,
+		FnvKey,
+		MapIter,
+		PoolReset,
+		SortSlice,
+	}
+}
+
+// AllowPrefix starts every escape-hatch directive. The full form is
+//
+//	//sproutvet:allow <analyzer> <reason...>
+//
+// placed either at the end of the offending line or on its own line
+// immediately above it. The reason is mandatory and must be non-empty: the
+// directive is the documentation of why the invariant legitimately does not
+// apply at that site.
+const AllowPrefix = "sproutvet:allow"
+
+// allowDirective is one parsed //sproutvet:allow comment.
+type allowDirective struct {
+	pos      token.Pos
+	line     int
+	analyzer string
+	reason   string
+}
+
+// parseAllows extracts every allow directive from a file, reporting malformed
+// ones (missing analyzer, unknown analyzer, empty reason) through report.
+func parseAllows(fset *token.FileSet, file *ast.File, known map[string]bool, report func(Diagnostic)) []allowDirective {
+	var out []allowDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//"+AllowPrefix)
+			if !ok {
+				continue
+			}
+			bad := func(format string, args ...any) {
+				report(Diagnostic{
+					Analyzer: "sproutvet",
+					Pos:      c.Pos(),
+					Message:  "sproutvet: " + fmt.Sprintf(format, args...),
+				})
+			}
+			fields := strings.Fields(text)
+			if len(fields) == 0 {
+				bad("malformed directive: want //%s <analyzer> <reason>", AllowPrefix)
+				continue
+			}
+			name := fields[0]
+			if !known[name] {
+				names := make([]string, 0, len(known))
+				for k := range known {
+					names = append(names, k)
+				}
+				slices.Sort(names)
+				bad("directive names unknown analyzer %q (have %s)", name, strings.Join(names, ", "))
+				continue
+			}
+			reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), name))
+			if reason == "" {
+				bad("allow directive for %q needs a non-empty reason: the comment is the documentation of why the invariant does not apply here", name)
+				continue
+			}
+			out = append(out, allowDirective{
+				pos:      c.Pos(),
+				line:     fset.Position(c.Pos()).Line,
+				analyzer: name,
+				reason:   reason,
+			})
+		}
+	}
+	return out
+}
+
+// Check type-checks nothing — it runs every analyzer over an
+// already-type-checked package and returns the surviving diagnostics sorted
+// by position. Suppression: a diagnostic on line L of file F is dropped when
+// F carries an allow directive for that analyzer on line L (end-of-line
+// form) or line L-1 (own-line form above).
+func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, suite []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+
+	// file -> analyzer -> suppressed lines.
+	allows := make(map[string]map[string]map[int]bool)
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		for _, d := range parseAllows(fset, f, known, collect) {
+			byAnalyzer := allows[fname]
+			if byAnalyzer == nil {
+				byAnalyzer = make(map[string]map[int]bool)
+				allows[fname] = byAnalyzer
+			}
+			lines := byAnalyzer[d.analyzer]
+			if lines == nil {
+				lines = make(map[int]bool)
+				byAnalyzer[d.analyzer] = lines
+			}
+			lines[d.line] = true
+			lines[d.line+1] = true
+		}
+	}
+
+	for _, a := range suite {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report: func(d Diagnostic) {
+				p := fset.Position(d.Pos)
+				if lines := allows[p.Filename][d.Analyzer]; lines[p.Line] {
+					return
+				}
+				collect(d)
+			},
+		}
+		a.Run(pass)
+	}
+
+	sortDiagnostics(diags)
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	slices.SortFunc(diags, func(a, b Diagnostic) int {
+		if c := cmp.Compare(a.Pos, b.Pos); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Message, b.Message)
+	})
+}

@@ -1,0 +1,218 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter guards the clause-order canonicalization fix from PR 3: Go map
+// iteration order is deliberately randomized, so any slice built by ranging
+// over a map has a nondeterministic element order. When such a slice feeds
+// lineage, plans, or output, confidences and traces stop being bit-identical
+// across runs. The fix is always the same — canonicalize after collecting:
+// sort with slices.Sort*, or route elements through an order-insensitive
+// structure (hash partitioning, a set keyed by content).
+//
+// The analyzer flags `s = append(s, ...)` inside a `range` over a map when
+// the appended values depend on the iteration variables and no slices.Sort*
+// call (or *Sort*/*Canonical* helper) mentioning s follows in the same
+// function.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flags slices built by ranging over a map without a subsequent slices.Sort*/canonicalization " +
+		"pass; map iteration order is randomized and breaks bit-identical confidences",
+	Run: runMapIter,
+}
+
+func runMapIter(p *Pass) {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		funcBodies(f, func(_ ast.Node, body *ast.BlockStmt) {
+			checkMapIterBody(p, body)
+		})
+	}
+}
+
+func checkMapIterBody(p *Pass, body *ast.BlockStmt) {
+	type appendSite struct {
+		pos  token.Pos
+		dest types.Object // root object of the append destination
+	}
+	var sites []appendSite
+
+	walkShallow(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := types.Unalias(typeDeref(p.TypesInfo.TypeOf(rng.X))).(*types.Map); !isMap {
+			return true
+		}
+		iterVars := make(map[types.Object]bool)
+		for _, v := range []ast.Expr{rng.Key, rng.Value} {
+			if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+				if obj := objOf(p.TypesInfo, id); obj != nil {
+					iterVars[obj] = true
+				}
+			}
+		}
+		// Values derived from the iteration variables inside the loop body
+		// inherit the order dependency one level deep (v := m[k] etc.).
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+				for i, lhs := range as.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if mentionsAny(p, as.Rhs[i], iterVars) {
+						if obj := objOf(p.TypesInfo, id); obj != nil {
+							iterVars[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isBuiltinAppend(p, call) {
+				return true
+			}
+			// Order only leaks when the appended values depend on which
+			// iteration produced them; appending a constant per entry
+			// (counting) is order-free.
+			dep := false
+			for _, arg := range call.Args[1:] {
+				if mentionsAny(p, arg, iterVars) {
+					dep = true
+					break
+				}
+			}
+			if !dep {
+				return true
+			}
+			if obj := rootObj(p, call.Args[0]); obj != nil {
+				sites = append(sites, appendSite{pos: call.Pos(), dest: obj})
+			} else {
+				sites = append(sites, appendSite{pos: call.Pos()})
+			}
+			return true
+		})
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	// A later canonicalization pass clears a destination: a slices.Sort*
+	// call with the destination as an argument, or any call whose name
+	// suggests sorting/canonicalizing it.
+	canonical := make(map[types.Object]bool)
+	walkShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(p, call)
+		if name == "" {
+			return true
+		}
+		isSorter := false
+		if pkg, fn := pkgFunc(p.TypesInfo, call); (pkg == "slices" || pkg == "sort") && strings.Contains(fn, "Sort") {
+			isSorter = true
+		}
+		lower := strings.ToLower(name)
+		if strings.Contains(lower, "sort") || strings.Contains(lower, "canonical") {
+			isSorter = true
+		}
+		if !isSorter {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := rootObj(p, arg); obj != nil {
+				canonical[obj] = true
+			}
+		}
+		if recv, _ := methodCall(p.TypesInfo, call); recv != nil {
+			if obj := rootObj(p, recv); obj != nil {
+				canonical[obj] = true
+			}
+		}
+		return true
+	})
+
+	for _, s := range sites {
+		if s.dest != nil && canonical[s.dest] {
+			continue
+		}
+		p.Reportf(s.pos, "slice built from map iteration order is nondeterministic; sort it with slices.Sort* (or canonicalize) before it escapes — map order randomization breaks bit-identical confidences (see PR 3's clause-order canonicalization)")
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the predeclared append.
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	_, isBuiltin := objOf(p.TypesInfo, id).(*types.Builtin)
+	return isBuiltin
+}
+
+// mentionsAny reports whether expr references any object in set.
+func mentionsAny(p *Pass, expr ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := objOf(p.TypesInfo, id); obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObj resolves the root identifier object of expr (s, s[i], s.f, *s).
+func rootObj(p *Pass, expr ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return objOf(p.TypesInfo, v)
+		case *ast.IndexExpr:
+			expr = v.X
+		case *ast.SelectorExpr:
+			// For s.f keep the selected field's object if any, else the base.
+			if sel, ok := p.TypesInfo.Selections[v]; ok {
+				return sel.Obj()
+			}
+			expr = v.X
+		case *ast.SliceExpr:
+			expr = v.X
+		case *ast.StarExpr:
+			expr = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeName returns the syntactic name of the called function, method, or
+// package function ("" for anonymous calls).
+func calleeName(p *Pass, call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,43 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// SortSlice bans the reflection-based sort.Slice family in favor of the
+// generic slices.Sort* functions. PR 5 converted all thirteen non-test
+// sort.Slice sites (and every sort.Strings) repo-wide because the closure
+// + reflect.Swapper path allocates on every call and the slices functions
+// don't; this analyzer keeps the conversion from regressing.
+var SortSlice = &Analyzer{
+	Name: "sortslice",
+	Doc: "flags sort.Slice/sort.SliceStable/sort.Strings/sort.Ints/sort.Float64s; " +
+		"use the allocation-free generic slices.Sort/slices.SortFunc/slices.SortStableFunc instead",
+	Run: runSortSlice,
+}
+
+// banned sort functions -> suggested replacement.
+var sortSliceBanned = map[string]string{
+	"Slice":       "slices.SortFunc",
+	"SliceStable": "slices.SortStableFunc",
+	"Strings":     "slices.Sort",
+	"Ints":        "slices.Sort",
+	"Float64s":    "slices.Sort",
+}
+
+func runSortSlice(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name := pkgFunc(p.TypesInfo, call); pkg == "sort" {
+				if repl, bad := sortSliceBanned[name]; bad {
+					p.Reportf(call.Pos(), "sort.%s allocates via reflection on every call; use %s (see PR 5's slices conversion)", name, repl)
+				}
+			}
+			return true
+		})
+	}
+}

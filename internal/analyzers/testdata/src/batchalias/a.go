@@ -1,0 +1,111 @@
+// Fixture for the batchalias analyzer: retaining tuples handed out by
+// NextBatch-shaped calls without a clone.
+package batchalias
+
+import "repro/internal/table"
+
+type op interface {
+	NextBatch(dst []table.Tuple) (int, error)
+}
+
+type sink struct {
+	rows []table.Tuple
+	cur  table.Tuple
+}
+
+func retainRange(o op) ([]table.Tuple, error) {
+	buf := make([]table.Tuple, 64)
+	var out []table.Tuple
+	for {
+		n, err := o.NextBatch(buf)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		for _, t := range buf[:n] {
+			out = append(out, t) // want `appended without a clone`
+		}
+	}
+}
+
+func retainIndexed(o op, s *sink) error {
+	buf := make([]table.Tuple, 64)
+	n, err := o.NextBatch(buf)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		s.rows = append(s.rows, buf[i]) // want `appended without a clone`
+	}
+	s.cur = buf[0] // want `stored in a field without a clone`
+	return nil
+}
+
+func retainAlias(o op, s *sink) error {
+	buf := make([]table.Tuple, 64)
+	if _, err := o.NextBatch(buf); err != nil {
+		return err
+	}
+	t := buf[0]
+	s.cur = t // want `stored in a field without a clone`
+	return nil
+}
+
+func retainWholesale(o op) []table.Tuple {
+	buf := make([]table.Tuple, 64)
+	n, _ := o.NextBatch(buf)
+	var out []table.Tuple
+	out = append(out, buf[:n]...) // want `appended wholesale`
+	return out
+}
+
+func cloneThroughSlab(o op) ([]table.Tuple, error) {
+	buf := make([]table.Tuple, 64)
+	var slab table.Slab
+	var out []table.Tuple
+	for {
+		n, err := o.NextBatch(buf)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		for _, t := range buf[:n] {
+			out = append(out, slab.Clone(t)) // ok: slab-cloned
+		}
+	}
+}
+
+func cloneThroughMethod(o op) ([]table.Tuple, error) {
+	buf := make([]table.Tuple, 64)
+	var out []table.Tuple
+	n, err := o.NextBatch(buf)
+	for i := 0; i < n; i++ {
+		out = append(out, buf[i].Clone()) // ok: cloned
+	}
+	return out, err
+}
+
+func fillCallerBatch(o op, dst []table.Tuple) (int, error) {
+	buf := make([]table.Tuple, len(dst))
+	n, err := o.NextBatch(buf)
+	for i := 0; i < n; i++ {
+		dst[i] = buf[i] // ok: dst is the caller's batch parameter
+	}
+	return n, err
+}
+
+type cursor struct{ cur table.Tuple }
+
+func (c *cursor) advanceAllowed(o op) error {
+	buf := make([]table.Tuple, 8)
+	if _, err := o.NextBatch(buf); err != nil {
+		return err
+	}
+	//sproutvet:allow batchalias cursor only lives until the next NextBatch call on o
+	c.cur = buf[0]
+	return nil
+}

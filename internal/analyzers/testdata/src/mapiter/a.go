@@ -1,0 +1,79 @@
+// Fixture for the mapiter analyzer: slices built from randomized map
+// iteration order must be canonicalized before they escape.
+package mapiter
+
+import "slices"
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration order`
+	}
+	return out
+}
+
+func valuesUnsorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `map iteration order`
+	}
+	return out
+}
+
+func derivedUnsorted(m map[string]int) []int {
+	var out []int
+	for k := range m {
+		v := m[k] * 2
+		out = append(out, v) // want `map iteration order`
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // ok: sorted below
+	}
+	slices.Sort(out)
+	return out
+}
+
+func sortedViaHelper(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // ok: canonicalized by the helper below
+	}
+	sortAndDedup(out)
+	return out
+}
+
+func sortAndDedup(s []string) {
+	slices.Sort(s)
+}
+
+func orderFreeCount(m map[string]int) []int {
+	var out []int
+	for range m {
+		out = append(out, 1) // ok: appended value is independent of order
+	}
+	return out
+}
+
+func intoMapIsFine(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v // ok: destination is order-insensitive
+	}
+	return out
+}
+
+func allowedSite(m map[string]int, emit func(string)) {
+	var out []string
+	for k := range m {
+		//sproutvet:allow mapiter consumer treats this as a set; order never reaches output
+		out = append(out, k)
+	}
+	for _, k := range out {
+		emit(k)
+	}
+}

@@ -1,0 +1,50 @@
+// Fixture for the poolreset analyzer: sync.Pool values with a Reset method
+// must be Reset before reuse.
+package poolreset
+
+import "sync"
+
+type builder struct{ memo map[int]int }
+
+func (b *builder) Reset() { clear(b.memo) }
+
+type plain struct{ n int }
+
+var pool sync.Pool
+var plainPool sync.Pool
+
+func missingReset() *builder {
+	b, _ := pool.Get().(*builder) // want `never Reset`
+	if b == nil {
+		b = &builder{memo: map[int]int{}}
+	}
+	return b
+}
+
+func missingResetNoOk() *builder {
+	b := pool.Get().(*builder) // want `never Reset`
+	return b
+}
+
+func blessedShape() *builder {
+	b, _ := pool.Get().(*builder) // ok: Reset in the else branch
+	if b == nil {
+		b = &builder{memo: map[int]int{}}
+	} else {
+		b.Reset()
+	}
+	return b
+}
+
+func noResetMethod() *plain {
+	p, _ := plainPool.Get().(*plain) // ok: *plain has no Reset
+	if p == nil {
+		p = &plain{}
+	}
+	return p
+}
+
+func allowedSite() *builder {
+	b, _ := pool.Get().(*builder) //sproutvet:allow poolreset builder is discarded after inspection, never compiled with
+	return b
+}

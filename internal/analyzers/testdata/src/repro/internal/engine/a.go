@@ -1,0 +1,40 @@
+// Fixture for the fnvkey analyzer. It lives at the import path
+// repro/internal/engine because fnvkey only fires in the hot-path packages.
+package engine
+
+import "fmt"
+
+func bad(m map[string]int, a, b string) {
+	m[fmt.Sprintf("%s|%s", a, b)]++ // want `string rendering`
+	m[a+"|"+b] = 1                  // want `string rendering`
+	key := fmt.Sprintf("%s|%s", a, b)
+	m[key] = 2 // want `built by string rendering`
+}
+
+func directIndexRead(m map[string]int, a, b string) int {
+	return m[fmt.Sprint(a, b)] // want `string rendering`
+}
+
+func good(m map[string]int, byHash map[uint64]int, a, b string) {
+	m[a] = 1            // ok: no rendering
+	m["li"+"teral"] = 1 // ok: constant concatenation folds at compile time
+	byHash[fnv(a, b)] = 1
+	s := fmt.Sprintf("%s|%s", a, b)
+	use(s) // ok: rendered string not used as a map key
+}
+
+func fnv(a, b string) uint64 {
+	h := uint64(1469598103934665603)
+	for _, s := range [2]string{a, b} {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+	}
+	return h
+}
+
+func use(string) {}
+
+func allowedSite(m map[string]int, a, b string) {
+	m[a+b] = 1 //sproutvet:allow fnvkey cold path run once per query, readability wins over the alloc
+}

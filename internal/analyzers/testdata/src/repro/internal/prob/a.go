@@ -1,0 +1,43 @@
+// Fixture for the detrand analyzer. It lives at the import path
+// repro/internal/prob because detrand only fires inside the deterministic
+// packages.
+package prob
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func bad(t0 time.Time) {
+	_ = rand.Intn(10)                  // want `global math/rand.Intn`
+	_ = rand.Float64()                 // want `global math/rand.Float64`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand.Shuffle`
+	_ = time.Now()                     // want `time.Now is nondeterministic`
+	_ = time.Since(t0)                 // want `time.Since is nondeterministic`
+	_ = os.Getpid()                    // want `os.Getpid varies per process`
+}
+
+func seededIsFine(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64() // ok: seeded stream, method call
+}
+
+func allowed() time.Time {
+	return time.Now() //sproutvet:allow detrand fixture demonstrates the documented escape hatch
+}
+
+func allowedAbove() time.Time {
+	//sproutvet:allow detrand the own-line directive form covers the next line
+	return time.Now()
+}
+
+func reasonMissing() time.Time {
+	/* want `needs a non-empty reason` */ //sproutvet:allow detrand
+	return time.Now()                     // want `time.Now is nondeterministic`
+}
+
+func unknownAnalyzer() {
+	/* want `unknown analyzer` */ //sproutvet:allow nosuchanalyzer because reasons
+	_ = 1
+}

@@ -1,0 +1,16 @@
+// Fixture pinning the package scoping of detrand and fnvkey: this package
+// is outside both watch lists, so the violations below must produce zero
+// diagnostics (no want comments anywhere in this file).
+package scopecheck
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func nondeterminismOutsideWatchedPackages(m map[string]int, a string) {
+	_ = rand.Intn(10)
+	_ = time.Now()
+	m[fmt.Sprintf("%s", a)] = 1
+}

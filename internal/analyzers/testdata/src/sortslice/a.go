@@ -1,0 +1,36 @@
+// Fixture for the sortslice analyzer: the reflection-based sort.Slice
+// family is banned in favor of the slices generics.
+package sortslice
+
+import (
+	"slices"
+	"sort"
+)
+
+func bad(xs []int, ss []string, fs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })       // want `sort.Slice allocates`
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort.SliceStable allocates`
+	sort.Strings(ss)                                                   // want `sort.Strings allocates`
+	sort.Ints(xs)                                                      // want `sort.Ints allocates`
+	sort.Float64s(fs)                                                  // want `sort.Float64s allocates`
+}
+
+func good(xs []int, ss []string) {
+	slices.Sort(xs)
+	slices.Sort(ss)
+	slices.SortFunc(xs, func(a, b int) int { return a - b })
+}
+
+type byLen []string
+
+func (s byLen) Len() int           { return len(s) }
+func (s byLen) Less(i, j int) bool { return len(s[i]) < len(s[j]) }
+func (s byLen) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+func interfaceSortIsFine(s byLen) {
+	sort.Sort(s) // ok: sort.Sort over a concrete Interface impl is not banned
+}
+
+func allowedSite(xs []int) {
+	sort.Ints(xs) //sproutvet:allow sortslice exercising the reflection path deliberately in this fixture
+}

@@ -1,0 +1,156 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Path-based scoping. Analyzers match packages by normalized import path so
+// the same code paths cover the real module ("repro/internal/prob"), the go
+// vet test variants ("repro/internal/prob [repro/internal/prob.test]"), and
+// the analyzertest fixture packages (which are loaded under the real import
+// paths from testdata/src).
+
+// normPath strips the " [pkg.test]" suffix go vet appends to test variants
+// and the trailing "_test" of external test packages.
+func normPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+// isTestFile reports whether pos sits in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// pkgIn reports whether the pass's package is one of the listed import
+// paths (normalized).
+func pkgIn(p *Pass, paths ...string) bool {
+	got := normPath(p.Pkg.Path())
+	for _, want := range paths {
+		if got == want {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFunc resolves call to a package-level function and returns its package
+// path and name ("", "" when the callee is anything else: a method, a
+// conversion, a local closure).
+func pkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fn].(*types.Func); ok && f.Pkg() != nil && f.Type().(*types.Signature).Recv() == nil {
+			return f.Pkg().Path(), f.Name()
+		}
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[x].(*types.PkgName); isPkg {
+				if f, ok := info.Uses[fn.Sel].(*types.Func); ok && f.Pkg() != nil {
+					return f.Pkg().Path(), f.Name()
+				}
+			}
+		}
+	}
+	return "", ""
+}
+
+// methodCall resolves call to a method invocation and returns the receiver
+// expression and the method's name ("" when not a method call).
+func methodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return nil, ""
+	}
+	return sel.X, sel.Sel.Name
+}
+
+// namedFrom unwraps pointers and aliases down to a *types.Named, or nil.
+func namedFrom(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamedType reports whether t (possibly behind a pointer) is the named
+// type pkgSuffix.name, where pkgSuffix matches the end of the defining
+// package's path (so "internal/table".Tuple matches both the real module
+// path and fixture stubs).
+func isNamedType(t types.Type, pkgSuffix, name string) bool {
+	n := namedFrom(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Name() != name {
+		return false
+	}
+	p := normPath(n.Obj().Pkg().Path())
+	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
+}
+
+// hasMethod reports whether t or *t has a method with the given name.
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(types.NewPointer(typeDeref(t)))
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func typeDeref(t types.Type) types.Type {
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// objOf returns the object an identifier denotes (definition or use).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// funcBodies walks every function, method, and closure body in the file,
+// handing each to fn together with its declaring node. Each body is handed
+// out exactly once: use walkShallow inside fn so a nested closure is
+// analyzed as its own scope, not twice.
+func funcBodies(file *ast.File, fn func(decl ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d, d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d, d.Body)
+		}
+		return true
+	})
+}
+
+// walkShallow inspects body without descending into nested function
+// literals (they get their own funcBodies visit).
+func walkShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

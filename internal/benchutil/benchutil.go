@@ -300,13 +300,13 @@ func Fig13(d *tpch.Data) ([]Fig13Row, error) {
 		row := Fig13Row{Query: name, Answers: int64(answer.Len())}
 
 		// Sequential scan of the materialized answer.
-		t0 := time.Now()
+		t0 := stopwatchStart()
 		scanned, err := engine.Count(engine.NewMemScan(answer))
 		if err != nil {
 			return nil, err
 		}
 		_ = scanned
-		row.SeqScan = time.Since(t0)
+		row.SeqScan = stopwatchSplit(t0)
 
 		// One sort in the operator's order (all columns as key is a fair
 		// stand-in: data columns followed by variable columns).
@@ -314,7 +314,7 @@ func Fig13(d *tpch.Data) ([]Fig13Row, error) {
 		for i := range allCols {
 			allCols[i] = i
 		}
-		t0 = time.Now()
+		t0 = stopwatchStart()
 		sorter := storage.NewExternalSorter(func(a, b table.Tuple) int {
 			return table.CompareOn(a, b, allCols)
 		}, 0, "")
@@ -337,24 +337,24 @@ func Fig13(d *tpch.Data) ([]Fig13Row, error) {
 			}
 		}
 		it.Close()
-		row.Sort = time.Since(t0)
+		row.Sort = stopwatchSplit(t0)
 
 		// Operator without FD refinement (conservative signature).
-		t0 = time.Now()
+		t0 = stopwatchStart()
 		_, stats, err := conf.ComputeStats(cloneRel(answer), conservative, conf.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("fig13 %s no-FD operator: %w", name, err)
 		}
-		row.OpNoFDs = time.Since(t0)
+		row.OpNoFDs = stopwatchSplit(t0)
 		row.ScansNoFDs = stats.Scans
 
 		// Operator with the FD-refined signature.
-		t0 = time.Now()
+		t0 = stopwatchStart()
 		out, stats, err := conf.ComputeStats(cloneRel(answer), refined, conf.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("fig13 %s FD operator: %w", name, err)
 		}
-		row.OpWithFDs = time.Since(t0)
+		row.OpWithFDs = stopwatchSplit(t0)
 		row.ScansFDs = stats.Scans
 		row.Distinct = int64(out.Len())
 		rows = append(rows, row)

@@ -70,12 +70,12 @@ func ParallelScaling(d *tpch.Data, workerCounts []int, styles []plan.Style, reps
 			var best *plan.Result
 			var bestWall time.Duration
 			for r := 0; r < reps; r++ {
-				t0 := time.Now()
+				t0 := stopwatchStart()
 				res, err := plan.Run(catalog, UnsafeQuery().Clone(), sigma, spec)
 				if err != nil {
 					return nil, fmt.Errorf("benchutil: parallel %s workers=%d: %w", style, w, err)
 				}
-				if wall := time.Since(t0); best == nil || wall < bestWall {
+				if wall := stopwatchSplit(t0); best == nil || wall < bestWall {
 					best, bestWall = res, wall
 				}
 			}

@@ -3,7 +3,7 @@ package engine
 import (
 	"math/rand"
 	"path/filepath"
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -171,7 +171,7 @@ func TestMergeJoinMatchesHashJoin(t *testing.T) {
 		for i, r := range rows {
 			out[i] = r.String()
 		}
-		sort.Strings(out)
+		slices.Sort(out)
 		return out
 	}
 	hc, mc := canon(hjRows), canon(mjRows)

@@ -124,6 +124,7 @@ func (j *HashJoin) NextBatch(dst []table.Tuple) (int, error) {
 			}
 			j.inN, j.inPos = k, 0
 		}
+		//sproutvet:allow batchalias probe cursor lives only until j.in is refilled, and its matches drain first (see NextBatch doc)
 		j.curLeft = j.in[j.inPos]
 		j.inPos++
 		g, ok := j.built.Lookup(j.curLeft, j.LeftKeys)

@@ -1,7 +1,7 @@
 package fd
 
 import (
-	"sort"
+	"slices"
 	"strings"
 	"testing"
 
@@ -89,7 +89,7 @@ func TestReductExIV3(t *testing.T) {
 			t.Fatalf("relation %s missing from reduct", name)
 		}
 		out := append([]string(nil), r.Attrs...)
-		sort.Strings(out)
+		slices.Sort(out)
 		return out
 	}
 	// Item(okey,discount,ckey,odate), Ord(okey,ckey,odate), Cust(ckey).

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -263,7 +264,7 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	for k := range s.Histograms {
 		hkeys = append(hkeys, k)
 	}
-	sort.Strings(hkeys)
+	slices.Sort(hkeys)
 	for i, k := range hkeys {
 		h := s.Histograms[k]
 		p("%s\n    %q: {\"count\": %d, \"sum_sec\": %g, \"buckets\": {", comma(i), k, h.Count, h.SumSec)
@@ -281,7 +282,7 @@ func sortedKeys(m map[string]int64) []string {
 	for k := range m {
 		ks = append(ks, k)
 	}
-	sort.Strings(ks)
+	slices.Sort(ks)
 	return ks
 }
 

@@ -1,0 +1,20 @@
+package plan
+
+import "time"
+
+// Wall-clock access in plan is funneled through these two helpers so the
+// detrand analyzer documents exactly where nondeterminism enters: execution
+// phase timings reported in Stats (and recorded in traces/metrics), which
+// never feed back into confidences or plan choice. New timing sites should
+// call these instead of time.Now/Since directly — a direct call trips
+// sproutvet's detrand check.
+
+// statsNow is time.Now for Stats/trace phase timings only.
+func statsNow() time.Time {
+	return time.Now() //sproutvet:allow detrand wall-clock feeds only Stats wall-time fields, never confidences or plan choice
+}
+
+// statsSince is time.Since for Stats/trace phase timings only.
+func statsSince(t0 time.Time) time.Duration {
+	return time.Since(t0) //sproutvet:allow detrand wall-clock feeds only Stats wall-time fields, never confidences or plan choice
+}

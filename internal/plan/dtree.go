@@ -25,7 +25,7 @@ import (
 // answer: decompose each answer's lineage, exact under the step budget,
 // certified bounds beyond it.
 func finishDTree(ex exec, q *query.Query, b *built, spec Spec, answer *table.Relation, tupleTime time.Duration) (*Result, error) {
-	t1 := time.Now()
+	t1 := statsNow()
 	out, ds, err := conf.DTree(ex.ctx, ex.pool, answer, spec.DTree, spec.RequireExact)
 	if err != nil {
 		if errors.Is(err, conf.ErrDTreeBudget) {
@@ -33,7 +33,7 @@ func finishDTree(ex exec, q *query.Query, b *built, spec Spec, answer *table.Rel
 		}
 		return nil, err
 	}
-	probTime := time.Since(t1)
+	probTime := statsSince(t1)
 	out, err = normalizeAnswer(out, q)
 	if err != nil {
 		return nil, err

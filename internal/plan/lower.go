@@ -193,12 +193,12 @@ func (st *lowerState) materializeConf(cf *logical.Conf, sp *obs.Span) (*table.Re
 		return nil, err
 	}
 	for _, op := range cf.Ops {
-		pt0 := time.Now()
+		pt0 := statsNow()
 		next, rep, n, err := conf.Aggregate(rel, op, st.spec.Conf)
 		if err != nil {
 			return nil, err
 		}
-		d := time.Since(pt0)
+		d := statsSince(pt0)
 		st.probTime += d
 		st.scans += n
 		csp := sp.Child("conf[" + op.String() + "]")
@@ -222,12 +222,12 @@ func runLogical(ex exec, c *Catalog, q *query.Query, b *built, spec Spec) (*Resu
 	}
 	st := &lowerState{ex: ex, c: c, q: q, spec: spec, cur: b.sig}
 	answerSp := ex.span("answer: " + describeOrder(b.order))
-	t0 := time.Now()
+	t0 := statsNow()
 	answer, err := st.materialize(root.Input, answerSp)
 	if err != nil {
 		return nil, err
 	}
-	tupleTime := time.Since(t0) - st.probTime
+	tupleTime := statsSince(t0) - st.probTime
 	answerSp.Int("rows", int64(answer.Len()))
 	answerSp.SetDur(tupleTime)
 
@@ -253,7 +253,7 @@ func runLogical(ex exec, c *Catalog, q *query.Query, b *built, spec Spec) (*Resu
 // signature to a single representative.
 func (st *lowerState) finishSortScan(b *built, rel *table.Relation, tupleTime time.Duration) (*Result, error) {
 	sp := st.ex.span("conf[sort+scan]")
-	pt0 := time.Now()
+	pt0 := statsNow()
 	var out *table.Relation
 	var err error
 	if bare, ok := st.cur.(signature.Table); ok {
@@ -272,7 +272,7 @@ func (st *lowerState) finishSortScan(b *built, rel *table.Relation, tupleTime ti
 		sp.Int("scans", int64(cstats.Scans)).Int("sorts", int64(cstats.Sorts))
 		sp.LooseInt("spilled_runs", int64(cstats.SpilledRuns))
 	}
-	d := time.Since(pt0)
+	d := statsSince(pt0)
 	sp.Str("sig", st.cur.String()).Int("rows_in", int64(rel.Len())).Int("distinct", int64(out.Len()))
 	sp.SetDur(d)
 	st.probTime += d
@@ -302,7 +302,7 @@ func (st *lowerState) finishSortScan(b *built, rel *table.Relation, tupleTime ti
 // answer: compile each answer's lineage into a reduced OBDD, exact under
 // the node budget, certified bounds beyond it.
 func finishOBDD(ex exec, q *query.Query, b *built, spec Spec, answer *table.Relation, tupleTime time.Duration) (*Result, error) {
-	t1 := time.Now()
+	t1 := statsNow()
 	out, os, err := conf.OBDD(ex.ctx, ex.pool, answer, b.sig, spec.OBDD, spec.RequireExact)
 	if err != nil {
 		if errors.Is(err, conf.ErrOBDDBudget) {
@@ -310,7 +310,7 @@ func finishOBDD(ex exec, q *query.Query, b *built, spec Spec, answer *table.Rela
 		}
 		return nil, err
 	}
-	probTime := time.Since(t1)
+	probTime := statsSince(t1)
 	out, err = normalizeAnswer(out, q)
 	if err != nil {
 		return nil, err
@@ -327,7 +327,7 @@ func finishOBDD(ex exec, q *query.Query, b *built, spec Spec, answer *table.Rela
 // is collected once and shared by every rung.
 func finishFallbackChain(ex exec, q *query.Query, b *built, spec Spec, answer *table.Relation, tupleTime time.Duration) (*Result, error) {
 	lsp := ex.span("conf[ladder]")
-	t1 := time.Now()
+	t1 := statsNow()
 	l, err := conf.CollectLineage(answer)
 	if err != nil {
 		return nil, err
@@ -335,7 +335,7 @@ func finishFallbackChain(ex exec, q *query.Query, b *built, spec Spec, answer *t
 	lsp.Int("answers", int64(len(l.Keys))).Int("clauses", l.Clauses).Int("vars", l.Vars).Int("dedup_rows", l.DupRows)
 	out, os, err := conf.OBDDLineage(ex.ctx, ex.pool, l, nil, spec.OBDD, true)
 	if err == nil {
-		probTime := time.Since(t1)
+		probTime := statsSince(t1)
 		out, err = normalizeAnswer(out, q)
 		if err != nil {
 			return nil, err
@@ -349,7 +349,7 @@ func finishFallbackChain(ex exec, q *query.Query, b *built, spec Spec, answer *t
 	lsp.Child("obdd").Str("outcome", "node budget exceeded")
 	dout, ds, err := conf.DTreeLineage(ex.ctx, ex.pool, l, spec.DTree, true)
 	if err == nil {
-		probTime := time.Since(t1)
+		probTime := statsSince(t1)
 		dout, err = normalizeAnswer(dout, q)
 		if err != nil {
 			return nil, err
@@ -362,5 +362,5 @@ func finishFallbackChain(ex exec, q *query.Query, b *built, spec Spec, answer *t
 	}
 	lsp.Child("dtree").Str("outcome", "step budget exceeded")
 	note := fmt.Sprintf(" (fallback from %s: no hierarchical signature, OBDD and d-tree budgets exceeded)", spec.Style)
-	return finishMonteCarlo(ex, lsp.Child("mc"), q, spec, note, b.order, answer, l, tupleTime, time.Since(t1))
+	return finishMonteCarlo(ex, lsp.Child("mc"), q, spec, note, b.order, answer, l, tupleTime, statsSince(t1))
 }

@@ -24,7 +24,7 @@ import (
 // Stats.ProbTime reports the real cost of the fallback. note annotates the
 // plan line when the run is a fallback from an exact style.
 func finishMonteCarlo(ex exec, sp *obs.Span, q *query.Query, spec Spec, note string, order []query.RelRef, answer *table.Relation, l *conf.Lineage, tupleTime, probSpent time.Duration) (*Result, error) {
-	t1 := time.Now()
+	t1 := statsNow()
 	if l == nil {
 		var err error
 		l, err = conf.CollectLineage(answer)
@@ -36,7 +36,7 @@ func finishMonteCarlo(ex exec, sp *obs.Span, q *query.Query, spec Spec, note str
 	if err != nil {
 		return nil, err
 	}
-	probTime := probSpent + time.Since(t1)
+	probTime := probSpent + statsSince(t1)
 	out, err = normalizeAnswer(out, q)
 	if err != nil {
 		return nil, err

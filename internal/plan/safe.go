@@ -3,7 +3,6 @@ package plan
 import (
 	"fmt"
 	"math"
-	"time"
 
 	"repro/internal/conf"
 	"repro/internal/engine"
@@ -32,7 +31,7 @@ func lowerSafe(ex exec, c *Catalog, q *query.Query, b *built, spec Spec) (*Resul
 	if !ok || root.Alg != logical.AlgIndProject || !root.Final {
 		return nil, fmt.Errorf("plan: safe plan for %s lacks the final π^ind", q.Name)
 	}
-	t0 := time.Now()
+	t0 := statsNow()
 	s := &safeLower{cat: c, q: q, ex: ex}
 	op, err := s.node(root.Input)
 	if err != nil {
@@ -66,7 +65,7 @@ func lowerSafe(ex exec, c *Catalog, q *query.Query, b *built, spec Spec) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	total := time.Since(t0)
+	total := statsSince(t0)
 	if sp := ex.span("safe plan"); sp != nil {
 		sp.Str("tree", b.tree.String())
 		sp.Int("aggregations", int64(s.aggregations))

@@ -316,7 +316,7 @@ func (p *Prepared) Run(ctx context.Context) (*Result, error) {
 	spec.Conf.Ctx, spec.Conf.Pool = ctx, p.pool
 	spec.MC.Pool = p.pool
 	reg := p.spec.Metrics
-	t0 := time.Now()
+	t0 := statsNow()
 	// Every served run counts, failed or not; latency and work counters are
 	// only recorded for completed runs. The nil-registry path must stay
 	// zero-cost, so even the name concatenation is guarded.
@@ -339,7 +339,7 @@ func (p *Prepared) Run(ctx context.Context) (*Result, error) {
 	}
 	res.Stats.Trace = tr
 	if reg != nil {
-		p.record(reg, &res.Stats, time.Since(t0))
+		p.record(reg, &res.Stats, statsSince(t0))
 	}
 	return res, nil
 }

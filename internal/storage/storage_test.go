@@ -3,7 +3,7 @@ package storage
 import (
 	"math/rand"
 	"path/filepath"
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -336,7 +336,7 @@ func TestExternalSortSpilling(t *testing.T) {
 	if s.Spills() < 2 {
 		t.Fatalf("expected multiple spilled runs, got %d", s.Spills())
 	}
-	sort.Ints(vals)
+	slices.Sort(vals)
 	for i := 0; i < n; i++ {
 		tup, ok, err := it.Next()
 		if err != nil || !ok {
@@ -398,7 +398,7 @@ func TestQuickExternalSortMatchesSortSlice(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer it.Close()
-		sort.Ints(vals)
+		slices.Sort(vals)
 		for i := 0; i < n; i++ {
 			tup, ok, err := it.Next()
 			if err != nil || !ok || tup[0].I != int64(vals[i]) {
