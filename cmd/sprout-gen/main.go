@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/tpch"
 )
@@ -56,6 +57,13 @@ func main() {
 	}
 	fmt.Printf("total: %d tuples, %d pages (%.1f MiB)\n",
 		totalTuples, totalPages, float64(totalPages)*storage.PageSize/(1<<20))
+
+	// Persist the ANALYZE sidecar so loaders (tpch.OpenDiskCatalog) skip the
+	// first-query statistics pass.
+	if err := stats.SaveSidecar(*out, d.Sidecar()); err != nil {
+		fail(err)
+	}
+	fmt.Printf("stats sidecar: %s\n", filepath.Join(*out, stats.SidecarFile))
 }
 
 func fail(err error) {

@@ -28,10 +28,22 @@ import (
 // batch) and is allowed. Sites that legitimately retain a tuple only for
 // the current batch's lifetime (e.g. the hash join's probe cursor) document
 // themselves with //sproutvet:allow batchalias <reason>.
+//
+// The columnar tier (PR 9) has the same contract one level up: a
+// table.ColBatch filled by ColOperator.NextColBatch reuses its column
+// storage, so the column slices (Ints, Floats, Strs, Bytes, Offs, Codes,
+// Sel, …) and whole ColVec headers read out of such a batch are valid only
+// until the next NextColBatch call. The analyzer tracks the batches passed
+// to NextColBatch-shaped calls and flags storing a batch-reaching slice or
+// ColVec into a struct field or long-lived element, or appending the slice
+// header itself to a slice-of-slices. Writes into a ColBatch-typed
+// destination (dst.Cols[i] = …, dst.Sel = …) are the operator side of the
+// protocol and allowed; appending with ... copies the elements out and is
+// allowed too.
 var BatchAlias = &Analyzer{
 	Name: "batchalias",
-	Doc: "flags retaining tuples obtained from NextBatch/fillBatch without a table.Slab clone; " +
-		"batch buffers are reused and later batches overwrite retained tuples",
+	Doc: "flags retaining tuples obtained from NextBatch/fillBatch (or column slices from NextColBatch) " +
+		"without a clone; batch buffers are reused and later batches overwrite retained storage",
 	Run: runBatchAlias,
 }
 
@@ -42,6 +54,7 @@ func runBatchAlias(p *Pass) {
 		}
 		funcBodies(f, func(decl ast.Node, body *ast.BlockStmt) {
 			checkBatchAliasBody(p, decl, body)
+			checkColBatchAliasBody(p, body)
 		})
 	}
 }
@@ -210,6 +223,159 @@ func checkBatchAliasBody(p *Pass, decl ast.Node, body *ast.BlockStmt) {
 						continue // filling the caller's batch, or shuffling within one
 					}
 					p.Reportf(v.Rhs[i].Pos(), "tuple from a reused batch buffer is stored in long-lived storage without a clone; later batches overwrite it — clone through a table.Slab (see engine.drainCtx)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isColBatch reports whether t (possibly behind a pointer) is
+// table.ColBatch.
+func isColBatch(t types.Type) bool {
+	return isNamedType(t, "internal/table", "ColBatch")
+}
+
+// aliasesColStorage reports whether an expression's static type is storage
+// that aliases a column batch when read out of one: any slice (a column's
+// typed cells, the selection vector, flat bytes/offsets) or a ColVec header
+// (which carries all of those).
+func aliasesColStorage(t types.Type) bool {
+	if _, ok := types.Unalias(t).(*types.Slice); ok {
+		return true
+	}
+	return isNamedType(t, "internal/table", "ColVec")
+}
+
+// colBatchSourceCall reports whether call refills reused columnar batch
+// storage and returns the batch argument: X.NextColBatch(dst).
+func colBatchSourceCall(p *Pass, call *ast.CallExpr) (batch ast.Expr, ok bool) {
+	if recv, name := methodCall(p.TypesInfo, call); recv != nil && name == "NextColBatch" && len(call.Args) == 1 {
+		return call.Args[0], true
+	}
+	return nil, false
+}
+
+// baseIdentObj walks an index/selector/slice chain down to its base
+// identifier's object (b for b.Cols[i].Ints), unlike rootObj which stops at
+// the first selected field.
+func baseIdentObj(p *Pass, expr ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return objOf(p.TypesInfo, v)
+		case *ast.IndexExpr:
+			expr = v.X
+		case *ast.SelectorExpr:
+			expr = v.X
+		case *ast.SliceExpr:
+			expr = v.X
+		case *ast.StarExpr:
+			expr = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkColBatchAliasBody is the ColBatch half of the batch-storage contract:
+// flag retention of column slices or ColVec headers that reach a batch some
+// NextColBatch call refills.
+func checkColBatchAliasBody(p *Pass, body *ast.BlockStmt) {
+	info := p.TypesInfo
+
+	// Pass 1: the batches this function refills — the objects (vars or
+	// struct fields, via rootObj) passed as NextColBatch destinations.
+	batches := make(map[types.Object]bool)
+	walkShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		arg, ok := colBatchSourceCall(p, call)
+		if !ok {
+			return true
+		}
+		if obj := rootObj(p, arg); obj != nil && isColBatch(obj.Type()) {
+			batches[obj] = true
+		}
+		return true
+	})
+	if len(batches) == 0 {
+		return
+	}
+
+	// aliasing: e reads storage out of a tracked batch — its chain mentions
+	// a tracked object and its type is a slice or ColVec header.
+	aliases := make(map[types.Object]bool)
+	aliasing := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		if t == nil || !aliasesColStorage(t) {
+			return false
+		}
+		// A call result is a hand-off (HashInto, SelBuf, …): the callee is
+		// responsible for what it returns, same as the tuple rule.
+		if _, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+			return false
+		}
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if o := objOf(info, id); o != nil && aliases[o] {
+				return true
+			}
+		}
+		return mentionsAny(p, e, batches)
+	}
+
+	// Pass 2: one level of plain-ident aliasing (sel := b.Sel).
+	walkShallow(body, func(n ast.Node) bool {
+		v, ok := n.(*ast.AssignStmt)
+		if !ok || len(v.Lhs) != len(v.Rhs) {
+			return true
+		}
+		for i, lhs := range v.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" && aliasing(v.Rhs[i]) {
+				if o := objOf(info, id); o != nil {
+					aliases[o] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: flag retention.
+	walkShallow(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if !isBuiltinAppend(p, v) || v.Ellipsis.IsValid() {
+				// append(dst, b.Cols[i].Ints...) copies the cells out —
+				// only retaining the slice header itself aliases.
+				return true
+			}
+			for _, arg := range v.Args[1:] {
+				if aliasing(arg) {
+					p.Reportf(arg.Pos(), "column storage from a reused ColBatch is appended without a copy; the next NextColBatch overwrites it — copy the cells out (append with ...) or materialize through WriteRow/Value")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				if !aliasing(v.Rhs[i]) {
+					continue
+				}
+				l := ast.Unparen(lhs)
+				base := baseIdentObj(p, l)
+				// Writing into a ColBatch (dst.Cols[i] = …, dst.Sel = …) is
+				// an operator filling a batch — the protocol, not retention.
+				if base != nil && isColBatch(base.Type()) {
+					continue
+				}
+				switch l.(type) {
+				case *ast.SelectorExpr:
+					p.Reportf(v.Rhs[i].Pos(), "column storage from a reused ColBatch is stored in a field without a copy; it is only valid until the next NextColBatch call — copy the cells or document the single-batch lifetime with an allow directive")
+				case *ast.IndexExpr:
+					p.Reportf(v.Rhs[i].Pos(), "column storage from a reused ColBatch is stored in long-lived storage without a copy; the next NextColBatch overwrites it")
 				}
 			}
 		}

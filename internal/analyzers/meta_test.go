@@ -115,6 +115,21 @@ func TestSproutvetCatchesReintroducedViolations(t *testing.T) {
 				"\t}\n}\n",
 			wantMsg: "batchalias",
 		},
+		{
+			name: "retained ColBatch column slice in internal/engine",
+			pkg:  "./internal/engine",
+			file: filepath.Join(root, "internal", "engine", "zz_injected.go"),
+			src: "package engine\n\nimport \"repro/internal/table\"\n\n" +
+				"type injectedSink struct{ ints []int64 }\n\n" +
+				"func injectedColRetain(op ColOperator, s *injectedSink) error {\n" +
+				"\tb := table.NewColBatch(op.Schema())\n" +
+				"\tif _, err := op.NextColBatch(b); err != nil {\n" +
+				"\t\treturn err\n" +
+				"\t}\n" +
+				"\ts.ints = b.Cols[0].Ints\n" +
+				"\treturn nil\n}\n",
+			wantMsg: "batchalias",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

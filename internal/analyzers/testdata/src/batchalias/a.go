@@ -109,3 +109,104 @@ func (c *cursor) advanceAllowed(o op) error {
 	c.cur = buf[0]
 	return nil
 }
+
+// --- ColBatch half of the contract: NextColBatch refills reused column
+// storage, so slices and ColVec headers read out of the batch must not be
+// retained.
+
+type colOp interface {
+	NextColBatch(dst *table.ColBatch) (int, error)
+}
+
+type colSink struct {
+	ints   []int64
+	vec    table.ColVec
+	slices [][]int64
+}
+
+func colRetainField(o colOp, s *colSink) error {
+	b := &table.ColBatch{}
+	if _, err := o.NextColBatch(b); err != nil {
+		return err
+	}
+	s.ints = b.Cols[0].Ints // want `stored in a field without a copy`
+	s.vec = b.Cols[0]       // want `stored in a field without a copy`
+	return nil
+}
+
+func colRetainAlias(o colOp, s *colSink) error {
+	b := &table.ColBatch{}
+	if _, err := o.NextColBatch(b); err != nil {
+		return err
+	}
+	sel := b.Sel
+	s.slices = append(s.slices, nil)
+	s.slices[0] = nil
+	_ = sel
+	s.ints = nil
+	col := b.Cols[0].Ints
+	s.ints = col // want `stored in a field without a copy`
+	return nil
+}
+
+func colRetainAppend(o colOp, s *colSink) error {
+	b := &table.ColBatch{}
+	if _, err := o.NextColBatch(b); err != nil {
+		return err
+	}
+	s.slices = append(s.slices, b.Cols[0].Ints) // want `appended without a copy`
+	return nil
+}
+
+func colCopyOut(o colOp) ([]int64, error) {
+	b := &table.ColBatch{}
+	var out []int64
+	for {
+		n, err := o.NextColBatch(b)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		out = append(out, b.Cols[0].Ints...) // ok: the cells are copied out
+	}
+}
+
+type colOperator struct {
+	in  colOp
+	buf *table.ColBatch
+}
+
+func (c *colOperator) NextColBatch(dst *table.ColBatch) (int, error) {
+	n, err := c.in.NextColBatch(c.buf)
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	// Filling the caller's batch is the protocol, not retention.
+	dst.Cols[0] = c.buf.Cols[0]
+	dst.Sel = c.buf.Sel
+	dst.N = c.buf.N
+	return n, nil
+}
+
+func colHashHandoff(o colOp, hashes []uint64) ([]uint64, error) {
+	b := &table.ColBatch{}
+	if _, err := o.NextColBatch(b); err != nil {
+		return nil, err
+	}
+	hashes = b.HashInto([]int{0}, hashes) // ok: call results are hand-offs
+	return hashes, nil
+}
+
+type colCursor struct{ sel []int32 }
+
+func (c *colCursor) allowedRetain(o colOp) error {
+	b := &table.ColBatch{}
+	if _, err := o.NextColBatch(b); err != nil {
+		return err
+	}
+	//sproutvet:allow batchalias selection only lives until the next NextColBatch on o
+	c.sel = b.Sel
+	return nil
+}

@@ -21,3 +21,20 @@ func (s *Slab) Clone(t Tuple) Tuple {
 	copy(out, t)
 	return out
 }
+
+// Columnar stubs: just enough ColBatch/ColVec surface for the NextColBatch
+// fixtures to typecheck.
+type ColVec struct {
+	Ints []int64
+	Strs []string
+}
+
+type ColBatch struct {
+	N    int
+	Sel  []int32
+	Cols []ColVec
+}
+
+func (b *ColBatch) HashInto(idx []int, dst []uint64) []uint64 { return dst }
+
+func (b *ColBatch) WriteRow(i int, dst Tuple) {}

@@ -155,4 +155,19 @@ func TestCollectBatchIdentity(t *testing.T) {
 			}
 		}
 	}
+	// The columnar tier is part of the same identity contract: the pipeline
+	// below the distinct lowers to column batches (the distinct itself stays
+	// a row operator) and must produce the same relation.
+	got, _, err := CollectCtxVec(nil, build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ref.Len() {
+		t.Fatalf("columnar: %d rows, want %d", got.Len(), ref.Len())
+	}
+	for i := range ref.Rows {
+		if table.CompareOn(got.Rows[i], ref.Rows[i], []int{0, 1}) != 0 {
+			t.Fatalf("columnar: row %d = %v, want %v", i, got.Rows[i], ref.Rows[i])
+		}
+	}
 }

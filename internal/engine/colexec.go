@@ -1,0 +1,683 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/table"
+)
+
+// This file is the columnar execution tier: operators that move
+// table.ColBatch column vectors instead of []table.Tuple rows, in the
+// MonetDB/X100 vectorized tradition. The hot relational plumbing — scan,
+// filter, project, hash join — runs as tight per-column loops over typed
+// slices with a selection vector, paying one interface call per batch
+// instead of per-row Value unboxing. Everything above the columnar region
+// (sort, group-by, the confidence operator) keeps consuming rows: ColToRows
+// adapts a columnar pipeline back to the Volcano row interface, and
+// Columnarize/Vectorize lower a row plan into the maximal columnar region it
+// supports, falling back to rows at the first operator that has no columnar
+// form. The columnar path is a pure execution-strategy change: it emits the
+// same tuples in the same order as the row path (hashes via
+// ColBatch.HashInto are bit-identical to table.HashOn), so confidences are
+// pinned bit-identical across the two tiers.
+
+// ColOperator is the columnar Volcano interface. NextColBatch fills dst with
+// the next batch and returns the number of live rows (selection applied);
+// 0 means the stream is exhausted. The batch contents — column slices
+// included — are valid only until the next NextColBatch call on the same
+// operator; consumers that retain slices or cells across batches must copy
+// them (the batchalias analyzer enforces this).
+type ColOperator interface {
+	Schema() *table.Schema
+	Open() error
+	NextColBatch(dst *table.ColBatch) (int, error)
+	Close() error
+}
+
+// ColMemScan iterates an in-memory relation a column batch at a time,
+// transposing BatchSize rows per call.
+type ColMemScan struct {
+	Rel *table.Relation
+	pos int
+}
+
+// Schema returns the relation's schema.
+func (s *ColMemScan) Schema() *table.Schema { return s.Rel.Schema }
+
+// Open resets the cursor.
+func (s *ColMemScan) Open() error { s.pos = 0; return nil }
+
+// NextColBatch transposes up to BatchSize rows onto dst.
+func (s *ColMemScan) NextColBatch(dst *table.ColBatch) (int, error) {
+	if s.pos >= len(s.Rel.Rows) {
+		return 0, nil
+	}
+	dst.Reset(s.Rel.Schema)
+	for s.pos < len(s.Rel.Rows) && dst.N < BatchSize {
+		dst.AppendRow(s.Rel.Rows[s.pos])
+		s.pos++
+	}
+	return dst.N, nil
+}
+
+// Close is a no-op.
+func (s *ColMemScan) Close() error { return nil }
+
+// ColHeapScan iterates a heap file straight into column vectors: each
+// record's fields are decoded off the page (storage.FieldIter) and appended
+// onto the destination columns without ever materializing a row tuple.
+// String fields move as raw bytes into the dictionary or flat layout — the
+// per-row string allocation of the row scan disappears entirely.
+type ColHeapScan struct {
+	File   *storage.HeapFile
+	Pool   *storage.BufferPool
+	schema *table.Schema
+	sc     *storage.Scanner
+	// need marks the columns some consumer actually reads (nil = all).
+	// Dead columns are skipped while decoding — the field iterator still
+	// advances past their payload, but no vector is built. Set by pruneCols;
+	// a pruned column's vector stays empty, so a consumer reading it by
+	// mistake fails loudly on the bounds check rather than seeing stale data.
+	need []bool
+}
+
+// NewColHeapScan builds a columnar scan over a heap file whose tuples
+// conform to schema.
+func NewColHeapScan(f *storage.HeapFile, pool *storage.BufferPool, schema *table.Schema) *ColHeapScan {
+	return &ColHeapScan{File: f, Pool: pool, schema: schema}
+}
+
+// Schema returns the declared schema.
+func (s *ColHeapScan) Schema() *table.Schema { return s.schema }
+
+// Open positions a fresh scanner.
+func (s *ColHeapScan) Open() error {
+	s.sc = s.File.NewScanner(s.Pool)
+	return nil
+}
+
+// NextColBatch decodes up to BatchSize stored records onto dst's columns.
+func (s *ColHeapScan) NextColBatch(dst *table.ColBatch) (int, error) {
+	dst.Reset(s.schema)
+	for dst.N < BatchSize {
+		rec, ok, err := s.sc.NextRaw()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		it, err := storage.NewFieldIter(rec)
+		if err != nil {
+			return 0, err
+		}
+		if it.Len() != s.schema.Len() {
+			return 0, fmt.Errorf("engine: heap tuple arity %d != schema arity %d", it.Len(), s.schema.Len())
+		}
+		for c := 0; c < s.schema.Len(); c++ {
+			f, ok, err := it.Next()
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				return 0, fmt.Errorf("engine: heap tuple ended early at field %d", c)
+			}
+			if s.need != nil && !s.need[c] {
+				continue
+			}
+			// String payloads alias the page; AppendStrBytes copies them
+			// into the column's dictionary or flat bytes before the scan
+			// advances. The remaining kinds take typed fast paths that
+			// skip the Value boxing per cell.
+			switch f.Kind {
+			case table.KindString:
+				dst.Cols[c].AppendStrBytes(dst.N, f.S)
+			case table.KindInt:
+				dst.Cols[c].AppendInt(dst.N, f.I)
+			case table.KindFloat:
+				dst.Cols[c].AppendFloat(dst.N, f.F)
+			case table.KindBool:
+				dst.Cols[c].AppendBool(dst.N, f.I)
+			default:
+				dst.Cols[c].AppendValue(dst.N, f.Value())
+			}
+		}
+		dst.N++
+	}
+	return dst.N, nil
+}
+
+// Close releases the scanner's pinned page.
+func (s *ColHeapScan) Close() error {
+	if s.sc != nil {
+		s.sc.Close()
+		s.sc = nil
+	}
+	return nil
+}
+
+// colPred is one compiled column-vs-constant comparison: the only predicate
+// shape the planner emits for selections (Cmp{ColRef, Const}).
+type colPred struct {
+	col int
+	op  CmpOp
+	c   table.Value
+}
+
+// compileColPreds flattens a planner predicate into column-vs-constant
+// comparisons, reporting ok=false for any shape the columnar filter cannot
+// run (which sends the plan down the row path).
+func compileColPreds(p Pred) ([]colPred, bool) {
+	switch q := p.(type) {
+	case True:
+		return nil, true
+	case And:
+		var out []colPred
+		for _, sub := range q {
+			ps, ok := compileColPreds(sub)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, ps...)
+		}
+		return out, true
+	case Cmp:
+		cr, ok := q.L.(ColRef)
+		if !ok {
+			return nil, false
+		}
+		cv, ok := q.R.(Const)
+		if !ok {
+			return nil, false
+		}
+		return []colPred{{col: cr.Idx, op: q.Op, c: cv.V}}, true
+	default:
+		return nil, false
+	}
+}
+
+// ColFilter qualifies rows by narrowing the batch's selection vector —
+// a tight loop per predicate column, no cell ever moves. Null-free int and
+// float columns compared against a constant of the same kind run as direct
+// typed loops; everything else goes through ColVec.CompareValue, which
+// matches Cmp.Holds (Compare semantics) exactly.
+type ColFilter struct {
+	In    ColOperator
+	preds []colPred
+}
+
+// Schema returns the input schema.
+func (f *ColFilter) Schema() *table.Schema { return f.In.Schema() }
+
+// Open opens the input.
+func (f *ColFilter) Open() error { return f.In.Open() }
+
+// NextColBatch pulls input batches into dst and applies the predicates,
+// skipping batches that qualify no rows.
+func (f *ColFilter) NextColBatch(dst *table.ColBatch) (int, error) {
+	for {
+		n, err := f.In.NextColBatch(dst)
+		if err != nil || n == 0 {
+			return 0, err
+		}
+		for _, p := range f.preds {
+			f.apply(dst, p)
+			if dst.Rows() == 0 {
+				break
+			}
+		}
+		if live := dst.Rows(); live > 0 {
+			return live, nil
+		}
+	}
+}
+
+// apply narrows dst.Sel to the rows satisfying p. The new selection is
+// written into the batch's reusable selection storage; when dst.Sel already
+// aliases it (a prior predicate this batch), the in-place compaction is safe
+// because the write index never passes the read index.
+func (f *ColFilter) apply(dst *table.ColBatch, p colPred) {
+	v := &dst.Cols[p.col]
+	sel := dst.SelBuf(dst.Rows())
+	k := 0
+	direct := v.Values == nil && len(v.Nulls) == 0
+	switch {
+	case direct && v.Kind == table.KindInt && p.c.Kind == table.KindInt:
+		c := p.c.I
+		if dst.Sel == nil {
+			for i, x := range v.Ints[:dst.N] {
+				if p.op.Holds(cmpI64(x, c)) {
+					sel[k] = int32(i)
+					k++
+				}
+			}
+		} else {
+			for _, row := range dst.Sel {
+				if p.op.Holds(cmpI64(v.Ints[row], c)) {
+					sel[k] = row
+					k++
+				}
+			}
+		}
+	case direct && v.Kind == table.KindFloat && p.c.Kind == table.KindFloat:
+		c := p.c.F
+		if dst.Sel == nil {
+			for i, x := range v.Floats[:dst.N] {
+				if p.op.Holds(cmpF64(x, c)) {
+					sel[k] = int32(i)
+					k++
+				}
+			}
+		} else {
+			for _, row := range dst.Sel {
+				if p.op.Holds(cmpF64(v.Floats[row], c)) {
+					sel[k] = row
+					k++
+				}
+			}
+		}
+	default:
+		if dst.Sel == nil {
+			for i := 0; i < dst.N; i++ {
+				if p.op.Holds(v.CompareValue(i, p.c)) {
+					sel[k] = int32(i)
+					k++
+				}
+			}
+		} else {
+			for _, row := range dst.Sel {
+				if p.op.Holds(v.CompareValue(int(row), p.c)) {
+					sel[k] = row
+					k++
+				}
+			}
+		}
+	}
+	dst.Sel = sel[:k]
+}
+
+func cmpI64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpF64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Close closes the input.
+func (f *ColFilter) Close() error { return f.In.Close() }
+
+// ColProject selects input columns by index with zero copies: the output
+// batch shares the input's column storage and selection vector (shallow
+// ColVec headers), so a column projection costs a few struct assignments per
+// batch. The produced batch is a read-only view — downstream operators only
+// narrow their own selection storage or read cells, never mutate columns.
+type ColProject struct {
+	In  ColOperator
+	idx []int
+	out *table.Schema
+	in  *table.ColBatch
+}
+
+// Schema returns the output schema.
+func (p *ColProject) Schema() *table.Schema { return p.out }
+
+// Open opens the input and shapes the internal batch.
+func (p *ColProject) Open() error {
+	if err := p.In.Open(); err != nil {
+		return err
+	}
+	p.in = table.NewColBatch(p.In.Schema())
+	return nil
+}
+
+// NextColBatch pulls one input batch and re-exposes the selected columns.
+func (p *ColProject) NextColBatch(dst *table.ColBatch) (int, error) {
+	n, err := p.In.NextColBatch(p.in)
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	dst.Schema = p.out
+	dst.N = p.in.N
+	dst.Sel = p.in.Sel
+	if len(dst.Cols) != len(p.idx) {
+		dst.Cols = make([]table.ColVec, len(p.idx))
+	}
+	for i, j := range p.idx {
+		dst.Cols[i] = p.in.Cols[j]
+	}
+	return n, nil
+}
+
+// Close closes the input.
+func (p *ColProject) Close() error { return p.In.Close() }
+
+// ColCounted is CountedOp for the columnar tier: a transparent pass-through
+// that tallies live rows and batches into the same OpStats the row wrapper
+// would, so traced plans attribute vectorized work per operator.
+type ColCounted struct {
+	In ColOperator
+	S  *OpStats
+}
+
+// Schema returns the input's schema.
+func (c *ColCounted) Schema() *table.Schema { return c.In.Schema() }
+
+// Open opens the input.
+func (c *ColCounted) Open() error { return c.In.Open() }
+
+// NextColBatch counts and forwards one batch.
+func (c *ColCounted) NextColBatch(dst *table.ColBatch) (int, error) {
+	n, err := c.In.NextColBatch(dst)
+	if n > 0 && err == nil {
+		c.S.Rows += int64(n)
+		c.S.ColBatches++
+	}
+	return n, err
+}
+
+// Close closes the input.
+func (c *ColCounted) Close() error { return c.In.Close() }
+
+// ColToRows adapts a columnar pipeline back to the row Volcano interface —
+// the boundary operator under sorts, group-bys, and the confidence scan.
+// Rows are materialized into reused per-slot buffers, so the adapter itself
+// allocates nothing after warm-up (flat string cells allocate their string
+// on the way out, exactly once per emitted row).
+type ColToRows struct {
+	In    ColOperator
+	b     *table.ColBatch
+	pos   int
+	n     int
+	slots slotBufs
+	one   [1]table.Tuple
+}
+
+// NewColToRows wraps a columnar operator as a row operator.
+func NewColToRows(in ColOperator) *ColToRows { return &ColToRows{In: in} }
+
+// Schema returns the input's schema.
+func (a *ColToRows) Schema() *table.Schema { return a.In.Schema() }
+
+// Open opens the input and shapes the transfer batch.
+func (a *ColToRows) Open() error {
+	if err := a.In.Open(); err != nil {
+		return err
+	}
+	if a.b == nil {
+		a.b = table.NewColBatch(a.In.Schema())
+	}
+	a.pos, a.n = 0, 0
+	return nil
+}
+
+// Next yields the next row.
+func (a *ColToRows) Next() (table.Tuple, bool, error) {
+	n, err := a.NextBatch(a.one[:])
+	if err != nil || n == 0 {
+		return nil, false, err
+	}
+	return a.one[0], true, nil
+}
+
+// NextBatch materializes rows out of the current column batch, refilling it
+// as needed.
+func (a *ColToRows) NextBatch(dst []table.Tuple) (int, error) {
+	w := a.In.Schema().Len()
+	k := 0
+	for k < len(dst) {
+		if a.pos >= a.n {
+			m, err := a.In.NextColBatch(a.b)
+			if err != nil {
+				return 0, err
+			}
+			if m == 0 {
+				break
+			}
+			a.n, a.pos = m, 0
+		}
+		buf := a.slots.slot(k, w)
+		a.b.WriteRow(a.pos, buf)
+		dst[k] = buf
+		a.pos++
+		k++
+	}
+	return k, nil
+}
+
+// Close closes the input.
+func (a *ColToRows) Close() error { return a.In.Close() }
+
+// Columnarize lowers a row operator tree into its columnar form, succeeding
+// only when every operator in the tree has one: scans, planner-shaped
+// filters (conjunctions of column-vs-constant comparisons), pure column
+// projections, hash joins, and Counted wrappers. ok=false means some
+// operator has no columnar form; callers then fall back to Vectorize (which
+// lowers the maximal columnar subtrees) or to the row path unchanged.
+func Columnarize(op Operator) (ColOperator, bool) {
+	switch o := op.(type) {
+	case *CountedOp:
+		in, ok := Columnarize(o.In)
+		if !ok {
+			return nil, false
+		}
+		return &ColCounted{In: in, S: o.S}, true
+	case *MemScan:
+		return &ColMemScan{Rel: o.Rel}, true
+	case *HeapScan:
+		return NewColHeapScan(o.File, o.Pool, o.schema), true
+	case *Filter:
+		preds, ok := compileColPreds(o.Pred)
+		if !ok {
+			return nil, false
+		}
+		in, ok := Columnarize(o.In)
+		if !ok {
+			return nil, false
+		}
+		return &ColFilter{In: in, preds: preds}, true
+	case *Project:
+		idx := make([]int, len(o.Exprs))
+		for i, e := range o.Exprs {
+			cr, ok := e.(ColRef)
+			if !ok {
+				return nil, false
+			}
+			idx[i] = cr.Idx
+		}
+		in, ok := Columnarize(o.In)
+		if !ok {
+			return nil, false
+		}
+		return &ColProject{In: in, idx: idx, out: o.Out}, true
+	case *HashJoin:
+		l, ok := Columnarize(o.Left)
+		if !ok {
+			return nil, false
+		}
+		r, ok := Columnarize(o.Right)
+		if !ok {
+			return nil, false
+		}
+		return &ColHashJoin{
+			Left: l, Right: r,
+			LeftKeys: o.LeftKeys, RightKeys: o.RightKey,
+			out: o.out,
+		}, true
+	case *PartitionedHashJoin:
+		l, ok := Columnarize(o.Left)
+		if !ok {
+			return nil, false
+		}
+		r, ok := Columnarize(o.Right)
+		if !ok {
+			return nil, false
+		}
+		return &ColPartitionedHashJoin{
+			Left: l, Right: r,
+			LeftKeys: o.LeftKeys, RightKeys: o.RightKeys,
+			Pool: o.Pool, Ctx: o.Ctx,
+			out: o.out,
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// pruneCols pushes column liveness down a columnar tree to its heap scans: a
+// ColProject only reads the input columns its index map names, so any column
+// it drops — net of the filter predicates evaluated below it — need never be
+// decoded off the page. need[i]=true marks output column i as read by the
+// consumer; nil means all are. Joins (and any root consumer) read every
+// column of their inputs, so pruning restarts at nil below them.
+func pruneCols(op ColOperator, need []bool) {
+	switch o := op.(type) {
+	case *ColCounted:
+		pruneCols(o.In, need)
+	case *ColProject:
+		childNeed := make([]bool, o.In.Schema().Len())
+		for i, j := range o.idx {
+			if need == nil || need[i] {
+				childNeed[j] = true
+			}
+		}
+		pruneCols(o.In, childNeed)
+	case *ColFilter:
+		if need == nil {
+			pruneCols(o.In, nil)
+			return
+		}
+		childNeed := make([]bool, len(need))
+		copy(childNeed, need)
+		for _, p := range o.preds {
+			childNeed[p.col] = true
+		}
+		pruneCols(o.In, childNeed)
+	case *ColHeapScan:
+		o.need = need
+	case *ColHashJoin:
+		pruneCols(o.Left, nil)
+		pruneCols(o.Right, nil)
+	case *ColPartitionedHashJoin:
+		pruneCols(o.Left, nil)
+		pruneCols(o.Right, nil)
+	}
+}
+
+// Vectorize lowers the maximal columnar regions of a row plan: a fully
+// columnar tree becomes one ColToRows-adapted pipeline, and a mixed tree is
+// rebuilt with its columnar subtrees lowered and everything else untouched —
+// the "fall back to rows at the first non-columnar op" rule. The rewritten
+// plan emits the same tuples in the same order. ok=false means nothing in
+// the tree could be lowered, and op is returned unchanged.
+func Vectorize(op Operator) (Operator, bool) {
+	if cop, ok := Columnarize(op); ok {
+		pruneCols(cop, nil)
+		return NewColToRows(cop), true
+	}
+	switch o := op.(type) {
+	case *CountedOp:
+		if in, ok := Vectorize(o.In); ok {
+			return &CountedOp{In: in, S: o.S}, true
+		}
+	case *Filter:
+		if in, ok := Vectorize(o.In); ok {
+			return &Filter{In: in, Pred: o.Pred}, true
+		}
+	case *Project:
+		if in, ok := Vectorize(o.In); ok {
+			return &Project{In: in, Exprs: o.Exprs, Out: o.Out}, true
+		}
+	case *Limit:
+		if in, ok := Vectorize(o.In); ok {
+			return &Limit{In: in, N: o.N}, true
+		}
+	case *HashJoin:
+		l, lok := Vectorize(o.Left)
+		r, rok := Vectorize(o.Right)
+		if lok || rok {
+			j, err := NewHashJoin(l, r, o.LeftKeys, o.RightKey)
+			if err == nil {
+				return j, true
+			}
+		}
+	case *PartitionedHashJoin:
+		l, lok := Vectorize(o.Left)
+		r, rok := Vectorize(o.Right)
+		if lok || rok {
+			j, err := NewPartitionedHashJoin(l, r, o.LeftKeys, o.RightKeys, o.Pool, o.Ctx)
+			if err == nil {
+				return j, true
+			}
+		}
+	}
+	return op, false
+}
+
+// CollectColCtx drains a columnar operator into an in-memory relation
+// (opening and closing it): the context is checked once per batch, and live
+// rows are materialized into slab storage.
+func CollectColCtx(ctx context.Context, op ColOperator) (*table.Relation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	rel := table.NewRelation(op.Schema())
+	b := table.NewColBatch(op.Schema())
+	w := op.Schema().Len()
+	var slab table.Slab
+	for {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		n, err := op.NextColBatch(b)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return rel, nil
+		}
+		for i := 0; i < n; i++ {
+			t := slab.Alloc(w)
+			b.WriteRow(i, t)
+			rel.Rows = append(rel.Rows, t)
+		}
+	}
+}
+
+// CollectCtxVec is CollectCtx through the best available execution tier:
+// fully columnar pipelines run natively (columnar=true), partially
+// lowerable plans run with their columnar regions vectorized, and anything
+// else runs the row path unchanged. All three produce identical relations.
+func CollectCtxVec(ctx context.Context, op Operator) (rel *table.Relation, columnar bool, err error) {
+	if cop, ok := Columnarize(op); ok {
+		pruneCols(cop, nil)
+		rel, err = CollectColCtx(ctx, cop)
+		return rel, true, err
+	}
+	if vop, ok := Vectorize(op); ok {
+		rel, err = CollectCtx(ctx, vop)
+		return rel, false, err
+	}
+	rel, err = CollectCtx(ctx, op)
+	return rel, false, err
+}

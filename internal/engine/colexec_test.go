@@ -1,0 +1,330 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/prob"
+	"repro/internal/storage"
+	"repro/internal/table"
+)
+
+// colTestRel builds a relation exercising every columnar layout: ints,
+// floats, a string column whose cardinality is set by strCard (above
+// table.DictMaxCard forces the dictionary spill on the scan decode path),
+// and the V/P lineage columns.
+func colTestRel(rows, strCard int, seed int64) *table.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	sch := table.NewSchema(
+		table.DataCol("k", table.KindInt),
+		table.DataCol("x", table.KindFloat),
+		table.DataCol("s", table.KindString),
+		table.VarCol("R"), table.ProbCol("R"),
+	)
+	rel := table.NewRelation(sch)
+	for i := 0; i < rows; i++ {
+		rel.MustAppend(table.Tuple{
+			table.Int(int64(i % 97)),
+			table.Float(rng.Float64() * 100),
+			table.Str(fmt.Sprintf("s-%04d", rng.Intn(strCard))),
+			table.VarValue(prob.Var(i + 1)), table.Float(0.5),
+		})
+	}
+	return rel
+}
+
+// writeHeap persists rel as a heap file and reopens it read-only.
+func writeHeap(t *testing.T, dir string, rel *table.Relation) *storage.HeapFile {
+	t.Helper()
+	path := filepath.Join(dir, "t.heap")
+	h, err := storage.CreateHeapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rel.Rows {
+		if err := h.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := storage.OpenHeapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ro.Close() })
+	return ro
+}
+
+func mustSameRelations(t *testing.T, label string, got, want *table.Relation) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d rows, want %d", label, got.Len(), want.Len())
+	}
+	for i := range want.Rows {
+		g, w := got.Rows[i], want.Rows[i]
+		if len(g) != len(w) {
+			t.Fatalf("%s: row %d arity %d, want %d", label, i, len(g), len(w))
+		}
+		for c := range w {
+			if g[c] != w[c] {
+				t.Fatalf("%s: row %d col %d = %v, want %v (bit-identical required)", label, i, c, g[c], w[c])
+			}
+		}
+	}
+}
+
+// TestColHeapScanRoundTrip: decoding a heap file straight into column
+// vectors reproduces every stored tuple in order, for both the dictionary
+// and the spilled flat string layouts, with and without dead-column pruning.
+func TestColHeapScanRoundTrip(t *testing.T) {
+	for _, strCard := range []int{16, table.DictMaxCard + 64} {
+		rel := colTestRel(3*BatchSize+17, strCard, 5)
+		h := writeHeap(t, t.TempDir(), rel)
+		pool := storage.NewBufferPool(8)
+		sc := NewColHeapScan(h, pool, rel.Schema)
+		got, err := CollectColCtx(nil, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustSameRelations(t, fmt.Sprintf("strCard=%d", strCard), got, rel)
+
+		// Pruned scan: only k and P survive; the dead columns' vectors stay
+		// empty but live columns decode identically.
+		sc.need = []bool{true, false, false, false, true}
+		if err := sc.Open(); err != nil {
+			t.Fatal(err)
+		}
+		b := table.NewColBatch(rel.Schema)
+		n, err := sc.NextColBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != BatchSize {
+			t.Fatalf("pruned scan first batch: %d rows, want %d", n, BatchSize)
+		}
+		for i := 0; i < n; i++ {
+			if got := b.Cols[0].Value(i); got != rel.Rows[i][0] {
+				t.Fatalf("pruned scan row %d k = %v, want %v", i, got, rel.Rows[i][0])
+			}
+			if got := b.Cols[4].Value(i); got != rel.Rows[i][4] {
+				t.Fatalf("pruned scan row %d P = %v, want %v", i, got, rel.Rows[i][4])
+			}
+		}
+		if len(b.Cols[2].Strs)+len(b.Cols[2].Codes)+len(b.Cols[2].Bytes) != 0 {
+			t.Fatal("pruned string column decoded cells anyway")
+		}
+		sc.Close()
+	}
+}
+
+// TestCollectCtxVecIdentity: the columnar tier and the row engine produce
+// the same relation — same rows, same order, bit-identical cells — for a
+// fully lowerable filter→join→project tree, over both memory and disk
+// scans.
+func TestCollectCtxVecIdentity(t *testing.T) {
+	rel := colTestRel(2000, 24, 9)
+	h := writeHeap(t, t.TempDir(), rel)
+	pool := storage.NewBufferPool(8)
+	sources := []struct {
+		name string
+		mk   func() Operator
+	}{
+		{"mem", func() Operator { return NewMemScan(rel) }},
+		{"heap", func() Operator { return NewHeapScan(h, pool, rel.Schema) }},
+	}
+	for _, src := range sources {
+		t.Run(src.name, func(t *testing.T) {
+			names := rel.Schema.Names()
+			proj := []string{names[0], names[2], names[3], names[4]}
+			build := func() Operator {
+				f := NewFilter(src.mk(), Cmp{L: ColRef{Idx: 0, Name: "k"}, Op: OpLt, R: Const{V: table.Int(60)}})
+				j, err := NewHashJoin(f, src.mk(), []int{0}, []int{0})
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := NewColumnProject(j, proj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			}
+			want, err := CollectCtx(nil, build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Len() == 0 {
+				t.Fatal("row reference produced no rows")
+			}
+			got, columnar, err := CollectCtxVec(nil, build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !columnar {
+				t.Fatal("fully lowerable tree did not run columnar")
+			}
+			mustSameRelations(t, src.name, got, want)
+		})
+	}
+}
+
+// TestVectorizePartialLowering: a tree whose root has no columnar form
+// (Limit, Sort) still gets its scan/filter region lowered, and the rewritten
+// plan emits identical rows; Columnarize itself must refuse the full tree.
+func TestVectorizePartialLowering(t *testing.T) {
+	rel := colTestRel(1500, 12, 21)
+	h := writeHeap(t, t.TempDir(), rel)
+	pool := storage.NewBufferPool(8)
+	build := func() Operator {
+		f := NewFilter(NewHeapScan(h, pool, rel.Schema),
+			Cmp{L: ColRef{Idx: 1, Name: "x"}, Op: OpLe, R: Const{V: table.Float(75)}})
+		return NewLimit(f, 900)
+	}
+	if _, ok := Columnarize(build()); ok {
+		t.Fatal("Columnarize must refuse a Limit root")
+	}
+	vop, ok := Vectorize(build())
+	if !ok {
+		t.Fatal("Vectorize found no columnar region under the Limit")
+	}
+	if _, isLimit := vop.(*Limit); !isLimit {
+		t.Fatalf("vectorized root is %T, want *Limit", vop)
+	}
+	want, err := CollectCtx(nil, build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectCtx(nil, vop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSameRelations(t, "limit-over-columnar", got, want)
+
+	// Sort root: same contract through the generic CollectCtxVec entry.
+	sortBuild := func() Operator { return NewSort(build(), SortSpec{Cols: []int{0, 3}}) }
+	want2, err := CollectCtx(nil, sortBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, columnar, err := CollectCtxVec(nil, sortBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if columnar {
+		t.Fatal("sort root cannot be fully columnar")
+	}
+	mustSameRelations(t, "sort-over-columnar", got2, want2)
+}
+
+// TestPruneColsLiveness: pruning marks exactly the projected columns plus
+// the filter's predicate columns live at the scan, and the pruned pipeline
+// still produces the right projected rows.
+func TestPruneColsLiveness(t *testing.T) {
+	rel := colTestRel(1200, 18, 33)
+	h := writeHeap(t, t.TempDir(), rel)
+	pool := storage.NewBufferPool(8)
+	names := rel.Schema.Names()
+	build := func() Operator {
+		f := NewFilter(NewHeapScan(h, pool, rel.Schema),
+			Cmp{L: ColRef{Idx: 1, Name: "x"}, Op: OpLt, R: Const{V: table.Float(50)}})
+		p, err := NewColumnProject(f, []string{names[2], names[4]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cop, ok := Columnarize(build())
+	if !ok {
+		t.Fatal("tree did not columnarize")
+	}
+	pruneCols(cop, nil)
+	scan := cop.(*ColProject).In.(*ColFilter).In.(*ColHeapScan)
+	// Live: s (projected), P (projected), x (predicate). Dead: k, V.
+	wantNeed := []bool{false, true, true, false, true}
+	if len(scan.need) != len(wantNeed) {
+		t.Fatalf("need has %d entries, want %d", len(scan.need), len(wantNeed))
+	}
+	for i, w := range wantNeed {
+		if scan.need[i] != w {
+			t.Fatalf("need[%d] = %v, want %v (%s)", i, scan.need[i], w, names[i])
+		}
+	}
+	got, err := CollectColCtx(nil, cop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := CollectCtx(nil, build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("reference produced no rows")
+	}
+	mustSameRelations(t, "pruned", got, want)
+}
+
+// TestColFilterAllocs pins the vectorized filter loop: narrowing the
+// selection vector over typed columns must not allocate per batch once the
+// batch storage is warm.
+func TestColFilterAllocs(t *testing.T) {
+	rel := colTestRel(8*BatchSize, 8, 41)
+	f := &ColFilter{
+		In: &ColMemScan{Rel: rel},
+		preds: []colPred{
+			{col: 0, op: OpLt, c: table.Int(70)},
+			{col: 1, op: OpGe, c: table.Float(10)},
+		},
+	}
+	b := table.NewColBatch(rel.Schema)
+	drain := func() {
+		if err := f.Open(); err != nil {
+			t.Fatal(err)
+		}
+		rows := 0
+		for {
+			n, err := f.NextColBatch(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			rows += n
+		}
+		if rows == 0 {
+			t.Fatal("filter qualified no rows")
+		}
+		f.Close()
+	}
+	drain() // warm the batch storage and selection buffer
+	avg := testing.AllocsPerRun(10, drain)
+	if avg > 8 {
+		t.Fatalf("vectorized filter allocated %.1f times per %d-batch drain, want ≤ 8", avg, 8)
+	}
+}
+
+// TestHashIntoAllocs pins the vectorized hash-key loop: hashing every live
+// row of a warm batch into a reused destination must not allocate at all.
+func TestHashIntoAllocs(t *testing.T) {
+	rel := colTestRel(BatchSize, 8, 43)
+	b := table.NewColBatch(rel.Schema)
+	for _, row := range rel.Rows[:BatchSize] {
+		b.AppendRow(row)
+	}
+	dst := make([]uint64, BatchSize)
+	idx := []int{0, 2}
+	run := func() { dst = b.HashInto(idx, dst) }
+	run()
+	if avg := testing.AllocsPerRun(20, run); avg != 0 {
+		t.Fatalf("HashInto allocated %.1f times per batch, want 0", avg)
+	}
+	// Spot-check against the row-side hash while we're here.
+	for i := 0; i < BatchSize; i += 97 {
+		if want := table.HashOn(rel.Rows[i], idx); dst[i] != want {
+			t.Fatalf("row %d: hash %#x, want %#x", i, dst[i], want)
+		}
+	}
+}

@@ -13,6 +13,16 @@
 // collision chains, so equal keys never allocate. Operators that never
 // reuse tuple storage advertise it through StableTuples, which lets the
 // collectors skip defensive clones; the rest clone through table.Slab.
+//
+// On top of the row iterators sits the vectorized columnar tier
+// (colexec.go, coljoin.go): ColOperator moves table.ColBatch column
+// vectors instead of tuple slices through the same scan/filter/project/
+// hash-join shapes, Columnarize/Vectorize lower a row plan into its
+// maximal columnar regions (falling back to rows at the first operator
+// with no columnar form), and dead-column pruning keeps heap scans from
+// decoding columns nothing reads. The columnar tier is an execution
+// strategy, not a semantics change: it emits the same tuples in the same
+// order as the row path, with bit-identical hashes and confidences.
 package engine
 
 import (

@@ -8,8 +8,9 @@ import "repro/internal/table"
 // and joins drain their children serially in Open), so no atomics are
 // needed. Read the fields only after the pipeline has been drained.
 type OpStats struct {
-	Rows    int64 // tuples that passed through
-	Batches int64 // NextBatch calls that returned at least one tuple
+	Rows       int64 // tuples that passed through
+	Batches    int64 // NextBatch calls that returned at least one tuple
+	ColBatches int64 // NextColBatch calls that returned at least one live row
 }
 
 // CountedOp is a transparent pass-through operator that counts the rows and

@@ -216,15 +216,26 @@ func leafWrap(c *Catalog, q *query.Query, ref query.RelRef, in engine.Operator) 
 // multi-worker pool the scan is partitioned: the base relation's rows are
 // split into chunks, each chunk runs its own rename/filter/project pipeline
 // on a worker, and the chunk outputs are concatenated in row order — the
-// same rows in the same order as the serial scan.
-func leafPipeline(ex exec, c *Catalog, q *query.Query, ref query.RelRef) (engine.Operator, error) {
+// same rows in the same order as the serial scan. Disk-resident tables
+// (Catalog.BindDisk) scan their heap file through the buffer pool instead;
+// the scan is not chunk-partitioned (pages arrive sequentially), so the
+// pipeline streams into the enclosing collector, where the columnar tier
+// decodes pages straight into column vectors unless rowExec forces rows.
+func leafPipeline(ex exec, c *Catalog, q *query.Query, ref query.RelRef, rowExec bool) (engine.Operator, error) {
 	base, err := c.Base(ref)
 	if err != nil {
 		return nil, err
 	}
 	wrap := func(in engine.Operator) (engine.Operator, error) { return leafWrap(c, q, ref, in) }
+	if db := c.Disk(ref.Base); db != nil {
+		return wrap(engine.NewHeapScan(db.File, db.Pool, base.Rel.Schema))
+	}
 	if ex.parallel() && base.Rel.Len() >= engine.ParallelMinRows {
-		rel, err := engine.CollectChunks(ex.ctx, ex.pool, base.Rel, wrap)
+		collect := engine.CollectChunksVec
+		if rowExec {
+			collect = engine.CollectChunks
+		}
+		rel, err := collect(ex.ctx, ex.pool, base.Rel, wrap)
 		if err != nil {
 			return nil, err
 		}

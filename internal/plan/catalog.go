@@ -32,6 +32,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/query"
 	"repro/internal/stats"
+	"repro/internal/storage"
 	"repro/internal/table"
 )
 
@@ -40,9 +41,20 @@ import (
 // tables it caches the ANALYZE statistics the cost-based planner consumes.
 type Catalog struct {
 	tables map[string]*table.ProbTable
+	disk   map[string]*DiskBinding
 
 	statsMu sync.Mutex
 	stats   map[string]*stats.TableStats
+}
+
+// DiskBinding marks a registered table as disk-resident: scans read its heap
+// file through the shared buffer pool instead of an in-memory relation (the
+// table's Rel then carries only the schema). Rows caches the file's tuple
+// count so cardinality estimation needs no I/O.
+type DiskBinding struct {
+	File *storage.HeapFile
+	Pool *storage.BufferPool
+	Rows int
 }
 
 // NewCatalog creates an empty catalog.
@@ -71,6 +83,13 @@ func (c *Catalog) Analyze() map[string]*stats.TableStats {
 	if c.stats == nil {
 		c.stats = make(map[string]*stats.TableStats, len(c.tables))
 		for name, t := range c.tables {
+			if db := c.disk[name]; db != nil {
+				ts, err := stats.AnalyzeHeapFile(db.File.Path(), name, t.Rel.Schema, db.Pool)
+				if err == nil {
+					c.stats[name] = ts
+				}
+				continue
+			}
 			c.stats[name] = stats.Analyze(t)
 		}
 	}
@@ -87,6 +106,37 @@ func (c *Catalog) TableStats(name string) *stats.TableStats {
 		return nil
 	}
 	return c.stats[name]
+}
+
+// BindDisk marks a registered table as disk-resident. The table must already
+// be registered (its Rel supplying the schema); binding invalidates any cached
+// ANALYZE snapshot, like Add.
+func (c *Catalog) BindDisk(name string, b *DiskBinding) error {
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("plan: cannot bind disk storage for unknown table %s", name)
+	}
+	if c.disk == nil {
+		c.disk = make(map[string]*DiskBinding)
+	}
+	c.disk[name] = b
+	c.statsMu.Lock()
+	c.stats = nil
+	c.statsMu.Unlock()
+	return nil
+}
+
+// Disk returns the disk binding of a table, or nil for in-memory tables.
+func (c *Catalog) Disk(name string) *DiskBinding {
+	return c.disk[name]
+}
+
+// SetStats installs a precomputed ANALYZE snapshot — e.g. the sidecar
+// statistics persisted next to heap files — so the first cost-based query
+// skips the ANALYZE pass over the data.
+func (c *Catalog) SetStats(s map[string]*stats.TableStats) {
+	c.statsMu.Lock()
+	c.stats = s
+	c.statsMu.Unlock()
 }
 
 // MustAdd is Add for fixtures.
@@ -112,8 +162,13 @@ func (c *Catalog) Names() []string {
 	return out
 }
 
-// Rows returns the cardinality of a base table (0 for unknown tables).
+// Rows returns the cardinality of a base table (0 for unknown tables). For
+// disk-bound tables the count comes from the binding — the in-memory Rel is
+// schema-only.
 func (c *Catalog) Rows(name string) int {
+	if db := c.disk[name]; db != nil {
+		return db.Rows
+	}
 	if t, ok := c.tables[name]; ok {
 		return t.Rel.Len()
 	}

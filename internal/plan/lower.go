@@ -40,6 +40,13 @@ type lowerState struct {
 	applied         []string
 	maxIntermediate int64
 
+	// colExec records whether any materialized subtree ran fully columnar;
+	// colBatches/rowBatches accumulate the per-operator batch counters of
+	// traced runs (count() wrappers) for Stats attribution.
+	colExec    bool
+	colBatches int64
+	rowBatches int64
+
 	// flushes are deferred trace-attribute writers for Counted wrappers
 	// threaded into the pipeline: counters are only final once the
 	// pipeline has drained, so materialize runs them after CollectCtx.
@@ -63,6 +70,11 @@ func (st *lowerState) count(op engine.Operator, sp *obs.Span) engine.Operator {
 	st.flushes = append(st.flushes, func() {
 		sp.Int("rows_out", s.Rows)
 		sp.LooseInt("batches", s.Batches)
+		if s.ColBatches > 0 {
+			sp.LooseInt("col_batches", s.ColBatches)
+		}
+		st.rowBatches += s.Batches
+		st.colBatches += s.ColBatches
 	})
 	return engine.Counted(op, s)
 }
@@ -148,7 +160,7 @@ func (st *lowerState) operator(n logical.Node, sp *obs.Span) (engine.Operator, e
 		}
 		ssp := sp.Child("scan " + ref.Name)
 		ssp.Int("base_rows", int64(st.c.Rows(ref.Base)))
-		op, err := leafPipeline(st.ex, st.c, st.q, ref)
+		op, err := leafPipeline(st.ex, st.c, st.q, ref, st.spec.RowExec)
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +186,17 @@ func (st *lowerState) materialize(n logical.Node, sp *obs.Span) (*table.Relation
 	if err != nil {
 		return nil, err
 	}
-	rel, err := engine.CollectCtx(st.ex.ctx, op)
+	var rel *table.Relation
+	if st.spec.RowExec {
+		rel, err = engine.CollectCtx(st.ex.ctx, op)
+	} else {
+		// The columnar plug-in point: fully lowerable pipelines run as
+		// column batches, mixed ones vectorize their columnar regions, and
+		// the rest take the row path — identical tuples in every case.
+		var columnar bool
+		rel, columnar, err = engine.CollectCtxVec(st.ex.ctx, op)
+		st.colExec = st.colExec || columnar
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -229,22 +251,34 @@ func runLogical(ex exec, c *Catalog, q *query.Query, b *built, spec Spec) (*Resu
 	}
 	tupleTime := statsSince(t0) - st.probTime
 	answerSp.Int("rows", int64(answer.Len()))
+	if st.colExec {
+		answerSp.LooseStr("exec", "columnar")
+	} else {
+		answerSp.LooseStr("exec", "row")
+	}
 	answerSp.SetDur(tupleTime)
 
+	var res *Result
 	switch root.Alg {
 	case logical.AlgSortScan:
-		return st.finishSortScan(b, answer, tupleTime)
+		res, err = st.finishSortScan(b, answer, tupleTime)
 	case logical.AlgOBDD:
-		return finishOBDD(ex, q, b, spec, answer, tupleTime)
+		res, err = finishOBDD(ex, q, b, spec, answer, tupleTime)
 	case logical.AlgDTree:
-		return finishDTree(ex, q, b, spec, answer, tupleTime)
+		res, err = finishDTree(ex, q, b, spec, answer, tupleTime)
 	case logical.AlgMC:
-		return finishMonteCarlo(ex, ex.span("conf[mc]"), q, spec, "", b.order, answer, nil, tupleTime, 0)
+		res, err = finishMonteCarlo(ex, ex.span("conf[mc]"), q, spec, "", b.order, answer, nil, tupleTime, 0)
 	case logical.AlgLadder:
-		return finishFallbackChain(ex, q, b, spec, answer, tupleTime)
+		res, err = finishFallbackChain(ex, q, b, spec, answer, tupleTime)
 	default:
 		return nil, fmt.Errorf("plan: unknown confidence algorithm %v", root.Alg)
 	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.ColBatches = st.colBatches
+	res.Stats.RowBatches = st.rowBatches
+	return res, nil
 }
 
 // finishSortScan runs the top sort+scan confidence operator over the

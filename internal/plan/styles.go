@@ -124,6 +124,15 @@ type Spec struct {
 	// width) for the DTree style and for the exact styles' d-tree fallback
 	// tier.
 	DTree dtree.Options
+	// RowExec forces the classic row-at-a-time execution of the relational
+	// plumbing. By default the lowering collects each materialized subtree
+	// through the columnar tier (engine.CollectCtxVec): fully lowerable
+	// scan→filter→project→join pipelines run as vectorized column batches,
+	// and anything else falls back to the row adapter at the first
+	// non-columnar operator. The two tiers emit the same tuples in the same
+	// order, so confidences are bit-identical either way; RowExec exists for
+	// benchmarking the difference and for differential tests.
+	RowExec bool
 	// RequireExact restores the paper's strict behaviour: exact styles
 	// reject queries without a hierarchical signature instead of falling
 	// through the OBDD and Monte Carlo tiers, and the OBDD style errors
@@ -202,6 +211,13 @@ type Stats struct {
 	// rate the benchmark records track.
 	MemoHits   int64
 	MemoMisses int64
+	// ColBatches and RowBatches count the batches the relational plumbing
+	// moved through the columnar and row tiers — how much of the run was
+	// vectorized. They are populated only on traced runs (the counters ride
+	// the same per-operator wrappers as the trace's row counts) and are
+	// loose: batch counts vary with worker count and batch size.
+	ColBatches int64
+	RowBatches int64
 	// ChosenStyle names the style the Auto planner dispatched ("" for
 	// fixed-style runs).
 	ChosenStyle string

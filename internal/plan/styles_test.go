@@ -189,11 +189,11 @@ func TestJoinPipelineUsesAllSharedAttrs(t *testing.T) {
 	q := introQ()
 	ord, _ := q.RelByName("Ord")
 	item, _ := q.RelByName("Item")
-	lo, err := leafPipeline(serialExec(), cat, q, ord)
+	lo, err := leafPipeline(serialExec(), cat, q, ord, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	li, err := leafPipeline(serialExec(), cat, q, item)
+	li, err := leafPipeline(serialExec(), cat, q, item, false)
 	if err != nil {
 		t.Fatal(err)
 	}

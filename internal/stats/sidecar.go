@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// SidecarFile is the name of the statistics sidecar written next to a
+// directory of heap files. Loading it restores the full ANALYZE snapshot —
+// per-table row counts, histograms, and the world-variable ceiling — so a
+// disk-backed catalog serves its first cost-based query without scanning
+// any data.
+const SidecarFile = "stats.json"
+
+// Sidecar is the persisted form of a catalog's ANALYZE snapshot.
+type Sidecar struct {
+	// Tables maps base table names to their statistics.
+	Tables map[string]*TableStats `json:"tables"`
+	// MaxVar is the largest world-variable id across all tables — what a
+	// loading catalog needs to size its variable space.
+	MaxVar int `json:"max_var"`
+}
+
+// SaveSidecar writes the snapshot as stats.json in dir. The write goes
+// through a temp file + rename so a crashed writer never leaves a truncated
+// sidecar behind (loaders would fail to parse it and fall back to ANALYZE).
+func SaveSidecar(dir string, sc *Sidecar) error {
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, SidecarFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, SidecarFile))
+}
+
+// LoadSidecar reads the snapshot from dir. A missing file returns
+// (nil, error satisfying os.IsNotExist); callers fall back to ANALYZE.
+func LoadSidecar(dir string) (*Sidecar, error) {
+	data, err := os.ReadFile(filepath.Join(dir, SidecarFile))
+	if err != nil {
+		return nil, err
+	}
+	var sc Sidecar
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}

@@ -59,6 +59,10 @@ type TableStats struct {
 	// Cols maps base-column names (the stored schema's names, before any
 	// per-occurrence renaming) to their statistics.
 	Cols map[string]*ColumnStats
+	// MaxVar is the largest variable id observed in the table's V column —
+	// persisted so a disk-loaded catalog knows the world-variable count
+	// without rescanning the data.
+	MaxVar int
 }
 
 // colAccum accumulates one column's statistics during the ANALYZE pass.
@@ -149,13 +153,15 @@ type analyzer struct {
 	dataIdx []int
 	cols    []*colAccum
 	probIdx int
+	varIdx  int
 	rows    int
 	width   float64
 	probSum float64
+	maxVar  int
 }
 
 func newAnalyzer(name string, schema *table.Schema) *analyzer {
-	a := &analyzer{name: name, dataIdx: schema.DataIndexes(), probIdx: schema.ProbIndex(name)}
+	a := &analyzer{name: name, dataIdx: schema.DataIndexes(), probIdx: schema.ProbIndex(name), varIdx: schema.VarIndex(name)}
 	for _, j := range a.dataIdx {
 		a.cols = append(a.cols, newColAccum(schema.Cols[j].Name))
 	}
@@ -172,10 +178,15 @@ func (a *analyzer) add(t table.Tuple) {
 	if a.probIdx >= 0 && a.probIdx < len(t) {
 		a.probSum += t[a.probIdx].F
 	}
+	if a.varIdx >= 0 && a.varIdx < len(t) {
+		if v := int(t[a.varIdx].I); v > a.maxVar {
+			a.maxVar = v
+		}
+	}
 }
 
 func (a *analyzer) finish() *TableStats {
-	ts := &TableStats{Name: a.name, Rows: a.rows, Cols: make(map[string]*ColumnStats, len(a.cols))}
+	ts := &TableStats{Name: a.name, Rows: a.rows, MaxVar: a.maxVar, Cols: make(map[string]*ColumnStats, len(a.cols))}
 	for _, c := range a.cols {
 		ts.Cols[c.name] = c.finish(a.rows)
 	}

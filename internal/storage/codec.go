@@ -40,6 +40,98 @@ func EncodeTuple(dst []byte, t table.Tuple) []byte {
 	return dst
 }
 
+// RawField is one field of an encoded record exposed without building a
+// table.Value: the kind tag plus the kind's raw payload. S aliases the
+// record buffer — valid only as long as the record itself.
+type RawField struct {
+	Kind table.Kind
+	I    int64
+	F    float64
+	S    []byte
+}
+
+// FieldIter steps through the fields of one encoded record — the columnar
+// decode path, which appends each field straight onto a column vector
+// instead of materializing a tuple (and so never allocates a per-row
+// string).
+type FieldIter struct {
+	buf []byte
+	off int
+	n   int
+	i   int
+}
+
+// NewFieldIter positions an iterator at the first field of the record.
+func NewFieldIter(buf []byte) (FieldIter, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return FieldIter{}, fmt.Errorf("storage: corrupt tuple header")
+	}
+	return FieldIter{buf: buf, off: sz, n: int(n)}, nil
+}
+
+// Len returns the record's field count.
+func (it *FieldIter) Len() int { return it.n }
+
+// Next decodes the next field (ok=false after the last).
+func (it *FieldIter) Next() (RawField, bool, error) {
+	if it.i >= it.n {
+		return RawField{}, false, nil
+	}
+	buf, off := it.buf, it.off
+	if off >= len(buf) {
+		return RawField{}, false, fmt.Errorf("storage: truncated tuple at field %d", it.i)
+	}
+	kind := table.Kind(buf[off])
+	off++
+	f := RawField{Kind: kind}
+	switch kind {
+	case table.KindNull:
+	case table.KindInt, table.KindBool:
+		iv, s := binary.Varint(buf[off:])
+		if s <= 0 {
+			return RawField{}, false, fmt.Errorf("storage: corrupt int field %d", it.i)
+		}
+		off += s
+		f.I = iv
+	case table.KindFloat:
+		if off+8 > len(buf) {
+			return RawField{}, false, fmt.Errorf("storage: truncated float field %d", it.i)
+		}
+		f.F = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	case table.KindString:
+		l, s := binary.Uvarint(buf[off:])
+		if s <= 0 || off+s+int(l) > len(buf) {
+			return RawField{}, false, fmt.Errorf("storage: corrupt string field %d", it.i)
+		}
+		off += s
+		f.S = buf[off : off+int(l)]
+		off += int(l)
+	default:
+		return RawField{}, false, fmt.Errorf("storage: unknown kind byte %d in field %d", kind, it.i)
+	}
+	it.off = off
+	it.i++
+	return f, true, nil
+}
+
+// Value materializes a raw field as a table.Value (copying string bytes).
+func (f RawField) Value() table.Value {
+	switch f.Kind {
+	case table.KindNull:
+		return table.Null()
+	case table.KindInt, table.KindBool:
+		return table.Value{Kind: f.Kind, I: f.I}
+	case table.KindFloat:
+		return table.Float(f.F)
+	case table.KindString:
+		return table.Str(string(f.S))
+	default:
+		return table.Null()
+	}
+}
+
 // DecodeTuple decodes one tuple from buf, returning the tuple and the number
 // of bytes consumed.
 func DecodeTuple(buf []byte) (table.Tuple, int, error) {

@@ -168,6 +168,30 @@ func (h *HeapFile) NewScanner(pool *BufferPool) *Scanner {
 
 // Next returns the next tuple, or ok=false at end of file.
 func (s *Scanner) Next() (table.Tuple, bool, error) {
+	rec, ok, err := s.NextRaw()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if len(s.arena) < s.arity && s.arity <= scanArenaBlock {
+		s.arena = make([]table.Value, scanArenaBlock)
+	}
+	t, rest, _, err := DecodeTupleArena(rec, s.arena)
+	if err != nil {
+		return nil, false, err
+	}
+	s.arena = rest
+	if len(t) > s.arity {
+		s.arity = len(t)
+	}
+	return t, true, nil
+}
+
+// NextRaw returns the next encoded record without decoding it — the
+// columnar scan's entry point, which decodes the fields straight into
+// column vectors (see FieldIter). The returned bytes alias the current page
+// and stay valid only until the scan advances past it; callers must copy
+// whatever they retain before the next page boundary.
+func (s *Scanner) NextRaw() ([]byte, bool, error) {
 	for {
 		if s.page != nil && s.slot < s.page.NumSlots() {
 			rec, err := s.page.Record(s.slot)
@@ -175,18 +199,7 @@ func (s *Scanner) Next() (table.Tuple, bool, error) {
 				return nil, false, err
 			}
 			s.slot++
-			if len(s.arena) < s.arity && s.arity <= scanArenaBlock {
-				s.arena = make([]table.Value, scanArenaBlock)
-			}
-			t, rest, _, err := DecodeTupleArena(rec, s.arena)
-			if err != nil {
-				return nil, false, err
-			}
-			s.arena = rest
-			if len(t) > s.arity {
-				s.arity = len(t)
-			}
-			return t, true, nil
+			return rec, true, nil
 		}
 		// Advance to the next page.
 		if s.pinned != nil {

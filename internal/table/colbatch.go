@@ -1,0 +1,725 @@
+package table
+
+import (
+	"math"
+
+	"repro/internal/prob"
+)
+
+// This file is the columnar side of the data model: a ColBatch carries up to
+// a batch's worth of tuples as per-column typed vectors — []int64, []float64,
+// strings as shared headers, flat bytes-with-offsets, or a low-cardinality
+// byte-code dictionary — plus a selection vector and a null bitmap, in the
+// MonetDB/X100 vectorized-execution tradition. The engine's columnar
+// operators (engine.ColOperator) move ColBatches through reused storage the
+// same way the row engine moves []Tuple batches: the contents of a batch
+// (column slices included) are valid only until the next NextColBatch call
+// on its producer, so consumers that retain column slices or cells across
+// batches must copy them.
+
+// StrMode names the storage layout of a string column's cells within one
+// batch.
+type StrMode uint8
+
+// String column layouts.
+const (
+	// StrNone: no string cell appended yet this batch (layout undecided).
+	StrNone StrMode = iota
+	// StrHeader: Strs holds shared string headers — the zero-copy
+	// transposition of in-memory Values.
+	StrHeader
+	// StrDict: Codes holds one byte per cell indexing Dict — the
+	// low-cardinality layout (at most DictMaxCard distinct values); the
+	// dictionary persists across batches of the same producer.
+	StrDict
+	// StrFlat: cell i is Bytes[Offs[i]:Offs[i+1]] — concatenated raw
+	// bytes, the heap-scan decode layout that avoids a per-row string
+	// allocation.
+	StrFlat
+)
+
+// DictMaxCard is the dictionary cardinality limit: a string column whose
+// distinct count stays under it is dictionary-encoded with one byte code per
+// cell; beyond it the column spills to the flat layout for good.
+const DictMaxCard = 256
+
+// ColVec is one column of a ColBatch: N cell values in one typed layout,
+// plus an optional null bitmap.
+//
+//   - Values non-nil: the generic row-value fallback — authoritative for
+//     every cell, used when a column's cells do not all match its declared
+//     kind. All other storage is ignored.
+//   - KindInt, KindBool: Ints (bools store 0/1, as Value.I does).
+//   - KindFloat: Floats.
+//   - KindString: Strs, Codes+Dict, or Bytes+Offs according to Mode.
+//
+// NULL cells set their bit in Nulls and append a zero placeholder to the
+// typed storage so indexes stay aligned; Nulls is empty while a column has
+// no NULL cells.
+type ColVec struct {
+	Kind   Kind    // declared column kind the typed layouts assume
+	Mode   StrMode // string layout in use (string columns only)
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bytes  []byte
+	Offs   []int32
+	Dict   []string
+	Codes  []byte
+	Nulls  []uint64
+	Values []Value
+
+	dict   map[string]int // dictionary builder, persists across Reset
+	noDict bool           // cardinality blew DictMaxCard: stay flat
+}
+
+// ColBatch is a columnar batch of up to engine.BatchSize tuples: one ColVec
+// per schema column, N physical rows, and an optional selection vector. When
+// Sel is non-nil, only the physical rows it lists (strictly increasing) are
+// live — filters qualify rows by writing Sel instead of moving any cell.
+type ColBatch struct {
+	Schema *Schema
+	N      int
+	Sel    []int32
+	Cols   []ColVec
+
+	selBuf []int32 // reusable Sel storage for operators that filter in place
+}
+
+// NewColBatch returns an empty batch shaped for the schema.
+func NewColBatch(s *Schema) *ColBatch {
+	b := &ColBatch{}
+	b.Reset(s)
+	return b
+}
+
+// Reset clears the batch for refilling under the given schema, keeping the
+// column storage (and any built dictionaries) for reuse.
+func (b *ColBatch) Reset(s *Schema) {
+	if len(b.Cols) != s.Len() {
+		b.Cols = make([]ColVec, s.Len())
+	}
+	b.Schema = s
+	b.N = 0
+	b.Sel = nil
+	for i := range b.Cols {
+		b.Cols[i].reset(s.Cols[i].Kind)
+	}
+}
+
+func (v *ColVec) reset(kind Kind) {
+	v.Kind = kind
+	v.Ints = v.Ints[:0]
+	v.Floats = v.Floats[:0]
+	v.Strs = v.Strs[:0]
+	v.Bytes = v.Bytes[:0]
+	v.Offs = v.Offs[:0]
+	v.Codes = v.Codes[:0]
+	v.Nulls = v.Nulls[:0]
+	v.Values = nil
+	// A live dictionary carries over: the next batch of the same column
+	// keeps encoding against it.
+	if v.dict != nil && !v.noDict {
+		v.Mode = StrDict
+	} else {
+		v.Mode = StrNone
+	}
+}
+
+// Rows returns the number of live rows (selection applied).
+func (b *ColBatch) Rows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.N
+}
+
+// RowID maps live row i to its physical row.
+func (b *ColBatch) RowID(i int) int {
+	if b.Sel != nil {
+		return int(b.Sel[i])
+	}
+	return i
+}
+
+// SelBuf returns the batch's reusable selection storage with room for n
+// entries; the caller fills a prefix and assigns it to Sel.
+func (b *ColBatch) SelBuf(n int) []int32 {
+	if cap(b.selBuf) < n {
+		b.selBuf = make([]int32, n)
+	}
+	return b.selBuf[:n]
+}
+
+// AppendRow transposes one tuple onto the batch columns.
+func (b *ColBatch) AppendRow(t Tuple) {
+	for i := range t {
+		b.Cols[i].AppendValue(b.N, t[i])
+	}
+	b.N++
+}
+
+// WriteRow materializes live row i into dst (len b.Schema.Len()). String
+// cells in the flat layout allocate their string here; every other layout
+// shares storage.
+func (b *ColBatch) WriteRow(i int, dst Tuple) {
+	row := b.RowID(i)
+	for c := range b.Cols {
+		dst[c] = b.Cols[c].Value(row)
+	}
+}
+
+// null reports whether physical row i is NULL in this column. The bitmap
+// only grows to the last word with a NULL set, so rows past its end are
+// non-NULL by construction.
+func (v *ColVec) null(i int) bool {
+	w := i >> 6
+	if w >= len(v.Nulls) {
+		return false
+	}
+	return v.Nulls[w]&(1<<uint(i&63)) != 0
+}
+
+// setNull marks physical row i NULL, growing the bitmap on demand.
+func (v *ColVec) setNull(i int) {
+	word := i >> 6
+	for word >= len(v.Nulls) {
+		v.Nulls = append(v.Nulls, 0)
+	}
+	v.Nulls[word] |= 1 << uint(i&63)
+}
+
+// degrade converts the column to the generic Values layout, materializing
+// the n cells appended so far — the escape hatch for columns whose cells do
+// not all match the declared kind.
+func (v *ColVec) degrade(n int) {
+	vals := make([]Value, n, n+1)
+	for i := 0; i < n; i++ {
+		vals[i] = v.Value(i)
+	}
+	v.Values = vals
+}
+
+// AppendValue appends one cell value as physical row n (the batch's current
+// N). Cells of the declared kind land in typed storage — strings following
+// the column's established layout, shared headers by default — NULLs set the
+// bitmap, and any other kind degrades the column to the generic layout.
+func (v *ColVec) AppendValue(n int, val Value) {
+	if v.Values != nil {
+		v.Values = append(v.Values, val)
+		return
+	}
+	if val.Kind == KindNull {
+		v.setNull(n)
+		v.appendZero()
+		return
+	}
+	if val.Kind != v.Kind {
+		v.degrade(n)
+		v.Values = append(v.Values, val)
+		return
+	}
+	switch v.Kind {
+	case KindInt, KindBool:
+		v.Ints = append(v.Ints, val.I)
+	case KindFloat:
+		v.Floats = append(v.Floats, val.F)
+	case KindString:
+		switch v.Mode {
+		case StrNone:
+			v.Mode = StrHeader
+			v.Strs = append(v.Strs, val.S)
+		case StrHeader:
+			v.Strs = append(v.Strs, val.S)
+		case StrDict:
+			v.appendDict(val.S)
+		case StrFlat:
+			if len(v.Offs) == 0 {
+				v.Offs = append(v.Offs, 0)
+			}
+			v.Bytes = append(v.Bytes, val.S...)
+			v.Offs = append(v.Offs, int32(len(v.Bytes)))
+		}
+	default:
+		v.degrade(n)
+		v.Values = append(v.Values, val)
+	}
+}
+
+// appendZero appends a placeholder cell to the typed storage so physical row
+// indexes stay aligned with N.
+func (v *ColVec) appendZero() {
+	switch v.Kind {
+	case KindInt, KindBool:
+		v.Ints = append(v.Ints, 0)
+	case KindFloat:
+		v.Floats = append(v.Floats, 0)
+	case KindString:
+		switch v.Mode {
+		case StrNone:
+			v.Mode = StrHeader
+			v.Strs = append(v.Strs, "")
+		case StrHeader:
+			v.Strs = append(v.Strs, "")
+		case StrDict:
+			v.appendDict("")
+		case StrFlat:
+			if len(v.Offs) == 0 {
+				v.Offs = append(v.Offs, 0)
+			}
+			v.Offs = append(v.Offs, int32(len(v.Bytes)))
+		}
+	}
+}
+
+// AppendInt appends a non-null int cell as physical row n without boxing a
+// Value — the heap-scan decode fast path.
+func (v *ColVec) AppendInt(n int, x int64) {
+	if v.Values == nil && v.Kind == KindInt {
+		v.Ints = append(v.Ints, x)
+		return
+	}
+	v.AppendValue(n, Value{Kind: KindInt, I: x})
+}
+
+// AppendFloat is AppendInt for float cells.
+func (v *ColVec) AppendFloat(n int, x float64) {
+	if v.Values == nil && v.Kind == KindFloat {
+		v.Floats = append(v.Floats, x)
+		return
+	}
+	v.AppendValue(n, Value{Kind: KindFloat, F: x})
+}
+
+// AppendBool is AppendInt for bool cells (stored in the int storage).
+func (v *ColVec) AppendBool(n int, x int64) {
+	if v.Values == nil && v.Kind == KindBool {
+		v.Ints = append(v.Ints, x)
+		return
+	}
+	v.AppendValue(n, Value{Kind: KindBool, I: x})
+}
+
+// AppendStrBytes appends raw string bytes as physical row n, preferring the
+// dictionary layout while the column's cardinality stays under DictMaxCard
+// and spilling to flat bytes beyond it. This is the heap-scan decode path:
+// no per-row string allocation in either layout (the dictionary allocates
+// once per distinct value).
+func (v *ColVec) AppendStrBytes(n int, s []byte) {
+	if v.Values != nil {
+		v.Values = append(v.Values, Str(string(s)))
+		return
+	}
+	if v.Kind != KindString {
+		v.degrade(n)
+		v.Values = append(v.Values, Str(string(s)))
+		return
+	}
+	switch v.Mode {
+	case StrNone:
+		if v.noDict {
+			v.Mode = StrFlat
+			v.Offs = append(v.Offs, 0)
+			v.Bytes = append(v.Bytes, s...)
+			v.Offs = append(v.Offs, int32(len(v.Bytes)))
+			return
+		}
+		v.Mode = StrDict
+		v.appendDictBytes(s)
+	case StrDict:
+		v.appendDictBytes(s)
+	case StrFlat:
+		if len(v.Offs) == 0 {
+			v.Offs = append(v.Offs, 0)
+		}
+		v.Bytes = append(v.Bytes, s...)
+		v.Offs = append(v.Offs, int32(len(v.Bytes)))
+	case StrHeader:
+		v.Strs = append(v.Strs, string(s))
+	}
+}
+
+// appendDictBytes encodes raw bytes against the dictionary; the map lookup
+// with a string([]byte) key does not allocate.
+func (v *ColVec) appendDictBytes(s []byte) {
+	if v.dict == nil {
+		v.dict = make(map[string]int)
+	}
+	code, ok := v.dict[string(s)]
+	if !ok {
+		if len(v.Dict) >= DictMaxCard {
+			v.spillDict()
+			v.Bytes = append(v.Bytes, s...)
+			v.Offs = append(v.Offs, int32(len(v.Bytes)))
+			return
+		}
+		str := string(s)
+		code = len(v.Dict)
+		v.Dict = append(v.Dict, str)
+		v.dict[str] = code
+	}
+	v.Codes = append(v.Codes, byte(code))
+}
+
+// appendDict is appendDictBytes for an existing string.
+func (v *ColVec) appendDict(s string) {
+	if v.dict == nil {
+		v.dict = make(map[string]int)
+	}
+	code, ok := v.dict[s]
+	if !ok {
+		if len(v.Dict) >= DictMaxCard {
+			v.spillDict()
+			v.Bytes = append(v.Bytes, s...)
+			v.Offs = append(v.Offs, int32(len(v.Bytes)))
+			return
+		}
+		code = len(v.Dict)
+		v.Dict = append(v.Dict, s)
+		v.dict[s] = code
+	}
+	v.Codes = append(v.Codes, byte(code))
+}
+
+// spillDict rewrites this batch's dictionary-coded cells into the flat
+// layout: the column's cardinality outgrew the dictionary.
+func (v *ColVec) spillDict() {
+	v.Mode = StrFlat
+	v.noDict = true
+	v.Offs = append(v.Offs[:0], 0)
+	v.Bytes = v.Bytes[:0]
+	for _, code := range v.Codes {
+		v.Bytes = append(v.Bytes, v.Dict[code]...)
+		v.Offs = append(v.Offs, int32(len(v.Bytes)))
+	}
+	v.Codes = v.Codes[:0]
+	v.Dict = nil
+	v.dict = nil
+}
+
+// AppendCell appends src's cell at physical row `row` as this column's
+// physical row n, staying typed without materializing the cell: flat string
+// bytes move byte-wise (no per-cell string allocation) and every other
+// layout shares storage. The vectorized join's output gather is built on it.
+func (v *ColVec) AppendCell(n int, src *ColVec, row int) {
+	if src.Values != nil {
+		v.AppendValue(n, src.Values[row])
+		return
+	}
+	if src.null(row) {
+		v.AppendValue(n, Null())
+		return
+	}
+	if src.Kind == KindString && src.Mode == StrFlat {
+		v.AppendStrBytes(n, src.Bytes[src.Offs[row]:src.Offs[row+1]])
+		return
+	}
+	v.AppendValue(n, src.Value(row))
+}
+
+// Value materializes the cell at physical row i.
+func (v *ColVec) Value(i int) Value {
+	if v.Values != nil {
+		return v.Values[i]
+	}
+	if v.null(i) {
+		return Null()
+	}
+	switch v.Kind {
+	case KindInt:
+		return Value{Kind: KindInt, I: v.Ints[i]}
+	case KindBool:
+		return Value{Kind: KindBool, I: v.Ints[i]}
+	case KindFloat:
+		return Value{Kind: KindFloat, F: v.Floats[i]}
+	case KindString:
+		switch v.Mode {
+		case StrDict:
+			return Value{Kind: KindString, S: v.Dict[v.Codes[i]]}
+		case StrHeader:
+			return Value{Kind: KindString, S: v.Strs[i]}
+		default:
+			return Value{Kind: KindString, S: string(v.Bytes[v.Offs[i]:v.Offs[i+1]])}
+		}
+	default:
+		return Null()
+	}
+}
+
+// CompareValue orders cell i against a constant under Compare semantics
+// without materializing the cell — flat string cells compare byte-wise with
+// no allocation.
+func (v *ColVec) CompareValue(i int, c Value) int {
+	if v.Values != nil {
+		return Compare(v.Values[i], c)
+	}
+	if v.null(i) {
+		if c.Kind == KindNull {
+			return 0
+		}
+		return -1
+	}
+	if c.Kind == KindNull {
+		return 1
+	}
+	switch v.Kind {
+	case KindInt:
+		switch c.Kind {
+		case KindInt:
+			return cmpInt(v.Ints[i], c.I)
+		case KindFloat:
+			return cmpFloat(float64(v.Ints[i]), c.F)
+		}
+		return cmpKind(KindInt, c.Kind)
+	case KindFloat:
+		switch c.Kind {
+		case KindFloat:
+			return cmpFloat(v.Floats[i], c.F)
+		case KindInt:
+			return cmpFloat(v.Floats[i], float64(c.I))
+		}
+		return cmpKind(KindFloat, c.Kind)
+	case KindBool:
+		if c.Kind == KindBool {
+			return cmpInt(v.Ints[i], c.I)
+		}
+		return cmpKind(KindBool, c.Kind)
+	case KindString:
+		if c.Kind != KindString {
+			return cmpKind(KindString, c.Kind)
+		}
+		switch v.Mode {
+		case StrDict:
+			return cmpStr(v.Dict[v.Codes[i]], c.S)
+		case StrHeader:
+			return cmpStr(v.Strs[i], c.S)
+		default:
+			return cmpBytesStr(v.Bytes[v.Offs[i]:v.Offs[i+1]], c.S)
+		}
+	default:
+		return Compare(v.Value(i), c)
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpStr(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// cmpBytesStr orders raw cell bytes against a constant string without
+// converting either side (a []byte(s) conversion would allocate per row).
+func cmpBytesStr(b []byte, s string) int {
+	n := len(b)
+	if len(s) < n {
+		n = len(s)
+	}
+	for i := 0; i < n; i++ {
+		if b[i] != s[i] {
+			if b[i] < s[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(b) < len(s):
+		return -1
+	case len(b) > len(s):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// cmpKind replicates Compare's cross-kind fallback for cells of the
+// column's declared kind against a constant of a different, non-comparable
+// kind (never both numeric, never NULL — those are handled before).
+func cmpKind(a, b Kind) int {
+	if a < b {
+		return -1
+	}
+	if a > b {
+		return 1
+	}
+	return 0
+}
+
+// HashInto computes the HashOn hash of every live row over the key columns,
+// column by column in tight per-layout loops, and returns dst[:Rows()]. The
+// per-row byte sequence fed to FNV-1a is exactly HashOn's (columns in idx
+// order), so the hashes are bit-identical to hashing the materialized rows —
+// the property that lets vectorized join builds and probes share a TupleMap
+// with the row engine.
+func (b *ColBatch) HashInto(idx []int, dst []uint64) []uint64 {
+	n := b.Rows()
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	dst = dst[:n]
+	init := prob.FNVInit()
+	for i := range dst {
+		dst[i] = init
+	}
+	for _, c := range idx {
+		b.Cols[c].hashInto(b.Sel, b.N, dst)
+	}
+	return dst
+}
+
+// hashInto mixes this column's cells into the running per-row hashes. The
+// null-free numeric layouts get direct loops; everything else goes through
+// hashCell.
+func (v *ColVec) hashInto(sel []int32, n int, dst []uint64) {
+	if v.Values == nil && len(v.Nulls) == 0 {
+		switch v.Kind {
+		case KindInt:
+			if sel == nil {
+				for i, x := range v.Ints[:n] {
+					h := prob.FNVByte(dst[i], 1)
+					dst[i] = prob.FNVUint64(h, math.Float64bits(float64(x)))
+				}
+			} else {
+				for i, row := range sel {
+					h := prob.FNVByte(dst[i], 1)
+					dst[i] = prob.FNVUint64(h, math.Float64bits(float64(v.Ints[row])))
+				}
+			}
+			return
+		case KindFloat:
+			if sel == nil {
+				for i, f := range v.Floats[:n] {
+					if f == 0 {
+						f = 0 // normalize -0, as HashOn does
+					}
+					h := prob.FNVByte(dst[i], 1)
+					dst[i] = prob.FNVUint64(h, math.Float64bits(f))
+				}
+			} else {
+				for i, row := range sel {
+					f := v.Floats[row]
+					if f == 0 {
+						f = 0
+					}
+					h := prob.FNVByte(dst[i], 1)
+					dst[i] = prob.FNVUint64(h, math.Float64bits(f))
+				}
+			}
+			return
+		}
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			dst[i] = v.hashCell(dst[i], i)
+		}
+		return
+	}
+	for i, row := range sel {
+		dst[i] = v.hashCell(dst[i], int(row))
+	}
+}
+
+// hashCell mixes physical row i's cell into h, layout by layout.
+func (v *ColVec) hashCell(h uint64, i int) uint64 {
+	if v.Values != nil {
+		return hashValue(h, v.Values[i])
+	}
+	if v.null(i) {
+		return prob.FNVByte(h, 0)
+	}
+	switch v.Kind {
+	case KindInt:
+		h = prob.FNVByte(h, 1)
+		return prob.FNVUint64(h, math.Float64bits(float64(v.Ints[i])))
+	case KindFloat:
+		f := v.Floats[i]
+		if f == 0 {
+			f = 0
+		}
+		h = prob.FNVByte(h, 1)
+		return prob.FNVUint64(h, math.Float64bits(f))
+	case KindBool:
+		h = prob.FNVByte(h, 2)
+		return prob.FNVByte(h, byte(v.Ints[i]&1))
+	case KindString:
+		switch v.Mode {
+		case StrDict:
+			return hashStr(h, v.Dict[v.Codes[i]])
+		case StrHeader:
+			return hashStr(h, v.Strs[i])
+		default:
+			b := v.Bytes[v.Offs[i]:v.Offs[i+1]]
+			h = prob.FNVByte(h, 3)
+			h = prob.FNVUint64(h, uint64(len(b)))
+			for _, c := range b {
+				h = prob.FNVByte(h, c)
+			}
+			return h
+		}
+	default:
+		return hashValue(h, v.Value(i))
+	}
+}
+
+// hashStr mixes one string cell with HashOn's string byte sequence.
+func hashStr(h uint64, s string) uint64 {
+	h = prob.FNVByte(h, 3)
+	h = prob.FNVUint64(h, uint64(len(s)))
+	for k := 0; k < len(s); k++ {
+		h = prob.FNVByte(h, s[k])
+	}
+	return h
+}
+
+// hashValue mixes one Value into h with HashOn's per-value byte sequence.
+func hashValue(h uint64, v Value) uint64 {
+	switch v.Kind {
+	case KindNull:
+		return prob.FNVByte(h, 0)
+	case KindInt, KindFloat:
+		f := v.numeric()
+		if f == 0 {
+			f = 0
+		}
+		h = prob.FNVByte(h, 1)
+		return prob.FNVUint64(h, math.Float64bits(f))
+	case KindBool:
+		h = prob.FNVByte(h, 2)
+		return prob.FNVByte(h, byte(v.I&1))
+	case KindString:
+		h = prob.FNVByte(h, 3)
+		h = prob.FNVUint64(h, uint64(len(v.S)))
+		for k := 0; k < len(v.S); k++ {
+			h = prob.FNVByte(h, v.S[k])
+		}
+		return h
+	}
+	return h
+}

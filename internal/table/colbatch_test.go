@@ -1,0 +1,237 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// colBatchSchema covers every kind the columnar layouts specialize on.
+func colBatchSchema() *Schema {
+	return NewSchema(
+		DataCol("i", KindInt),
+		DataCol("f", KindFloat),
+		DataCol("s", KindString),
+		DataCol("b", KindBool),
+	)
+}
+
+// randomColTuple draws a tuple over colBatchSchema, with occasional NULLs and
+// a string pool sized by card (card > DictMaxCard exercises the spill).
+func randomColTuple(rng *rand.Rand, card int) Tuple {
+	t := Tuple{
+		Int(rng.Int63n(1000) - 500),
+		Float(rng.Float64()*10 - 5),
+		Str(fmt.Sprintf("s-%04d", rng.Intn(card))),
+		Bool(rng.Intn(2) == 0),
+	}
+	if rng.Intn(10) == 0 {
+		t[rng.Intn(len(t))] = Null()
+	}
+	return t
+}
+
+// TestColBatchRowRoundTrip: AppendRow → WriteRow/Value reproduces every cell
+// bit-identically across all layouts, including NULLs and a dictionary that
+// spills to the flat layout mid-batch.
+func TestColBatchRowRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, card := range []int{8, DictMaxCard + 50} {
+		sch := colBatchSchema()
+		b := NewColBatch(sch)
+		var rows []Tuple
+		for i := 0; i < 700; i++ {
+			tu := randomColTuple(rng, card)
+			rows = append(rows, tu)
+			b.AppendRow(tu)
+		}
+		if b.Rows() != len(rows) {
+			t.Fatalf("card=%d: %d live rows, want %d", card, b.Rows(), len(rows))
+		}
+		dst := make(Tuple, sch.Len())
+		for i, want := range rows {
+			b.WriteRow(i, dst)
+			for c := range want {
+				if dst[c] != want[c] {
+					t.Fatalf("card=%d: row %d col %d = %v, want %v", card, i, c, dst[c], want[c])
+				}
+				if got := b.Cols[c].Value(i); got != want[c] {
+					t.Fatalf("card=%d: Value(%d) col %d = %v, want %v", card, i, c, got, want[c])
+				}
+			}
+		}
+	}
+}
+
+// TestColBatchStrBytesLayouts: the heap-scan byte append uses the dictionary
+// under DictMaxCard distinct values and spills to flat beyond it, preserving
+// every cell, and a reset column remembers the spill (stays flat).
+func TestColBatchStrBytesLayouts(t *testing.T) {
+	sch := NewSchema(DataCol("s", KindString))
+	b := NewColBatch(sch)
+	var want []string
+	for i := 0; i < 64; i++ {
+		s := fmt.Sprintf("dict-%02d", i%8)
+		b.Cols[0].AppendStrBytes(b.N, []byte(s))
+		want = append(want, s)
+		b.N++
+	}
+	if b.Cols[0].Mode != StrDict {
+		t.Fatalf("low-cardinality column mode = %v, want StrDict", b.Cols[0].Mode)
+	}
+	for i := DictMaxCard; i >= 0; i-- { // push past the cardinality limit
+		s := fmt.Sprintf("wide-%04d", i)
+		b.Cols[0].AppendStrBytes(b.N, []byte(s))
+		want = append(want, s)
+		b.N++
+	}
+	if b.Cols[0].Mode != StrFlat {
+		t.Fatalf("post-spill mode = %v, want StrFlat", b.Cols[0].Mode)
+	}
+	for i, s := range want {
+		if got := b.Cols[0].Value(i); got.S != s {
+			t.Fatalf("cell %d = %q, want %q", i, got.S, s)
+		}
+	}
+	b.Reset(sch)
+	b.Cols[0].AppendStrBytes(0, []byte("after"))
+	b.N = 1
+	if b.Cols[0].Mode != StrFlat {
+		t.Fatalf("reset after spill: mode = %v, want StrFlat (noDict persists)", b.Cols[0].Mode)
+	}
+	if got := b.Cols[0].Value(0); got.S != "after" {
+		t.Fatalf("reset after spill: cell = %q, want %q", got.S, "after")
+	}
+}
+
+// TestColVecTypedAppends: the unboxed appends land in typed storage on the
+// matching column kind and fall back to AppendValue semantics (degrade)
+// elsewhere.
+func TestColVecTypedAppends(t *testing.T) {
+	sch := NewSchema(DataCol("i", KindInt), DataCol("f", KindFloat), DataCol("b", KindBool))
+	b := NewColBatch(sch)
+	b.Cols[0].AppendInt(0, 42)
+	b.Cols[1].AppendFloat(0, 2.5)
+	b.Cols[2].AppendBool(0, 1)
+	b.N = 1
+	for c, want := range []Value{Int(42), Float(2.5), Bool(true)} {
+		if got := b.Cols[c].Value(0); got != want {
+			t.Fatalf("col %d = %v, want %v", c, got, want)
+		}
+		if b.Cols[c].Values != nil {
+			t.Fatalf("col %d degraded on a matching typed append", c)
+		}
+	}
+	// Kind mismatch: the typed append must degrade like AppendValue would.
+	b.Cols[0].AppendFloat(1, 1.5)
+	b.N = 2
+	if b.Cols[0].Values == nil {
+		t.Fatal("mismatched typed append did not degrade the column")
+	}
+	if got := b.Cols[0].Value(0); got != Int(42) {
+		t.Fatalf("degraded col cell 0 = %v, want %v", got, Int(42))
+	}
+	if got := b.Cols[0].Value(1); got != Float(1.5) {
+		t.Fatalf("degraded col cell 1 = %v, want %v", got, Float(1.5))
+	}
+}
+
+// TestColVecCompareValueMatchesCompare: CompareValue must order any cell
+// against any constant exactly as Compare orders the materialized values —
+// the property the vectorized filter's correctness rests on.
+func TestColVecCompareValueMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	consts := []Value{
+		Null(), Int(0), Int(-3), Float(0.25), Float(-2), Str(""), Str("s-0100"),
+		Str("zzz"), Bool(true), Bool(false),
+	}
+	for _, card := range []int{8, DictMaxCard + 50} {
+		b := NewColBatch(colBatchSchema())
+		var rows []Tuple
+		for i := 0; i < 400; i++ {
+			tu := randomColTuple(rng, card)
+			rows = append(rows, tu)
+			b.AppendRow(tu)
+		}
+		for i, row := range rows {
+			for c := range row {
+				for _, k := range consts {
+					want := Compare(row[c], k)
+					if got := b.Cols[c].CompareValue(i, k); got != want {
+						t.Fatalf("card=%d row %d col %d vs %v: CompareValue=%d, Compare=%d",
+							card, i, c, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestColBatchHashIntoMatchesHashOn: batch hashing feeds FNV-1a the exact
+// byte sequence HashOn feeds it — with and without a selection vector — so
+// vectorized joins share hash tables with the row engine bit-identically.
+func TestColBatchHashIntoMatchesHashOn(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, card := range []int{8, DictMaxCard + 50} {
+		b := NewColBatch(colBatchSchema())
+		var rows []Tuple
+		for i := 0; i < 500; i++ {
+			tu := randomColTuple(rng, card)
+			rows = append(rows, tu)
+			b.AppendRow(tu)
+		}
+		idxSets := [][]int{{0}, {2}, {1, 3}, {0, 1, 2, 3}}
+		check := func(label string) {
+			for _, idx := range idxSets {
+				hs := b.HashInto(idx, nil)
+				if len(hs) != b.Rows() {
+					t.Fatalf("%s idx=%v: %d hashes, want %d", label, idx, len(hs), b.Rows())
+				}
+				for i := range hs {
+					want := HashOn(rows[b.RowID(i)], idx)
+					if hs[i] != want {
+						t.Fatalf("%s idx=%v live row %d: hash %#x, want %#x", label, idx, i, hs[i], want)
+					}
+				}
+			}
+		}
+		check("full")
+		sel := b.SelBuf(b.N)[:0]
+		for i := 0; i < b.N; i += 3 {
+			sel = append(sel, int32(i))
+		}
+		b.Sel = sel
+		check("selected")
+	}
+}
+
+// TestColVecAppendCell: gathering cells across batches (the join output path)
+// reproduces the source cells for every layout, including flat-string
+// byte-wise moves and NULLs.
+func TestColVecAppendCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	src := NewColBatch(colBatchSchema())
+	var rows []Tuple
+	for i := 0; i < 300; i++ {
+		tu := randomColTuple(rng, DictMaxCard+40) // force a spill in the string column
+		rows = append(rows, tu)
+		src.AppendRow(tu)
+	}
+	out := NewColBatch(colBatchSchema())
+	for i := len(rows) - 1; i >= 0; i-- { // gather in reverse order
+		for c := range out.Cols {
+			out.Cols[c].AppendCell(out.N, &src.Cols[c], i)
+		}
+		out.N++
+	}
+	dst := make(Tuple, len(rows[0]))
+	for i := 0; i < out.N; i++ {
+		out.WriteRow(i, dst)
+		want := rows[len(rows)-1-i]
+		for c := range want {
+			if dst[c] != want[c] {
+				t.Fatalf("gathered row %d col %d = %v, want %v", i, c, dst[c], want[c])
+			}
+		}
+	}
+}

@@ -69,6 +69,33 @@ func (m *TupleMap) Add(t Tuple) {
 	m.overflow[h] = append(chain, tmGroup{first: t})
 }
 
+// AddHashed is Add with a precomputed HashOn hash over the key columns —
+// the vectorized build path, where the columnar engine hashes whole column
+// slices at once (ColBatch.HashInto) before materializing the rows.
+func (m *TupleMap) AddHashed(h uint64, t Tuple) {
+	g, ok := m.buckets[h]
+	if !ok {
+		m.buckets[h] = tmGroup{first: t}
+		return
+	}
+	if EqualOn2(t, m.keyIdx, g.first, m.keyIdx) {
+		g.rest = append(g.rest, t)
+		m.buckets[h] = g
+		return
+	}
+	if m.overflow == nil {
+		m.overflow = make(map[uint64][]tmGroup)
+	}
+	chain := m.overflow[h]
+	for i := range chain {
+		if EqualOn2(t, m.keyIdx, chain[i].first, m.keyIdx) {
+			chain[i].rest = append(chain[i].rest, t)
+			return
+		}
+	}
+	m.overflow[h] = append(chain, tmGroup{first: t})
+}
+
 // Group names one key's rows: First, then Rest in insertion order.
 type Group struct {
 	First Tuple
@@ -92,6 +119,58 @@ func (m *TupleMap) Lookup(probe Tuple, probeIdx []int) (Group, bool) {
 		}
 	}
 	return Group{}, false
+}
+
+// LookupHashed is Lookup with a precomputed HashOn hash over the probe's
+// key columns — the partitioned join's probe path, which carries each row's
+// partition hash (the same HashOn value) into the per-partition joins
+// instead of rehashing it.
+func (m *TupleMap) LookupHashed(h uint64, probe Tuple, probeIdx []int) (Group, bool) {
+	g, found := m.buckets[h]
+	if !found {
+		return Group{}, false
+	}
+	if EqualOn2(probe, probeIdx, g.first, m.keyIdx) {
+		return Group{First: g.first, Rest: g.rest}, true
+	}
+	for _, o := range m.overflow[h] {
+		if EqualOn2(probe, probeIdx, o.first, m.keyIdx) {
+			return Group{First: o.first, Rest: o.rest}, true
+		}
+	}
+	return Group{}, false
+}
+
+// LookupHashedCols is Lookup probing directly from a columnar batch: the
+// hash is precomputed (ColBatch.HashInto) and key equality compares the
+// stored tuples' key cells against physical row `row` of the batch without
+// materializing it. Values equal under Compare hash equally, so the
+// vectorized probe finds exactly the groups the row probe would.
+func (m *TupleMap) LookupHashedCols(h uint64, b *ColBatch, probeIdx []int, row int) (Group, bool) {
+	g, found := m.buckets[h]
+	if !found {
+		return Group{}, false
+	}
+	if equalColsTuple(b, probeIdx, row, g.first, m.keyIdx) {
+		return Group{First: g.first, Rest: g.rest}, true
+	}
+	for _, o := range m.overflow[h] {
+		if equalColsTuple(b, probeIdx, row, o.first, m.keyIdx) {
+			return Group{First: o.first, Rest: o.rest}, true
+		}
+	}
+	return Group{}, false
+}
+
+// equalColsTuple reports pairwise key equality between a batch row's cells
+// and a stored tuple under Compare semantics.
+func equalColsTuple(b *ColBatch, bIdx []int, row int, t Tuple, tIdx []int) bool {
+	for k := range bIdx {
+		if b.Cols[bIdx[k]].CompareValue(row, t[tIdx[k]]) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // TupleSet is a set of tuples keyed on a fixed column subset — duplicate

@@ -434,6 +434,15 @@ func RequireExact() RunOption {
 	return func(s *plan.Spec) error { s.RequireExact = true; return nil }
 }
 
+// WithRowExecution disables the vectorized (columnar) execution tier,
+// running scans, filters, projections and joins tuple-at-a-time through the
+// row engine. Results are bit-identical either way — the row path is the
+// escape hatch for benchmark baselines and differential tests, not a
+// correctness knob.
+func WithRowExecution() RunOption {
+	return func(s *plan.Spec) error { s.RowExec = true; return nil }
+}
+
 // applyOptions folds options into a spec, surfacing the first validation
 // error.
 func applyOptions(spec *plan.Spec, opts []RunOption) error {
