@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sprout-bench [-sf 0.02] [-seed 1] [-exp all|fig9|fig10|fig11|fig12|fig13|mc|obdd|dtree|parallel|auto|columnar|casestudy] [-points 9] [-workers 4] [-json]
+//	sprout-bench [-sf 0.02] [-seed 1] [-exp all|fig9|fig10|fig11|fig12|fig13|mc|obdd|dtree|parallel|auto|columnar|degrade|casestudy] [-points 9] [-workers 4] [-json]
 //	sprout-bench -style mc [-query 18] [-eps 0.05] [-delta 0.01] [-workers 4]
 //	sprout-bench -style obdd [-query 18] [-budget 131072]
 //	sprout-bench -style dtree [-query 18] [-budget 131072]
@@ -26,6 +26,14 @@
 // and scan-heavy catalog queries run through the row engine (Spec.RowExec)
 // and the columnar tier, verifying bit-identical confidences and reporting
 // the tuple-phase speedup.
+//
+// -exp degrade runs the graceful-degradation sweep: unsafe catalog queries
+// (lineage compilation, no exact plan even with FDs) under a deadline
+// watermark that leaves the confidence tiers 0–4× the exact run's wall
+// clock. Insufficient allowances must return certified [lo, hi] bounds
+// containing every exact confidence with Stats.Degraded set — never a
+// context.DeadlineExceeded — and generous allowances must reconverge to
+// the exact answers; either containment failure is fatal.
 //
 // -exp auto runs the cost-based adaptive planner over the full TPC-H query
 // suite: every supported catalog query under the Auto style and under each
@@ -101,12 +109,17 @@ type record struct {
 	EstCost      float64 `json:"est_cost,omitempty"`
 	VsBestX      float64 `json:"vs_best_x,omitempty"`
 	VsChosenX    float64 `json:"vs_chosen_x,omitempty"`
+	AllowanceSec float64 `json:"allowance_sec,omitempty"`
+	Degraded     bool    `json:"degraded,omitempty"`
+	Reason       string  `json:"degrade_reason,omitempty"`
+	BoundsLo     float64 `json:"bounds_lo,omitempty"`
+	BoundsHi     float64 `json:"bounds_hi,omitempty"`
 }
 
 func main() {
 	sf := flag.Float64("sf", 0.02, "TPC-H scale factor (paper: 1.0)")
 	seed := flag.Int64("seed", 1, "generator seed")
-	exp := flag.String("exp", "all", "experiment: all|fig9|fig10|fig11|fig12|fig13|mc|obdd|dtree|parallel|auto|columnar|casestudy")
+	exp := flag.String("exp", "all", "experiment: all|fig9|fig10|fig11|fig12|fig13|mc|obdd|dtree|parallel|auto|columnar|degrade|casestudy")
 	points := flag.Int("points", 9, "selectivity points for fig11")
 	style := flag.String("style", "", "run one catalog query under a plan style: "+plan.StyleNames())
 	queryName := flag.String("query", "18", "catalog query for -style mode")
@@ -550,6 +563,32 @@ func main() {
 			emit(record{Experiment: "columnar", Name: r.Query, Style: r.Exec,
 				WallClockSec: r.Wall.Seconds(), TupleSec: r.Tuple.Seconds(), ProbSec: r.Prob.Seconds(),
 				Answers: r.Answers, SpeedupX: r.Speedup, Identical: r.Identical})
+		}
+		say("\n")
+	}
+
+	if run("degrade") {
+		say("== Degrade: graceful deadline degradation on unsafe queries ==\n")
+		say("   the deadline watermark leaves the confidence tiers a fraction of the\n")
+		say("   exact run's wall clock; insufficient allowances must certify [lo, hi]\n")
+		say("   bounds containing every exact confidence (Degraded=true), generous\n")
+		say("   allowances must reconverge to the exact answers\n")
+		rows, err := benchutil.Degrade(d, nil, nil)
+		if err != nil {
+			fail(err)
+		}
+		say("%-6s %8s %12s %9s %18s %10s %10s %8s\n",
+			"query", "frac", "allowance", "degraded", "reason", "lo", "hi", "contains")
+		for _, r := range rows {
+			say("%-6s %7gx %12s %9v %18s %10.6f %10.6f %8v\n",
+				r.Query, r.Frac, r.Allowance.Round(time.Microsecond), r.Degraded, r.Reason, r.Lo, r.Hi, r.Contains)
+			if !r.Contains {
+				fail(fmt.Errorf("degrade: query %s at allowance %gx violated the degradation contract", r.Query, r.Frac))
+			}
+			emit(record{Experiment: "degrade", Name: fmt.Sprintf("%s@%gx", r.Query, r.Frac), Style: "lazy",
+				WallClockSec: r.Wall.Seconds(), Answers: r.Answers,
+				AllowanceSec: r.Allowance.Seconds(), Degraded: r.Degraded, Reason: r.Reason,
+				BoundsLo: r.Lo, BoundsHi: r.Hi, BoundWidth: r.Width, Identical: r.Identical})
 		}
 		say("\n")
 	}

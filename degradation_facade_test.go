@@ -1,0 +1,55 @@
+package sprout
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestMemoryBudgetDegradesGracefully drives the paper's running example
+// through the public facade under a starvation-level memory budget: the
+// governor denies reservations, sorts spill early and the join falls back
+// to grace mode — yet the confidence is unchanged and the run reports
+// memory degradation rather than failing.
+func TestMemoryBudgetDegradesGracefully(t *testing.T) {
+	db := fig1DB(t)
+	want, err := db.Run(introQuery(), Lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := db.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), introQuery(), Lazy, WithMemoryBudget(1))
+	if err != nil {
+		t.Fatalf("budget starvation must degrade, not fail: %v", err)
+	}
+	if !res.Stats.Degraded || !strings.Contains(res.Stats.DegradeReason, "memory") {
+		t.Fatalf("Degraded=%v reason=%q, want memory degradation", res.Stats.Degraded, res.Stats.DegradeReason)
+	}
+	if len(res.Rows) != len(want.Rows) {
+		t.Fatalf("%d rows vs ungoverned %d", len(res.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		if g, w := res.Rows[i].Confidence, want.Rows[i].Confidence; g != w {
+			t.Errorf("row %d: governed confidence %g != ungoverned %g", i, g, w)
+		}
+	}
+	if used := eng.MemoryInUse(); used != 0 {
+		t.Errorf("governed run left %d bytes reserved", used)
+	}
+
+	// A generous budget must neither degrade nor change anything.
+	res, err = eng.Run(context.Background(), introQuery(), Lazy, WithMemoryBudget(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Degraded {
+		t.Errorf("generous budget must not degrade: %+v", res.Stats)
+	}
+	if eng.MemoryHighWater() == 0 {
+		t.Error("a governed run should have accounted some memory")
+	}
+}

@@ -8,9 +8,13 @@ import (
 	"time"
 
 	"repro/internal/benchutil"
+	"repro/internal/difftest"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/fd"
+	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/storage"
 	"repro/internal/table"
 	"repro/internal/tpch"
 )
@@ -110,6 +114,7 @@ func workload() []struct {
 // every result must equal the serial single-threaded evaluation bit for
 // bit.
 func TestEngineConcurrentMixedStyles(t *testing.T) {
+	difftest.LeakCheck(t)
 	db := tpchDB(nil)
 	items := workload()
 
@@ -197,6 +202,7 @@ func TestEngineRunBatch(t *testing.T) {
 // TestEngineCancellation: cancelling the context aborts an expensive Monte
 // Carlo run promptly with the context's error.
 func TestEngineCancellation(t *testing.T) {
+	difftest.LeakCheck(t)
 	db := tpchDB(nil)
 	e, err := db.NewEngine(WithWorkers(2))
 	if err != nil {
@@ -240,6 +246,7 @@ func TestEngineCancellation(t *testing.T) {
 // classic tuple-at-a-time path) and must return the same confidences and
 // the same structural trace as the default columnar-capable run.
 func TestWorkerCountBitIdentical(t *testing.T) {
+	difftest.LeakCheck(t)
 	db := tpchDB(nil)
 	styles := []struct {
 		name  string
@@ -295,5 +302,60 @@ func TestWorkerCountBitIdentical(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// transientFaultIO builds a fresh injector whose faults are all transient
+// and all absorbed by the storage-level retry policy — a faulted run must
+// behave observably like a fault-free one.
+func transientFaultIO() *fault.IO {
+	return &fault.IO{
+		Plan: fault.NewPlan(7,
+			fault.Rule{Op: fault.OpCreate, Kind: fault.KindErr, Nth: 2, Transient: true},
+			fault.Rule{Op: fault.OpWrite, Kind: fault.KindErr, Nth: 3, Count: 2, Transient: true},
+			fault.Rule{Op: fault.OpRead, Kind: fault.KindErr, Nth: 2, Count: 2, Transient: true},
+			fault.Rule{Op: fault.OpSync, Kind: fault.KindErr, Nth: 1, Transient: true},
+		),
+		Retry: fault.Retry{MaxAttempts: 3, Base: time.Microsecond, Max: time.Millisecond},
+		Sleep: func(time.Duration) {},
+	}
+}
+
+// TestFaultedRunsBitIdentical is the faulted-but-recovered axis of the
+// determinism contract: transient injected I/O faults, absorbed inside the
+// storage wrappers by the retry policy, must leave confidences bit-identical
+// to the fault-free run — across worker counts. The spill budget is starved
+// so the runs actually exercise the fault plane (the in-memory catalog only
+// touches storage through external-sort spills).
+func TestFaultedRunsBitIdentical(t *testing.T) {
+	difftest.LeakCheck(t)
+	db := tpchDB(nil)
+	spec := func(workers int) plan.Spec {
+		s := plan.Spec{Style: Lazy, Workers: workers}
+		s.Conf.SortBudget = 64
+		s.Conf.TmpDir = t.TempDir()
+		return s
+	}
+	ref, err := db.RunSpec(wrapQuery(custOrd()), spec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := confMap(t, ref)
+
+	for _, workers := range []int{1, 2, 4} {
+		io := transientFaultIO()
+		storage.SetIO(io)
+		res, err := db.RunSpec(wrapQuery(custOrd()), spec(workers))
+		storage.SetIO(nil)
+		if err != nil {
+			t.Fatalf("workers=%d: transient faults must be absorbed: %v", workers, err)
+		}
+		if io.Plan.Injected() == 0 {
+			t.Fatalf("workers=%d: no fault fired — the run did not exercise the fault plane", workers)
+		}
+		if io.Retries() == 0 {
+			t.Fatalf("workers=%d: faults fired but nothing retried", workers)
+		}
+		mustSameConfidences(t, fmt.Sprintf("faulted workers=%d", workers), confMap(t, res), want)
 	}
 }

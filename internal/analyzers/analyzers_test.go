@@ -36,10 +36,15 @@ func TestFnvKey(t *testing.T) {
 	analyzertest.Run(t, "testdata", analyzers.FnvKey, "repro/internal/engine")
 }
 
+func TestIOHook(t *testing.T) {
+	analyzertest.Run(t, "testdata", analyzers.IOHook, "repro/internal/storage")
+}
+
 // TestScopedAnalyzersStayQuietElsewhere pins the package scoping: the
-// scopecheck fixture commits detrand and fnvkey violations but lives
-// outside both watch lists, so neither analyzer may fire there.
+// scopecheck fixture commits detrand, fnvkey and iohook violations but
+// lives outside every watch list, so none of them may fire there.
 func TestScopedAnalyzersStayQuietElsewhere(t *testing.T) {
 	analyzertest.Run(t, "testdata", analyzers.DetRand, "scopecheck")
 	analyzertest.Run(t, "testdata", analyzers.FnvKey, "scopecheck")
+	analyzertest.Run(t, "testdata", analyzers.IOHook, "scopecheck")
 }

@@ -60,6 +60,7 @@ func All() []*Analyzer {
 		BatchAlias,
 		DetRand,
 		FnvKey,
+		IOHook,
 		MapIter,
 		PoolReset,
 		SortSlice,

@@ -1,0 +1,103 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// IOHook guards the fault plane's funnel invariant from the robustness
+// work: every OS-level I/O operation in repro/internal/storage must go
+// through the fault-hookable io* wrappers of io.go (ioCreate, ioOpen,
+// ioWriteAt, ioReadAt, ioSync, ioRemove), so an installed fault injector
+// sees — and can fail, truncate or delay — every read, write, sync, create
+// and remove the engine performs. A raw os.Open or (*os.File).WriteAt
+// anywhere else silently escapes the chaos harness and invalidates its
+// no-leak, typed-error guarantees.
+//
+// io.go itself is the designated funnel and is exempt wholesale; test
+// files are exempt (they may stage fixtures directly). os.TempDir,
+// os.Getpid, os.MkdirAll and friends are not I/O data paths and stay
+// allowed.
+var IOHook = &Analyzer{
+	Name: "iohook",
+	Doc: "requires storage-package I/O to go through the fault-hookable wrappers in io.go; " +
+		"raw os.* file operations and *os.File read/write/sync calls elsewhere escape fault injection",
+	Run: runIOHook,
+}
+
+// ioHookPkg is the package whose I/O must funnel through io.go.
+const ioHookPkg = "repro/internal/storage"
+
+// ioHookBannedFuncs are the os package-level calls with a wrapper
+// equivalent (or that open raw file handles the wrappers can't intercept).
+var ioHookBannedFuncs = map[string]string{
+	"Open":      "ioOpen",
+	"OpenFile":  "ioCreate/ioOpen",
+	"Create":    "ioCreate",
+	"Remove":    "ioRemove",
+	"RemoveAll": "ioRemove",
+	"ReadFile":  "ioOpen + ioReadAt",
+	"WriteFile": "ioCreate + ioWriteAt",
+	"Rename":    "a wrapper added to io.go",
+	"Truncate":  "a wrapper added to io.go",
+}
+
+// ioHookBannedMethods are the (*os.File) methods that move or persist data
+// and therefore must be reached only through the fault plane.
+var ioHookBannedMethods = map[string]string{
+	"Read":    "ioReadAt",
+	"ReadAt":  "ioReadAt",
+	"Write":   "ioWriteAt",
+	"WriteAt": "ioWriteAt",
+	"Sync":    "ioSync",
+}
+
+func runIOHook(p *Pass) {
+	if !pkgIn(p, ioHookPkg) {
+		return
+	}
+	for _, f := range p.Files {
+		pos := p.Fset.Position(f.Pos())
+		if isTestFile(p.Fset, f.Pos()) || filepath.Base(pos.Filename) == "io.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name := pkgFunc(p.TypesInfo, call); pkg == "os" {
+				if want, banned := ioHookBannedFuncs[name]; banned {
+					p.Reportf(call.Pos(), "os.%s bypasses the fault plane; use %s so injected faults reach this operation", name, want)
+				}
+				return true
+			}
+			recv, name := methodCall(p.TypesInfo, call)
+			if recv == nil {
+				return true
+			}
+			want, banned := ioHookBannedMethods[name]
+			if !banned {
+				return true
+			}
+			if t := p.TypesInfo.TypeOf(recv); t != nil && isOSFile(t) {
+				p.Reportf(call.Pos(), "(*os.File).%s bypasses the fault plane; use %s so injected faults reach this operation", name, want)
+			}
+			return true
+		})
+	}
+}
+
+// isOSFile reports whether t is *os.File (or os.File).
+func isOSFile(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
+}

@@ -1,0 +1,28 @@
+// Fixture for the iohook analyzer. It lives at the import path
+// repro/internal/storage because iohook only watches the storage package,
+// where every OS-level I/O call must funnel through io.go's wrappers.
+package storage
+
+import "os"
+
+func bad(f *os.File, buf []byte) {
+	_, _ = os.Open("x")      // want `os.Open bypasses the fault plane`
+	_, _ = os.Create("x")    // want `os.Create bypasses the fault plane`
+	_ = os.Remove("x")       // want `os.Remove bypasses the fault plane`
+	_, _ = os.ReadFile("x")  // want `os.ReadFile bypasses the fault plane`
+	_, _ = f.WriteAt(buf, 0) // want `\(\*os.File\).WriteAt bypasses the fault plane`
+	_, _ = f.ReadAt(buf, 0)  // want `\(\*os.File\).ReadAt bypasses the fault plane`
+	_ = f.Sync()             // want `\(\*os.File\).Sync bypasses the fault plane`
+	_, _ = f.Write(buf)      // want `\(\*os.File\).Write bypasses the fault plane`
+}
+
+func cleanCalls(f *os.File) {
+	_ = os.TempDir() // ok: not an I/O data path
+	_ = os.Getpid()  // ok
+	_ = f.Close()    // ok: close is not hookable
+	_, _ = f.Stat()  // ok
+}
+
+func allowed() {
+	_ = os.Remove("x") //sproutvet:allow iohook fixture demonstrates the documented escape hatch
+}

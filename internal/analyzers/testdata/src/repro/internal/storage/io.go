@@ -1,0 +1,12 @@
+// io.go is the designated fault-plane funnel and is exempt from iohook
+// wholesale: these raw calls must NOT be reported.
+package storage
+
+import "os"
+
+func ioOpenFixture(path string) (*os.File, error) { return os.Open(path) }
+
+func ioWriteFixture(f *os.File, b []byte, off int64) error {
+	_, err := f.WriteAt(b, off)
+	return err
+}

@@ -1,11 +1,12 @@
-// Fixture pinning the package scoping of detrand and fnvkey: this package
-// is outside both watch lists, so the violations below must produce zero
-// diagnostics (no want comments anywhere in this file).
+// Fixture pinning the package scoping of detrand, fnvkey and iohook: this
+// package is outside every watch list, so the violations below must
+// produce zero diagnostics (no want comments anywhere in this file).
 package scopecheck
 
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 )
 
@@ -13,4 +14,10 @@ func nondeterminismOutsideWatchedPackages(m map[string]int, a string) {
 	_ = rand.Intn(10)
 	_ = time.Now()
 	m[fmt.Sprintf("%s", a)] = 1
+}
+
+func rawIOOutsideStorage(f *os.File, b []byte) {
+	_, _ = os.Open("x")
+	_, _ = f.WriteAt(b, 0)
+	_ = f.Sync()
 }

@@ -1,0 +1,147 @@
+package benchutil
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/conf"
+	"repro/internal/plan"
+	"repro/internal/table"
+	"repro/internal/tpch"
+)
+
+// DegradeRow is one point of the deadline-degradation sweep: an unsafe
+// catalog query run under a deadline watermark that leaves the confidence
+// tiers a fixed fraction of the exact run's wall clock. Small allowances
+// must yield certified [Lo, Hi] bounds with Stats.Degraded set — never a
+// context.DeadlineExceeded — and generous allowances must converge back to
+// the exact answer.
+type DegradeRow struct {
+	Query string
+	// Frac is the time allowance as a fraction of the exact run's wall
+	// clock; Allowance is the resulting absolute budget (0 means the
+	// watermark has already passed when the tiers arm, forcing an
+	// immediate stop at the cheap certified bounds).
+	Frac      float64
+	Allowance time.Duration
+	Wall      time.Duration
+	Degraded  bool
+	Reason    string
+	// Lo/Hi are the run-level certified bounds (every true confidence
+	// lies within them); Width is Hi-Lo, 0 on exact runs.
+	Lo, Hi  float64
+	Width   float64
+	Answers int64
+	// Contains verifies the degradation contract against the fault-free
+	// exact run: on a degraded run, every exact confidence lies inside
+	// [Lo, Hi]; on an exact run, the confidences match to 1e-12 (a
+	// tripped watermark can resolve trivial lineages through the
+	// cheap-bounds path, whose evaluation order differs from the full
+	// compile by an ulp). Identical additionally reports bit-identity.
+	Contains  bool
+	Identical bool
+}
+
+// degradeKey renders a row's head values (everything but the confidence
+// column) as a comparison key.
+func degradeKey(row table.Tuple, confCol int) string {
+	parts := make([]string, 0, len(row)-1)
+	for i, v := range row {
+		if i == confCol {
+			continue
+		}
+		parts = append(parts, v.String())
+	}
+	return strings.Join(parts, "|")
+}
+
+// Degrade sweeps the deadline watermark over unsafe catalog queries
+// (lineage compilation, no exact sort+scan plan even with FDs) and records
+// how the anytime bounds tighten as the allowance grows. The context
+// deadline itself is always generous — the sweep moves the watermark, i.e.
+// the instant the confidence tiers must stop and certify, from "already
+// passed at arm time" (Frac 0) to "after the exact computation would have
+// finished" (Frac > 1). queries defaults to the unsafe entries; fractions
+// defaults to a 0–4× sweep.
+func Degrade(d *tpch.Data, queries []string, fractions []float64) ([]DegradeRow, error) {
+	if len(queries) == 0 {
+		queries = []string{"5", "9"}
+	}
+	if len(fractions) == 0 {
+		fractions = []float64{0, 0.1, 0.25, 0.5, 1, 4}
+	}
+	catalog := d.Catalog()
+	cat := tpch.Catalog()
+	var rows []DegradeRow
+	for _, name := range queries {
+		e, ok := cat[name]
+		if !ok || e.Q == nil {
+			return nil, fmt.Errorf("benchutil: degrade: unknown or unsupported catalog query %q", name)
+		}
+		sigma := tpch.FDsFor(e)
+
+		base, baseWall, err := timedRun(catalog, e.Q, sigma, plan.Spec{Style: plan.Lazy}, 2)
+		if err != nil {
+			return nil, fmt.Errorf("benchutil: degrade %s baseline: %w", name, err)
+		}
+		if base.Stats.Approximate {
+			return nil, fmt.Errorf("benchutil: degrade %s: baseline did not compile exactly", name)
+		}
+		ci := base.Rows.Schema.MustColIndex(conf.ConfCol)
+		truth := make(map[string]float64, base.Rows.Len())
+		for _, row := range base.Rows.Rows {
+			truth[degradeKey(row, ci)] = row[ci].F
+		}
+
+		for _, f := range fractions {
+			allowance := time.Duration(f * float64(baseWall))
+			// The watermark is measured back from the context deadline:
+			// deadline-watermark is when the tiers stop. A generous
+			// deadline keeps the tuple phase itself from ever failing.
+			deadline := 20*baseWall + 10*time.Second
+			ctx, cancel := context.WithTimeout(context.Background(), deadline)
+			start := stopwatchStart()
+			res, err := plan.RunContext(ctx, catalog, e.Q.Clone(), sigma,
+				plan.Spec{Style: plan.Lazy, Watermark: deadline - allowance})
+			wall := stopwatchSplit(start)
+			cancel()
+			if err != nil {
+				return nil, fmt.Errorf("benchutil: degrade %s frac %g: must degrade, not fail: %w", name, f, err)
+			}
+			row := DegradeRow{
+				Query: name, Frac: f, Allowance: allowance, Wall: wall,
+				Degraded: res.Stats.Degraded, Reason: res.Stats.DegradeReason,
+				Lo: res.Stats.LowerBound, Hi: res.Stats.UpperBound,
+				Answers: res.Stats.DistinctTuples,
+			}
+			rci := res.Rows.Schema.MustColIndex(conf.ConfCol)
+			if res.Stats.Approximate {
+				row.Width = row.Hi - row.Lo
+				row.Contains = res.Rows.Len() == base.Rows.Len() &&
+					row.Lo >= -1e-9 && row.Hi <= 1+1e-9 && row.Lo <= row.Hi+1e-9
+				for _, r := range res.Rows.Rows {
+					tv, ok := truth[degradeKey(r, rci)]
+					if !ok || tv < row.Lo-1e-9 || tv > row.Hi+1e-9 {
+						row.Contains = false
+					}
+				}
+			} else {
+				row.Contains = res.Rows.Len() == base.Rows.Len()
+				row.Identical = row.Contains
+				for _, r := range res.Rows.Rows {
+					tv, ok := truth[degradeKey(r, rci)]
+					if !ok || tv-r[rci].F > 1e-12 || r[rci].F-tv > 1e-12 {
+						row.Contains = false
+					}
+					if !ok || fmt.Sprintf("%x", tv) != fmt.Sprintf("%x", r[rci].F) {
+						row.Identical = false
+					}
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

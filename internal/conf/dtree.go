@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/dtree"
+	"repro/internal/obdd"
 	"repro/internal/pool"
 	"repro/internal/table"
 )
@@ -41,6 +42,7 @@ type DTreeStats struct {
 	HdrRecycled  int64 // clause headers recycled instead of arena-carved (builder-state dependent)
 	ExactAnswers int64 // answers with exact confidences
 	Bounded      int64 // answers resolved only to [lo, hi] bounds
+	Stopped      int64 // bounded answers cut short by a deadline-watermark Stop
 	// LowerBound and UpperBound certify every answer's true confidence:
 	// min over answers of the per-answer lo, max of the per-answer hi
 	// (exact answers contribute their exact value to both).
@@ -93,15 +95,29 @@ func DTreeLineage(ctx context.Context, p *pool.Pool, l *Lineage, opts dtree.Opti
 	var builders sync.Pool
 	results := make([]dtree.Result, len(l.Keys))
 	err := pool.Get(p, 1).Do(ctx, len(l.Keys), func(i int) error {
+		if opts.Stop != nil && opts.Stop() {
+			// Deadline watermark fired before this answer's decomposition
+			// started: certify it with cheap clause-weight bounds instead
+			// of spending the expiring budget on a decomposition.
+			lo, hi := obdd.CheapBounds(l.DNFs[i], l.Assign)
+			results[i] = dtree.Result{P: (lo + hi) / 2, Lo: lo, Hi: hi, Stopped: lo != hi, Exact: lo == hi}
+			return nil
+		}
 		b, _ := builders.Get().(*dtree.Builder)
 		if b == nil {
 			b = dtree.NewBuilder(opts.NodeBudget)
 		} else {
 			b.Reset(opts.NodeBudget)
 		}
+		// The deferred Put also runs on panic paths, so a panicking
+		// decomposition cannot strand the builder outside the sync.Pool;
+		// Reset re-arms it for the next answer.
+		defer builders.Put(b)
 		res := dtree.ProbWith(b, l.DNFs[i], l.Assign, opts)
-		builders.Put(b)
-		if exactOnly && !res.Exact {
+		if exactOnly && !res.Exact && !res.Stopped {
+			// A deadline-stopped result is accepted even in exact-only
+			// mode: its bounds are certified, and falling further down the
+			// ladder would spend deadline that is already gone.
 			budget := opts.NodeBudget
 			if budget <= 0 {
 				budget = dtree.DefaultNodeBudget
@@ -121,6 +137,9 @@ func DTreeLineage(ctx context.Context, p *pool.Pool, l *Lineage, opts dtree.Opti
 			stats.ExactAnswers++
 		} else {
 			stats.Bounded++
+			if res.Stopped {
+				stats.Stopped++
+			}
 		}
 		stats.Nodes += int64(res.Nodes)
 		stats.MemoHits += res.MemoHits

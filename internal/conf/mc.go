@@ -182,6 +182,10 @@ type MCStats struct {
 	DupRows      int64 // input rows deduplicated away during collection
 	Samples      int64 // Monte Carlo samples drawn across all answers
 	ExactAnswers int64 // answers resolved by an exact shortcut (no sampling)
+	// StoppedAnswers counts answers whose sampling a deadline-watermark
+	// Stop cut short: their estimates carry the wider ε the drawn samples
+	// actually guarantee.
+	StoppedAnswers int64
 	// CappedAnswers counts answers whose run MaxSamples cut short of the
 	// requested (ε, δ) sample count — their early-stop reason is "sample
 	// cap", everyone else's is "target met" (or an exact shortcut).
@@ -239,6 +243,9 @@ func MonteCarloLineage(ctx context.Context, l *Lineage, opts prob.MCOptions) (*t
 		}
 		if ests[i].Capped {
 			stats.CappedAnswers++
+		}
+		if ests[i].Stopped {
+			stats.StoppedAnswers++
 		}
 		if ests[i].Epsilon > stats.MaxEpsilon {
 			stats.MaxEpsilon = ests[i].Epsilon

@@ -39,6 +39,7 @@ type OBDDStats struct {
 	HdrRecycled  int64 // clause headers recycled instead of arena-carved (builder-state dependent)
 	ExactAnswers int64 // answers with exact confidences
 	Bounded      int64 // answers resolved only to [lo, hi] bounds
+	Stopped      int64 // bounded answers cut short by a deadline-watermark Stop
 	// LowerBound and UpperBound certify every answer's true confidence:
 	// min over answers of the per-answer lo, max of the per-answer hi
 	// (exact answers contribute their exact value to both).
@@ -103,10 +104,22 @@ func OBDDLineage(ctx context.Context, p *pool.Pool, l *Lineage, sig signature.Si
 	var builders sync.Pool
 	results := make([]obdd.Result, len(l.Keys))
 	err := pool.Get(p, 1).Do(ctx, len(l.Keys), func(i int) error {
+		if opts.Stop != nil && opts.Stop() {
+			// Deadline watermark fired before this answer's compilation
+			// started: certify it with cheap clause-weight bounds instead
+			// of spending the expiring budget on a compile.
+			lo, hi := obdd.CheapBounds(l.DNFs[i], l.Assign)
+			results[i] = obdd.Result{P: (lo + hi) / 2, Lo: lo, Hi: hi, Stopped: lo != hi, Exact: lo == hi}
+			return nil
+		}
 		cs, _ := builders.Get().(*compileState)
 		if cs == nil {
 			cs = &compileState{}
 		}
+		// The deferred Put also runs on panic paths, so a panicking
+		// compilation cannot strand the builder outside the sync.Pool;
+		// Reset re-arms it for the next answer.
+		defer builders.Put(cs)
 		order := cs.order.OccurrenceOrder(l.DNFs[i], rank)
 		if cs.b == nil {
 			cs.b = obdd.NewBuilder(order, opts.NodeBudget)
@@ -114,11 +127,13 @@ func OBDDLineage(ctx context.Context, p *pool.Pool, l *Lineage, sig signature.Si
 			cs.b.Reset(order, opts.NodeBudget)
 		}
 		res, err := obdd.ProbWith(cs.b, l.DNFs[i], l.Assign, opts)
-		builders.Put(cs)
 		if err != nil {
 			return fmt.Errorf("conf: answer %d: %w", i, err)
 		}
-		if exactOnly && !res.Exact {
+		if exactOnly && !res.Exact && !res.Stopped {
+			// A deadline-stopped result is accepted even in exact-only
+			// mode: its bounds are certified, and falling further down the
+			// ladder would spend deadline that is already gone.
 			budget := opts.NodeBudget
 			if budget <= 0 {
 				budget = obdd.DefaultNodeBudget
@@ -138,6 +153,9 @@ func OBDDLineage(ctx context.Context, p *pool.Pool, l *Lineage, sig signature.Si
 			stats.ExactAnswers++
 		} else {
 			stats.Bounded++
+			if res.Stopped {
+				stats.Stopped++
+			}
 		}
 		stats.Nodes += int64(res.Nodes)
 		stats.MemoHits += res.MemoHits

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/pool"
 	"repro/internal/signature"
 	"repro/internal/storage"
@@ -23,6 +24,10 @@ type Options struct {
 	Pool *pool.Pool
 	// Ctx cancels long scans between tuples; nil means no cancellation.
 	Ctx context.Context
+	// Mem, when set, governs the operator's sort buffers: under memory
+	// pressure the external sorts spill earlier instead of growing. nil
+	// means ungoverned.
+	Mem *fault.Governor
 }
 
 func (o Options) ctx() context.Context {
@@ -189,6 +194,7 @@ func sortedScan(rel *table.Relation, keyCols []int, opts Options, emit func(tabl
 	sorter := storage.NewExternalSorter(func(a, b table.Tuple) int {
 		return table.CompareOn(a, b, keyCols)
 	}, opts.SortBudget, opts.TmpDir)
+	sorter.Govern(opts.Mem)
 	for i, row := range rel.Rows {
 		if i%scanBatchSize == 0 && ctx.Err() != nil {
 			sorter.Discard()

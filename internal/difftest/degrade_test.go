@@ -1,0 +1,26 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDegradationContract sweeps random lineage formulas through
+// CheckDegraded at poll counts from "watermark already passed" (0) to
+// "stop fires deep into compilation": every stopped run must hold the
+// certified-bounds contract against the possible-worlds oracle.
+func TestDegradationContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 200
+	if testing.Short() {
+		n = 40
+	}
+	for i := 0; i < n; i++ {
+		d, a := RandomDNF(rng, 12)
+		for _, polls := range []int{0, 1, 3, 10, 100} {
+			if err := CheckDegraded(d, a, polls); err != nil {
+				t.Fatalf("formula %d, polls %d: %v", i, polls, err)
+			}
+		}
+	}
+}

@@ -176,6 +176,55 @@ func CheckCompile(d *prob.DNF, a *prob.Assignment) error {
 	return nil
 }
 
+// CheckDegraded is the graceful-degradation contract against the oracle:
+// a compilation cut short by Options.Stop after the given number of polls —
+// including zero, the watermark-already-passed case — must still return
+// certified [Lo, Hi] bounds containing the truth, report Stopped (unless it
+// finished exactly first), and be deterministic for a fixed poll count.
+func CheckDegraded(d *prob.DNF, a *prob.Assignment, polls int) error {
+	truth, err := prob.ProbByWorlds(d, a)
+	if err != nil {
+		return err
+	}
+	stopAfter := func(n int) func() bool {
+		left := n
+		return func() bool { left--; return left < 0 }
+	}
+
+	order := obdd.OccurrenceOrder(d, nil)
+	res, err := obdd.Prob(d, a, order, obdd.Options{Stop: stopAfter(polls)})
+	if err != nil {
+		return fmt.Errorf("difftest: obdd stopped compile: %w", err)
+	}
+	if err := checkResult(fmt.Sprintf("obdd[stop=%d]", polls), res.Exact, res.P, res.Lo, res.Hi, truth, d); err != nil {
+		return err
+	}
+	if !res.Exact && !res.Stopped {
+		return fmt.Errorf("difftest: obdd[stop=%d] inexact but not Stopped: %+v on %v", polls, res, d)
+	}
+	if again, err := obdd.Prob(d, a, order, obdd.Options{Stop: stopAfter(polls)}); err != nil || again != res {
+		return fmt.Errorf("difftest: obdd[stop=%d] not deterministic: %+v then %+v (%v) on %v", polls, res, again, err, d)
+	}
+
+	dres := dtree.Prob(d, a, dtree.Options{Stop: stopAfter(polls)})
+	if err := checkResult(fmt.Sprintf("dtree[stop=%d]", polls), dres.Exact, dres.P, dres.Lo, dres.Hi, truth, d); err != nil {
+		return err
+	}
+	if !dres.Exact && !dres.Stopped {
+		return fmt.Errorf("difftest: dtree[stop=%d] inexact but not Stopped: %+v on %v", polls, dres, d)
+	}
+	if dagain := dtree.Prob(d, a, dtree.Options{Stop: stopAfter(polls)}); dagain != dres {
+		return fmt.Errorf("difftest: dtree[stop=%d] not deterministic: %+v then %+v on %v", polls, dres, dagain, d)
+	}
+
+	// The zero-work fallback for answers whose compilation never started.
+	lo, hi := obdd.CheapBounds(d, a)
+	if lo-exactEps > truth || truth > hi+exactEps {
+		return fmt.Errorf("difftest: CheapBounds [%.9f, %.9f] exclude truth %.9f on %v", lo, hi, truth, d)
+	}
+	return nil
+}
+
 // checkResult validates one compiler outcome against the oracle: exact
 // results must match to exactEps bit-for-bit-style, bounded results must be
 // a well-formed interval inside [0, 1] containing the truth.

@@ -1,0 +1,76 @@
+package difftest
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Goroutine-leak checking for the engine test matrix, stdlib-only. The
+// engine's invariant is quiescence: once a query finishes — successfully,
+// cancelled, faulted or panicked — no goroutine it started may linger
+// beyond the shared worker pool. LeakCheck snapshots the goroutine count
+// at registration and verifies, with retries (finishing goroutines need a
+// moment to unwind), that the count returns to the baseline.
+
+// leakSlack tolerates runtime-owned goroutines (GC workers, timer
+// goroutines) starting between snapshot and check.
+const leakSlack = 2
+
+// leakWait bounds how long the check waits for goroutines to unwind.
+const leakWait = 2 * time.Second
+
+// leakTB is the subset of testing.TB LeakCheck needs; an interface keeps
+// the package importable from non-test code without linking testing.
+type leakTB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// LeakCheck registers a test-end goroutine-quiescence assertion: the
+// goroutine count at cleanup must return to (baseline + slack) within a
+// bounded wait. Register it before starting engines or pools:
+//
+//	difftest.LeakCheck(t)
+//
+// On failure the test error includes a full goroutine dump.
+func LeakCheck(tb leakTB) {
+	tb.Helper()
+	before := runtime.NumGoroutine()
+	tb.Cleanup(func() {
+		deadline := time.Now().Add(leakWait)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= before+leakSlack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			runtime.GC() // nudge finalizer/pool goroutines along
+			time.Sleep(10 * time.Millisecond)
+		}
+		tb.Errorf("goroutine leak: %d before, %d after %v\n%s",
+			before, now, leakWait, goroutineDump())
+	})
+}
+
+// goroutineDump renders all goroutine stacks, truncated to keep test logs
+// readable.
+func goroutineDump() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	s := string(buf[:n])
+	const maxDump = 16 << 10
+	if len(s) > maxDump {
+		cut := strings.LastIndex(s[:maxDump], "\n\n")
+		if cut < 0 {
+			cut = maxDump
+		}
+		s = s[:cut] + fmt.Sprintf("\n... (dump truncated at %d bytes)", maxDump)
+	}
+	return s
+}

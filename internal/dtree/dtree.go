@@ -81,6 +81,11 @@ type Options struct {
 	// first pass whose certified interval is narrow enough. 0 compiles
 	// under the full budget in one pass.
 	TargetWidth float64
+	// Stop, when non-nil, is polled at each decomposition step; once it
+	// reports true the remaining residuals resolve to cheap clause-weight
+	// bounds, as if the step budget were exhausted, and the result reports
+	// Stopped=true. The planner arms it with a deadline-watermark probe.
+	Stop func() bool
 }
 
 func (o Options) budget() int {
@@ -111,6 +116,9 @@ type Result struct {
 	// HdrRecycled counts clause-set headers served from the builder's
 	// free list instead of fresh arena storage.
 	HdrRecycled int64
+	// Stopped reports that Options.Stop cut decomposition short: the
+	// bounds are certified but work was abandoned for time, not budget.
+	Stopped bool
 }
 
 // Builder holds the reusable state of d-tree compilation: the interned
@@ -122,6 +130,11 @@ type Builder struct {
 	budget int
 	steps  int
 	a      *prob.Assignment
+
+	// stop/stopped: the deadline probe armed by probWith from
+	// Options.Stop, and its latched outcome for the current pass.
+	stop    func() bool
+	stopped bool
 
 	memo     map[uint64]memoEntry
 	memoOver map[uint64][]memoEntry
@@ -185,6 +198,19 @@ func (b *Builder) Reset(budget int) {
 // Steps returns the decomposition steps applied since the last Reset.
 func (b *Builder) Steps() int { return b.steps }
 
+// stopFired polls the armed Stop probe, latching the outcome so one firing
+// degrades every remaining residual of the pass.
+func (b *Builder) stopFired() bool {
+	if b.stopped {
+		return true
+	}
+	if b.stop != nil && b.stop() {
+		b.stopped = true
+		return true
+	}
+	return false
+}
+
 // Prob computes Pr[d] by d-tree decomposition: exact when the formula
 // decomposes within the step budget, certified [lo, hi] bounds otherwise.
 // The result is a deterministic function of (d, a, o) — no variable order
@@ -208,6 +234,9 @@ func ProbWith(b *Builder, d *prob.DNF, a *prob.Assignment, o Options) Result {
 
 func (b *Builder) probWith(d *prob.DNF, a *prob.Assignment, o Options) Result {
 	b.a = a
+	b.stop = o.Stop
+	b.stopped = false
+	defer func() { b.stop = nil }()
 	budget := o.budget()
 	if o.TargetWidth <= 0 {
 		return b.run(d, budget)
@@ -225,7 +254,7 @@ func (b *Builder) probWith(d *prob.DNF, a *prob.Assignment, o Options) Result {
 		}
 		res := b.run(d, pass)
 		res.Nodes += total
-		if res.Exact || res.Hi-res.Lo <= o.TargetWidth {
+		if res.Exact || res.Hi-res.Lo <= o.TargetWidth || res.Stopped {
 			return res
 		}
 		total = res.Nodes
@@ -237,7 +266,7 @@ func (b *Builder) run(d *prob.DNF, budget int) Result {
 	b.budget = budget
 	b.steps = 0
 	lo, hi := b.node(b.lower(d))
-	res := Result{Lo: lo, Hi: hi, Nodes: b.steps}
+	res := Result{Lo: lo, Hi: hi, Nodes: b.steps, Stopped: b.stopped && lo != hi}
 	if lo == hi {
 		res.Exact = true
 		res.P = lo
@@ -309,7 +338,7 @@ func (b *Builder) node(cls [][]int32) (lo, hi float64) {
 		b.putScratch(cls)
 		return p, p
 	}
-	if b.steps >= b.budget {
+	if b.steps >= b.budget || b.stopFired() {
 		lo, hi = b.cheapBounds(cls)
 		b.putScratch(cls)
 		return lo, hi

@@ -507,6 +507,12 @@ func Columnarize(op Operator) (ColOperator, bool) {
 		}
 		return &ColProject{In: in, idx: idx, out: o.Out}, true
 	case *HashJoin:
+		if o.Mem != nil {
+			// A governed join must stay on the row path: the columnar
+			// build side is unaccounted and has no grace fallback, so
+			// lowering it would silently drop the memory budget.
+			return nil, false
+		}
 		l, ok := Columnarize(o.Left)
 		if !ok {
 			return nil, false
@@ -614,6 +620,7 @@ func Vectorize(op Operator) (Operator, bool) {
 		if lok || rok {
 			j, err := NewHashJoin(l, r, o.LeftKeys, o.RightKey)
 			if err == nil {
+				j.Mem, j.SortBudget, j.TmpDir = o.Mem, o.SortBudget, o.TmpDir
 				return j, true
 			}
 		}

@@ -197,6 +197,47 @@ func TestMergeJoinDuplicateBlocks(t *testing.T) {
 	}
 }
 
+// TestMergeJoinAsymmetricKeyLayouts joins sides whose key columns sit at
+// different positions — left keys (0, 3), right keys (1, 0) — with the
+// second left key indexing past the right tuple's width. Regression test:
+// the right-block grouping loop used to index the buffered block key (a
+// right tuple) with the LEFT key positions, which mismatched blocks when
+// the layouts differed and panicked when a left index exceeded the right
+// arity. Plan-lowered grace joins produce exactly these shapes.
+func TestMergeJoinAsymmetricKeyLayouts(t *testing.T) {
+	lSchema := table.NewSchema(
+		table.DataCol("a", table.KindInt), table.DataCol("x", table.KindInt),
+		table.DataCol("y", table.KindInt), table.DataCol("b", table.KindInt))
+	l := table.NewRelation(lSchema)
+	// Sorted on (a, b) = cols (0, 3); filler columns hold unrelated values.
+	for _, row := range [][4]int64{{1, 90, 91, 1}, {1, 92, 93, 2}, {2, 94, 95, 1}} {
+		l.MustAppend(table.Tuple{table.Int(row[0]), table.Int(row[1]), table.Int(row[2]), table.Int(row[3])})
+	}
+	rSchema := table.NewSchema(
+		table.DataCol("b", table.KindInt), table.DataCol("a", table.KindInt),
+		table.DataCol("z", table.KindInt))
+	r := table.NewRelation(rSchema)
+	// Sorted on (a, b) = cols (1, 0); duplicate keys exercise block buffering.
+	for _, row := range [][3]int64{{1, 1, 70}, {1, 1, 71}, {2, 1, 72}, {1, 2, 73}, {9, 2, 74}} {
+		r.MustAppend(table.Tuple{table.Int(row[0]), table.Int(row[1]), table.Int(row[2])})
+	}
+	mj, err := NewMergeJoin(NewMemScan(l), NewMemScan(r), []int{0, 3}, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, mj)
+	// Matches: l(1,_,_,1) x r{(1,1,70),(1,1,71)}, l(1,_,_,2) x r(2,1,72),
+	// l(2,_,_,1) x r(1,2,73).
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4: %v", len(rows), rows)
+	}
+	for _, row := range rows {
+		if row[0].I != row[5].I || row[3].I != row[4].I {
+			t.Errorf("join keys should match across sides: %v", row)
+		}
+	}
+}
+
 func TestNestedLoopJoinPredicate(t *testing.T) {
 	l := intsRel("a", 1, 2, 3)
 	r := intsRel("b", 2, 3, 4)

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/table"
 )
 
@@ -39,8 +40,13 @@ func buildSide(op Operator, keys []int) (*table.TupleMap, error) {
 type HashJoin struct {
 	Left, Right        Operator
 	LeftKeys, RightKey []int
+	Mem                *fault.Governor // optional: charge the build side, degrade to grace mode on denial
+	SortBudget         int             // grace-mode sort budget (tuples); 0 = storage.DefaultSortBudget
+	TmpDir             string          // grace-mode spill dir; "" = os.TempDir()
 	out                *table.Schema
 	built              *table.TupleMap
+	grace              *MergeJoin    // non-nil after a memory-pressured Open
+	graced             bool          // sticky across Close: the last Open degraded
 	in                 []table.Tuple // reused probe batch
 	inN, inPos         int
 	cur                table.Group // matches for the current probe tuple
@@ -66,16 +72,44 @@ func NewHashJoin(left, right Operator, leftKeys, rightKeys []int) (*HashJoin, er
 // Schema returns left ++ right.
 func (j *HashJoin) Schema() *table.Schema { return j.out }
 
-// Open builds the hash table over the right input.
+// Open builds the hash table over the right input. With a governor set, the
+// build side is charged as it grows; a denied reservation degrades the join
+// to grace (sort-merge) mode instead of failing — see gracejoin.go. A failed
+// Open leaves the join fully closed (children included): collectors do not
+// Close a tree whose Open errored, so every operator must release what it
+// acquired — child scanners' pinned pages, a grace sorter's spill runs —
+// before surfacing the error (Close is idempotent throughout the engine,
+// so re-closing an input some error path already closed is safe).
 func (j *HashJoin) Open() error {
+	j.grace = nil
+	j.graced = false
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
 	if err := j.Right.Open(); err != nil {
+		j.Left.Close()
 		return err
 	}
-	built, err := buildSide(j.Right, j.RightKey)
+	var built *table.TupleMap
+	var err error
+	if j.Mem != nil {
+		var buffered []table.Tuple
+		var pressured bool
+		built, buffered, pressured, err = buildGoverned(j.Right, j.RightKey, j.Mem)
+		if err == nil && pressured {
+			if gerr := j.openGrace(buffered); gerr != nil {
+				j.Left.Close()
+				j.Right.Close()
+				return gerr
+			}
+			return nil
+		}
+	} else {
+		built, err = buildSide(j.Right, j.RightKey)
+	}
 	if err != nil {
+		j.Left.Close()
+		j.Right.Close()
 		return err
 	}
 	j.built = built
@@ -98,6 +132,9 @@ func (j *HashJoin) Next() (table.Tuple, bool, error) {
 // The current probe tuple references the join's input batch, which is only
 // refilled once its matches are exhausted, so no probe-side clone is needed.
 func (j *HashJoin) NextBatch(dst []table.Tuple) (int, error) {
+	if j.grace != nil {
+		return j.grace.NextBatch(dst)
+	}
 	n := 0
 	for n < len(dst) {
 		if j.curPos < j.curLen {
@@ -138,9 +175,21 @@ func (j *HashJoin) NextBatch(dst []table.Tuple) (int, error) {
 	return n, nil
 }
 
-// Close closes both inputs and drops the hash table.
+// Close closes both inputs and drops the hash table. In grace mode the
+// merge join owns the left input (via its wrapping Sort) and the sorted
+// right stream; the drained right input is closed here.
 func (j *HashJoin) Close() error {
 	j.built = nil
+	if j.grace != nil {
+		g := j.grace
+		j.grace = nil
+		errG := g.Close()
+		errR := j.Right.Close()
+		if errG != nil {
+			return errG
+		}
+		return errR
+	}
 	errL := j.Left.Close()
 	errR := j.Right.Close()
 	if errL != nil {
@@ -187,20 +236,26 @@ func NewMergeJoin(left, right Operator, leftKeys, rightKeys []int) (*MergeJoin, 
 // Schema returns left ++ right.
 func (j *MergeJoin) Schema() *table.Schema { return j.out }
 
-// Open opens both inputs and primes the cursors.
+// Open opens both inputs and primes the cursors. Like every engine Open, a
+// failure leaves the join fully closed, children included.
 func (j *MergeJoin) Open() error {
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
 	if err := j.Right.Open(); err != nil {
+		j.Left.Close()
 		return err
 	}
 	var err error
 	if err = j.advanceLeft(); err != nil {
+		j.Left.Close()
+		j.Right.Close()
 		return err
 	}
 	j.r, j.rOK, err = j.Right.Next()
 	if err != nil {
+		j.Left.Close()
+		j.Right.Close()
 		return err
 	}
 	if j.rOK {
@@ -226,6 +281,18 @@ func (j *MergeJoin) advanceLeft() error {
 func (j *MergeJoin) cmpKeys(l, r table.Tuple) int {
 	for i := range j.LeftKeys {
 		if c := table.Compare(l[j.LeftKeys[i]], r[j.RightKeys[i]]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// cmpRightKeys compares two right-side tuples; the block key is a right
+// tuple, so indexing it with LeftKeys would read the wrong columns (or past
+// the end) whenever the two key layouts differ.
+func (j *MergeJoin) cmpRightKeys(a, b table.Tuple) int {
+	for i := range j.RightKeys {
+		if c := table.Compare(a[j.RightKeys[i]], b[j.RightKeys[i]]); c != 0 {
 			return c
 		}
 	}
@@ -277,7 +344,7 @@ func (j *MergeJoin) next(slot int) (table.Tuple, bool, error) {
 			// Buffer the whole right block with this key.
 			j.block = j.block[:0]
 			j.blockKey = j.r.Clone()
-			for j.rOK && j.cmpKeys(j.blockKey, j.r) == 0 {
+			for j.rOK && j.cmpRightKeys(j.blockKey, j.r) == 0 {
 				j.block = append(j.block, j.r)
 				t, ok, err := j.Right.Next()
 				if err != nil {
@@ -347,6 +414,7 @@ func (j *NestedLoopJoin) Open() error {
 		return err
 	}
 	if err := j.Right.Open(); err != nil {
+		j.Left.Close()
 		return err
 	}
 	j.right = j.right[:0]
@@ -355,6 +423,8 @@ func (j *NestedLoopJoin) Open() error {
 		return nil
 	})
 	if err != nil {
+		j.Left.Close()
+		j.Right.Close()
 		return err
 	}
 	j.lOK = false

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"repro/internal/fault"
 	"repro/internal/storage"
 	"repro/internal/table"
 )
@@ -21,8 +22,9 @@ func (s SortSpec) Compare(a, b table.Tuple) int { return table.CompareOn(a, b, s
 type Sort struct {
 	In     Operator
 	Spec   SortSpec
-	Budget int    // tuples held in memory; 0 = storage.DefaultSortBudget
-	TmpDir string // "" = os.TempDir()
+	Budget int             // tuples held in memory; 0 = storage.DefaultSortBudget
+	TmpDir string          // "" = os.TempDir()
+	Mem    *fault.Governor // optional memory governor: spill earlier under pressure
 
 	it     storage.TupleIterator
 	spills int
@@ -45,6 +47,7 @@ func (s *Sort) Open() error {
 		return err
 	}
 	sorter := storage.NewExternalSorter(s.Spec.Compare, s.Budget, s.TmpDir)
+	sorter.Govern(s.Mem)
 	if err := drainEach(s.In, sorter.Add); err != nil {
 		s.In.Close()
 		sorter.Discard()

@@ -1,0 +1,29 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PanicError wraps a recovered operator panic into a typed query error.
+// The worker pool recovers at the task boundary, so a panicking operator
+// fails its own query without poisoning the shared Engine or leaking a
+// worker slot; the original panic value and stack ride along for
+// diagnosis.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("fault: recovered panic: %v", e.Value)
+}
+
+// IsPanic reports whether err wraps a recovered panic and returns it.
+func IsPanic(err error) (*PanicError, bool) {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}

@@ -1,0 +1,44 @@
+package fault
+
+import "time"
+
+// Retry is a capped exponential backoff policy with deterministic jitter.
+// The zero value disables retrying (single attempt). Jitter is derived
+// from the seed and attempt number through splitmix64, never from a global
+// RNG or the clock, so a faulted run replays identically from its seed.
+type Retry struct {
+	MaxAttempts int           // total attempts including the first; <= 1 disables retry
+	Base        time.Duration // first backoff step (default 1ms when retrying)
+	Max         time.Duration // backoff cap (default 100ms)
+}
+
+// Enabled reports whether the policy allows any retries at all.
+func (r Retry) Enabled() bool { return r.MaxAttempts > 1 }
+
+// Backoff returns the sleep before attempt (1-based count of failures so
+// far): Base·2^(attempt-1) capped at Max, ±25% deterministic jitter.
+func (r Retry) Backoff(seed int64, attempt int) time.Duration {
+	base := r.Base
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := r.Max
+	if max <= 0 {
+		max = 100 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Jitter in [-25%, +25%), deterministic in (seed, attempt).
+	j := mix(uint64(seed) + uint64(attempt)*0x9e3779b97f4a7c15)
+	frac := float64(j%1024)/1024 - 0.5 // [-0.5, 0.5)
+	d += time.Duration(frac * 0.5 * float64(d))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

@@ -110,9 +110,14 @@ func Bounds(d *prob.DNF, a *prob.Assignment, order []prob.Var, o Options) (Resul
 	add(cls, clauseWeights(cls, probs), 1)
 	steps := 0
 	budget := o.budget()
+	stopped := false
 
 	for len(frontier) > 0 && steps < budget {
 		if (sumDone+accHi)-(sumDone+accLo) <= o.TargetWidth {
+			break
+		}
+		if o.Stop != nil && o.Stop() {
+			stopped = true
 			break
 		}
 		it := heap.Pop(&frontier).(*boundsItem)
@@ -150,7 +155,37 @@ func Bounds(d *prob.DNF, a *prob.Assignment, order []prob.Var, o Options) (Resul
 	if exact {
 		lo, hi = clamp01(sumDone), clamp01(sumDone)
 	}
-	return Result{Exact: exact, P: (lo + hi) / 2, Lo: lo, Hi: hi, Nodes: steps}, nil
+	return Result{Exact: exact, P: (lo + hi) / 2, Lo: lo, Hi: hi, Nodes: steps,
+		Stopped: stopped && !exact}, nil
+}
+
+// CheapBounds bounds Pr[d] from clause weights alone — no order, no
+// compilation, no allocation beyond one pass over the clauses:
+//
+//	max_c Π p(v)  ≤  Pr[d]  ≤  min(1, Σ_c Π p(v))
+//
+// The confidence layer uses it for answers whose compilation never started
+// before a deadline watermark fired: even those answers then carry a
+// certified (if wide) interval instead of an error.
+func CheapBounds(d *prob.DNF, a *prob.Assignment) (lo, hi float64) {
+	sum := 0.0
+	for _, c := range d.Clauses {
+		w := 1.0
+		for _, v := range c {
+			w *= a.P(v)
+		}
+		if len(c) == 0 {
+			w = 1.0
+		}
+		if w > lo {
+			lo = w
+		}
+		sum += w
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return lo, sum
 }
 
 // clauseWeights computes Π p over each clause's variables.

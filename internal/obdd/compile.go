@@ -23,6 +23,13 @@ type Options struct {
 	// 0 expands until the budget is spent (or the bounds close completely).
 	// It has no effect on formulas whose diagram fits the budget.
 	TargetWidth float64
+	// Stop, when non-nil, is polled during compilation and expansion; once
+	// it reports true the exact compile abandons into the anytime mode and
+	// the anytime expansion returns its current certified bounds. The
+	// planner arms it with a deadline-watermark probe so an expiring
+	// context degrades to bounds instead of failing. Results cut short by
+	// Stop report Stopped=true; a nil Stop never fires.
+	Stop func() bool
 }
 
 func (o Options) budget() int {
@@ -56,6 +63,10 @@ type Result struct {
 	// builder's free list instead of fresh arena storage during this
 	// compile — the arena-reuse figure of the PR 5 allocation work.
 	HdrRecycled int64
+	// Stopped reports that Options.Stop cut this computation short: the
+	// bounds are certified but narrower work was abandoned for time, not
+	// for the node budget.
+	Stopped bool
 }
 
 // Prob computes Pr[d] under the given variable order: exact via OBDD
@@ -74,7 +85,9 @@ func Prob(d *prob.DNF, a *prob.Assignment, order []prob.Var, o Options) (Result,
 // every map per formula; the result is identical to Prob's.
 func ProbWith(b *Builder, d *prob.DNF, a *prob.Assignment, o Options) (Result, error) {
 	hits0, misses0, rec0 := b.Counters()
+	b.stop = o.Stop
 	root, err := b.Compile(d)
+	b.stop = nil
 	hits, misses, rec := b.Counters()
 	hits, misses, rec = hits-hits0, misses-misses0, rec-rec0
 	if err == nil {
@@ -247,6 +260,10 @@ func (b *Builder) lower(d *prob.DNF) ([][]int32, error) {
 // header: on a memo hit (or a terminal case) the header is recycled into the
 // scratch free list, on a miss it is retained by the memo entry.
 func (b *Builder) shannon(cls [][]int32) (Ref, error) {
+	if b.stop != nil && b.stop() {
+		b.putScratch(cls)
+		return False, ErrBudget
+	}
 	if len(cls) == 0 {
 		b.putScratch(cls)
 		return False, nil

@@ -99,6 +99,11 @@ type Builder struct {
 	memoHits    int64
 	memoMisses  int64
 	hdrRecycled int64
+
+	// stop is armed by ProbWith from Options.Stop for the duration of one
+	// Compile: when it fires, the compile aborts with ErrBudget and the
+	// caller falls into the anytime bounds mode.
+	stop func() bool
 }
 
 // Counters returns the builder's cumulative effort counters: residual-memo

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/logical"
 	"repro/internal/obs"
 	"repro/internal/pool"
@@ -23,6 +24,11 @@ type exec struct {
 	ctx  context.Context
 	pool *pool.Pool
 	tr   *obs.Trace
+	// mem is the run's memory governor (nil = ungoverned); sortBudget and
+	// tmpDir configure the grace-mode sorts of governed hash joins.
+	mem        *fault.Governor
+	sortBudget int
+	tmpDir     string
 }
 
 // span opens a top-level trace span, or returns nil (a no-op span) when
@@ -263,9 +269,20 @@ func joinPipeline(ex exec, q *query.Query, left, right engine.Operator, joined m
 	}
 	var j engine.Operator
 	var err error
-	if ex.parallel() {
+	switch {
+	case ex.mem != nil:
+		// Governed runs take the serial grace-capable hash join even under
+		// a parallel pool: the partitioned join's per-partition build sides
+		// are unaccounted, and the grace fallback must own the whole build.
+		hj, herr := engine.NewHashJoin(left, right, lk, rk)
+		if herr != nil {
+			return nil, herr
+		}
+		hj.Mem, hj.SortBudget, hj.TmpDir = ex.mem, ex.sortBudget, ex.tmpDir
+		j = hj
+	case ex.parallel():
 		j, err = engine.NewPartitionedHashJoin(left, right, lk, rk, ex.pool, ex.ctx)
-	} else {
+	default:
 		j, err = engine.NewHashJoin(left, right, lk, rk)
 	}
 	if err != nil {

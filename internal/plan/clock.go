@@ -1,6 +1,10 @@
 package plan
 
-import "time"
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
 
 // Wall-clock access in plan is funneled through these two helpers so the
 // detrand analyzer documents exactly where nondeterminism enters: execution
@@ -17,4 +21,51 @@ func statsNow() time.Time {
 // statsSince is time.Since for Stats/trace phase timings only.
 func statsSince(t0 time.Time) time.Duration {
 	return time.Since(t0) //sproutvet:allow detrand wall-clock feeds only Stats wall-time fields, never confidences or plan choice
+}
+
+// watermarkProbeEvery throttles the deadline-watermark probe: the wall
+// clock is read once per this many polls, so the compilation and sampling
+// hot loops pay one atomic add per poll, not a clock read.
+const watermarkProbeEvery = 64
+
+// watermarkStop builds the Stop probe of a deadline-watermark run: it
+// trips — and latches — once the wall clock passes ctx's deadline minus w,
+// telling the OBDD/d-tree tiers to return their current certified bounds
+// and the Monte Carlo sampler its running estimate, instead of letting the
+// deadline kill the run with nothing to show. Returns nil (no probe) when
+// w <= 0 or ctx carries no deadline. The probe is intentionally
+// nondeterministic: it only ever widens reported bounds, never changes an
+// exact confidence.
+func watermarkStop(ctx context.Context, w time.Duration) func() bool {
+	if w <= 0 {
+		return nil
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	limit := deadline.Add(-w)
+	var polls atomic.Int64
+	var tripped atomic.Bool
+	// Arm-time check: when the watermark already exceeds the remaining
+	// time, every tier must stop at its first poll — without it, a small
+	// compilation could finish exactly before the throttled probe's first
+	// clock read, making insufficient-deadline degradation racy.
+	if !time.Now().Before(limit) { //sproutvet:allow detrand the deadline watermark trades precision for timeliness by design; it can only widen certified bounds
+		tripped.Store(true)
+	}
+	return func() bool {
+		if tripped.Load() {
+			return true
+		}
+		if polls.Add(1)%watermarkProbeEvery != 0 {
+			return false
+		}
+		now := time.Now() //sproutvet:allow detrand the deadline watermark trades precision for timeliness by design; it can only widen certified bounds
+		if now.Before(limit) {
+			return false
+		}
+		tripped.Store(true)
+		return true
+	}
 }

@@ -75,5 +75,9 @@ func dtreeResult(sp *obs.Span, q *query.Query, note string, order []query.RelRef
 		stats.UpperBound = ds.UpperBound
 		stats.MaxWidth = ds.MaxWidth
 	}
+	if ds.Stopped > 0 {
+		markDegraded(&stats, "deadline")
+		sp.Int("deadline_stopped", ds.Stopped)
+	}
 	return &Result{Rows: out, Stats: stats}
 }

@@ -134,9 +134,12 @@ func (st *lowerState) operator(n logical.Node, sp *obs.Span) (engine.Operator, e
 		if j, ok := x.Input.(*logical.Join); ok {
 			jsp := sp.Child("join")
 			if jsp != nil {
-				if st.ex.parallel() {
+				switch {
+				case st.ex.mem != nil:
+					jsp.LooseStr("phys", "hash(build=right, governed)")
+				case st.ex.parallel():
 					jsp.LooseStr("phys", "partitioned-hash")
-				} else {
+				default:
 					jsp.LooseStr("phys", "hash(build=right)")
 				}
 			}

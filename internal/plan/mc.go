@@ -50,20 +50,22 @@ func finishMonteCarlo(ex exec, sp *obs.Span, q *query.Query, spec Spec, note str
 		sp.Str("early_stop", "target met")
 	}
 	sp.SetDur(probTime)
-	return &Result{
-		Rows: out,
-		Stats: Stats{
-			Plan: fmt.Sprintf("mc%s: %s; estimate conf of %d answers (%d clauses, %d samples, %d exact)",
-				note, describeOrder(order), mcs.OutputTuples, mcs.Clauses, mcs.Samples, mcs.ExactAnswers),
-			Signature:      "(approximate: Monte Carlo over lineage, no signature)",
-			TupleTime:      tupleTime,
-			ProbTime:       probTime,
-			AnswerTuples:   int64(answer.Len()),
-			DistinctTuples: int64(out.Len()),
-			Scans:          1, // the lineage-collection grouping pass
-			Approximate:    true,
-			Samples:        mcs.Samples,
-			Epsilon:        mcs.MaxEpsilon,
-		},
-	}, nil
+	stats := Stats{
+		Plan: fmt.Sprintf("mc%s: %s; estimate conf of %d answers (%d clauses, %d samples, %d exact)",
+			note, describeOrder(order), mcs.OutputTuples, mcs.Clauses, mcs.Samples, mcs.ExactAnswers),
+		Signature:      "(approximate: Monte Carlo over lineage, no signature)",
+		TupleTime:      tupleTime,
+		ProbTime:       probTime,
+		AnswerTuples:   int64(answer.Len()),
+		DistinctTuples: int64(out.Len()),
+		Scans:          1, // the lineage-collection grouping pass
+		Approximate:    true,
+		Samples:        mcs.Samples,
+		Epsilon:        mcs.MaxEpsilon,
+	}
+	if mcs.StoppedAnswers > 0 {
+		markDegraded(&stats, "deadline")
+		sp.Int("deadline_stopped", mcs.StoppedAnswers)
+	}
+	return &Result{Rows: out, Stats: stats}, nil
 }

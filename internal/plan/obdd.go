@@ -53,5 +53,9 @@ func obddResult(sp *obs.Span, q *query.Query, note, orderNote string, order []qu
 		stats.UpperBound = os.UpperBound
 		stats.MaxWidth = os.MaxWidth
 	}
+	if os.Stopped > 0 {
+		markDegraded(&stats, "deadline")
+		sp.Int("deadline_stopped", os.Stopped)
+	}
 	return &Result{Rows: out, Stats: stats}
 }

@@ -3,11 +3,13 @@ package plan
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"time"
 
 	"repro/internal/conf"
 	"repro/internal/dtree"
+	"repro/internal/fault"
 	"repro/internal/fd"
 	"repro/internal/logical"
 	"repro/internal/obdd"
@@ -162,6 +164,30 @@ type Spec struct {
 	// once per query — never on the per-row hot path — and a nil registry
 	// costs nothing.
 	Metrics *obs.Registry
+	// MemBudget caps one run's governed working memory (bytes): external
+	// sort buffers, hash-join build sides, and the lineage-compilation node
+	// budgets. On pressure the run degrades — sorts spill earlier, hash
+	// joins fall back to sort-merge (grace) mode, compilation tiers shrink
+	// their budgets toward certified bounds — and Stats.Degraded reports
+	// it. 0 means ungoverned (unless Mem alone is set, which installs a
+	// counting-only governor).
+	MemBudget int64
+	// Mem is the engine-wide parent governor: each run's per-query governor
+	// (created from MemBudget) chains to it, so concurrent queries share one
+	// engine-level accounting root. nil means no engine-level accounting.
+	Mem *fault.Governor
+	// Watermark enables graceful deadline degradation: this long before the
+	// run context's deadline, the OBDD and d-tree tiers stop and return
+	// their current certified [lo, hi] bounds and the Monte Carlo tier its
+	// running estimate with the (wider) ε it actually achieved, instead of
+	// dying with context.DeadlineExceeded and nothing to show. 0 disables
+	// the watermark (deadline-exceeded runs fail, exactly as before).
+	Watermark time.Duration
+	// Retry re-runs a query whose failure is a transient injected I/O
+	// fault (fault.IsTransient), with capped exponential backoff and
+	// deterministic jitter. The zero value disables plan-level retries;
+	// storage-level retries are configured on the fault injector itself.
+	Retry fault.Retry
 }
 
 // Stats reports the execution breakdown the paper's figures use.
@@ -227,6 +253,31 @@ type Stats struct {
 	// Trace is the per-operator execution trace of the run (nil unless
 	// Spec.Trace was set).
 	Trace *obs.Trace
+	// Degraded marks a run that completed in a reduced mode instead of
+	// failing: the deadline watermark stopped a tier at its current
+	// certified bounds, or the memory governor denied a reservation and the
+	// run fell back to spill-earlier / grace-join / shrunk-budget paths.
+	// The result is still correct under its (weaker) reported guarantees.
+	Degraded bool
+	// DegradeReason names what degraded: "deadline", "memory", or
+	// "deadline+memory" ("" when Degraded is false).
+	DegradeReason string
+	// Retries counts plan-level re-runs after transient injected I/O
+	// faults (Spec.Retry); storage-level retries are counted by the
+	// injector, not here.
+	Retries int64
+}
+
+// markDegraded folds one degradation cause into the stats, combining
+// multiple causes into a "+"-joined reason.
+func markDegraded(s *Stats, reason string) {
+	s.Degraded = true
+	switch {
+	case s.DegradeReason == "":
+		s.DegradeReason = reason
+	case !strings.Contains(s.DegradeReason, reason):
+		s.DegradeReason += "+" + reason
+	}
 }
 
 // Total returns the end-to-end wall-clock time.
@@ -322,11 +373,25 @@ func (p *Prepared) Run(ctx context.Context) (*Result, error) {
 	if spec.Style == Auto {
 		spec.Style = p.chosen
 	}
+	// Per-query memory governor, chained to the engine-wide parent: sorts,
+	// governed joins and the confidence operator's buffers charge it; the
+	// compilation tiers shrink their node budgets to its headroom.
+	var gov *fault.Governor
+	if spec.MemBudget > 0 || spec.Mem != nil {
+		gov = fault.NewGovernor(spec.MemBudget, spec.Mem)
+		spec.Conf.Mem = gov
+		shrinkBudgets(&spec, gov)
+	}
+	// Deadline watermark: one latching Stop probe shared by every tier.
+	if stop := watermarkStop(ctx, spec.Watermark); stop != nil {
+		spec.OBDD.Stop, spec.DTree.Stop, spec.MC.Stop = stop, stop, stop
+	}
 	var tr *obs.Trace
 	if p.spec.Trace {
 		tr = obs.NewTrace(p.q.Name, spec.Style.String(), p.pool.Workers())
 	}
-	ex := exec{ctx: ctx, pool: p.pool, tr: tr}
+	ex := exec{ctx: ctx, pool: p.pool, tr: tr,
+		mem: gov, sortBudget: spec.Conf.SortBudget, tmpDir: spec.Conf.TmpDir}
 	// Thread the run's context and pool into the operator options so every
 	// tier draws from the same slot budget and honours cancellation.
 	spec.Conf.Ctx, spec.Conf.Pool = ctx, p.pool
@@ -342,11 +407,15 @@ func (p *Prepared) Run(ctx context.Context) (*Result, error) {
 		reg.Counter("queries_style_"+p.spec.Style.String()+"_total").AddShard(h, 1)
 	}
 	reg.Gauge("queries_inflight").Add(1)
-	res, err := runLogical(ex, p.c, p.q, p.b, spec)
+	res, retries, err := p.runAttempts(ex, spec)
 	reg.Gauge("queries_inflight").Add(-1)
 	if err != nil {
 		reg.Counter("queries_failed_total").AddShard(reg.ShardHint(), 1)
 		return nil, err
+	}
+	res.Stats.Retries = retries
+	if gov.Pressured() {
+		markDegraded(&res.Stats, "memory")
 	}
 	if p.spec.Style == Auto {
 		res.Stats.ChosenStyle = p.chosen.String()
@@ -358,6 +427,67 @@ func (p *Prepared) Run(ctx context.Context) (*Result, error) {
 		p.record(reg, &res.Stats, statsSince(t0))
 	}
 	return res, nil
+}
+
+// runAttempts executes the prepared plan up to Spec.Retry.MaxAttempts
+// times: a failure that is a transient injected I/O fault is retried with
+// capped exponential backoff (deterministic jitter, seeded by the Monte
+// Carlo seed so chaos schedules replay identically); everything else —
+// hard faults, cancellation, plan errors — surfaces immediately.
+func (p *Prepared) runAttempts(ex exec, spec Spec) (*Result, int64, error) {
+	attempts := 1
+	if spec.Retry.Enabled() {
+		attempts = spec.Retry.MaxAttempts
+	}
+	var retries int64
+	for attempt := 1; ; attempt++ {
+		res, err := p.runRecovered(ex, spec)
+		if err == nil {
+			return res, retries, nil
+		}
+		if attempt >= attempts || !fault.IsTransient(err) || ex.ctx.Err() != nil {
+			return nil, retries, err
+		}
+		retries++
+		time.Sleep(spec.Retry.Backoff(spec.MC.Seed, attempt))
+	}
+}
+
+// runRecovered runs one attempt with a panic boundary: an operator or tier
+// panic on the run's own goroutine becomes a typed *fault.PanicError (the
+// worker-pool boundary in internal/pool does the same for pooled tasks),
+// so a chaos-injected panic fails one query, not the process.
+func (p *Prepared) runRecovered(ex exec, spec Spec) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &fault.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return runLogical(ex, p.c, p.q, p.b, spec)
+}
+
+// compileNodeCost is the rough per-node working-set estimate (bytes) used
+// to translate governor headroom into OBDD node / d-tree step budgets.
+const compileNodeCost = 64
+
+// shrinkBudgets caps the lineage-compilation budgets to the governor's
+// headroom: under memory pressure the compilers stop earlier and report
+// certified bounds instead of growing an arena the budget cannot admit.
+func shrinkBudgets(spec *Spec, gov *fault.Governor) {
+	rem := gov.Remaining()
+	if rem <= 0 || rem/compileNodeCost >= int64(obdd.DefaultNodeBudget) {
+		return // headroom covers even the default budgets; nothing to shrink
+	}
+	maxNodes := int(rem / compileNodeCost)
+	if maxNodes < 1 {
+		maxNodes = 1
+	}
+	if spec.OBDD.NodeBudget <= 0 || spec.OBDD.NodeBudget > maxNodes {
+		spec.OBDD.NodeBudget = maxNodes
+	}
+	if spec.DTree.NodeBudget <= 0 || spec.DTree.NodeBudget > maxNodes {
+		spec.DTree.NodeBudget = maxNodes
+	}
 }
 
 // record publishes one finished run into the metrics registry — a handful

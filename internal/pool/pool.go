@@ -16,8 +16,11 @@ package pool
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // ParallelMinRows is the input size below which the engine's partitioned
@@ -73,6 +76,11 @@ func (p *Pool) Parallel() bool { return cap(p.sem) > 0 }
 // it were all claimed earlier and ran to completion, so the choice is
 // deterministic — or ctx.Err() when the run was cut short with no task
 // error. A nil ctx means no cancellation.
+//
+// A panicking task is recovered at this boundary and converted into a
+// *fault.PanicError for its index: the panic fails its own Do call (and so
+// its own query) without unwinding through shared Engine state or leaking
+// the helper slot, whose release is already deferred.
 func (p *Pool) Do(ctx context.Context, n int, task func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -82,6 +90,14 @@ func (p *Pool) Do(ctx context.Context, n int, task func(i int) error) error {
 		stop atomic.Bool
 	)
 	errs := make([]error, n)
+	run := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &fault.PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return task(i)
+	}
 	worker := func() {
 		for !stop.Load() {
 			i := int(atomic.AddInt64(&next, 1))
@@ -92,7 +108,7 @@ func (p *Pool) Do(ctx context.Context, n int, task func(i int) error) error {
 				stop.Store(true)
 				return
 			}
-			if err := task(i); err != nil {
+			if err := run(i); err != nil {
 				errs[i] = err
 				stop.Store(true)
 				return

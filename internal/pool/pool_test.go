@@ -2,11 +2,17 @@ package pool
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/fault"
 )
+
+// errTask is the sentinel ordinary-task error of the panic-ordering test.
+var errTask = errors.New("task error")
 
 func TestWorkersAndParallel(t *testing.T) {
 	if w := New(0).Workers(); w < 1 {
@@ -126,5 +132,50 @@ func TestDoReleasesSlots(t *testing.T) {
 	}
 	if got := len(p.sem); got != 0 {
 		t.Fatalf("%d slots still held after completed Do calls", got)
+	}
+}
+
+// TestDoRecoversPanics: a panicking task surfaces as a typed
+// *fault.PanicError for its index without crashing sibling workers or
+// leaking helper slots; the pool stays usable afterwards.
+func TestDoRecoversPanics(t *testing.T) {
+	p := New(4)
+	err := p.Do(context.Background(), 16, func(i int) error {
+		if i == 5 {
+			panic("operator bug")
+		}
+		return nil
+	})
+	pe, ok := fault.IsPanic(err)
+	if !ok {
+		t.Fatalf("Do returned %v, want *fault.PanicError", err)
+	}
+	if pe.Value != "operator bug" || len(pe.Stack) == 0 {
+		t.Fatalf("panic payload lost: %+v", pe)
+	}
+	if got := len(p.sem); got != 0 {
+		t.Fatalf("%d slots leaked after panicking Do", got)
+	}
+	// The pool must remain fully functional.
+	if err := p.Do(context.Background(), 8, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoPanicLowestIndexWins: with both a panic and an ordinary error, the
+// lowest erroring index still decides the returned error.
+func TestDoPanicLowestIndexWins(t *testing.T) {
+	p := New(1) // serial: deterministic claim order
+	err := p.Do(context.Background(), 4, func(i int) error {
+		if i == 1 {
+			return errTask
+		}
+		if i == 2 {
+			panic("later panic")
+		}
+		return nil
+	})
+	if err != errTask {
+		t.Fatalf("got %v, want the lower-index task error", err)
 	}
 }

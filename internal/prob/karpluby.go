@@ -32,14 +32,21 @@ func (c *mcCompiled) pickClause(rng *rand.Rand) int {
 	return i
 }
 
-// sampleKarpLuby draws n Karp–Luby samples and returns U·(hit fraction),
-// the unbiased estimate of Pr[φ]. Callers clamp to [0, 1].
-func (c *mcCompiled) sampleKarpLuby(ctx context.Context, n int, rng *rand.Rand) (float64, error) {
+// sampleKarpLuby draws up to n Karp–Luby samples and returns U·(hit
+// fraction), the unbiased estimate of Pr[φ], plus the count actually drawn
+// (less than n only when stop fired between sample blocks). Callers clamp
+// to [0, 1].
+func (c *mcCompiled) sampleKarpLuby(ctx context.Context, n int, rng *rand.Rand, stop func() bool) (float64, int, error) {
 	buf := make([]bool, len(c.vars))
 	hits := 0
 	for s := 0; s < n; s++ {
-		if s%cancelCheckInterval == 0 && ctx.Err() != nil {
-			return 0, ctx.Err()
+		if s%cancelCheckInterval == 0 {
+			if ctx.Err() != nil {
+				return 0, 0, ctx.Err()
+			}
+			if s > 0 && stop != nil && stop() {
+				return c.U * float64(hits) / float64(s), s, nil
+			}
 		}
 		i := c.pickClause(rng)
 		// Draw a world conditioned on clause i: its variables are true,
@@ -63,5 +70,5 @@ func (c *mcCompiled) sampleKarpLuby(ctx context.Context, n int, rng *rand.Rand) 
 			hits++
 		}
 	}
-	return c.U * float64(hits) / float64(n), nil
+	return c.U * float64(hits) / float64(n), n, nil
 }

@@ -78,6 +78,12 @@ type MCOptions struct {
 	// shared pool here so estimation draws from the same slot budget as
 	// every other parallel stage. Workers is ignored then.
 	Pool *pool.Pool
+	// Stop, when non-nil, is polled between sample blocks (every
+	// cancelCheckInterval draws); once it reports true the sampler returns
+	// the running estimate over the samples drawn so far with the wider ε
+	// those samples actually guarantee, and the estimate reports
+	// Stopped=true. The planner arms it with a deadline-watermark probe.
+	Stop func() bool
 }
 
 func (o MCOptions) withDefaults() MCOptions {
@@ -113,6 +119,10 @@ type MCEstimate struct {
 	// count the requested (ε, δ) bound asked for — the early-stop reason
 	// observability surfaces as "sample cap" rather than "target met".
 	Capped bool
+	// Stopped reports that MCOptions.Stop cut the run short: P is the
+	// running estimate over Samples draws and Epsilon the (wider) bound
+	// they actually guarantee.
+	Stopped bool
 }
 
 // SampleBound returns the Hoeffding sample count guaranteeing an additive
@@ -235,15 +245,21 @@ func (c *mcCompiled) evalBuf(buf []bool) bool {
 // multi-million-sample run returns in well under a millisecond of work.
 const cancelCheckInterval = 8192
 
-// sampleNaive draws n full possible worlds over the formula's variables and
-// returns the fraction satisfying it — the definitional estimator, with
-// sample range [0, 1].
-func (c *mcCompiled) sampleNaive(ctx context.Context, n int, rng *rand.Rand) (float64, error) {
+// sampleNaive draws up to n full possible worlds over the formula's
+// variables and returns the fraction satisfying it — the definitional
+// estimator, with sample range [0, 1] — plus the count actually drawn
+// (less than n only when stop fired between sample blocks).
+func (c *mcCompiled) sampleNaive(ctx context.Context, n int, rng *rand.Rand, stop func() bool) (float64, int, error) {
 	buf := make([]bool, len(c.vars))
 	hits := 0
 	for s := 0; s < n; s++ {
-		if s%cancelCheckInterval == 0 && ctx.Err() != nil {
-			return 0, ctx.Err()
+		if s%cancelCheckInterval == 0 {
+			if ctx.Err() != nil {
+				return 0, 0, ctx.Err()
+			}
+			if s > 0 && stop != nil && stop() {
+				return float64(hits) / float64(s), s, nil
+			}
 		}
 		for i, p := range c.probs {
 			buf[i] = rng.Float64() < p
@@ -252,7 +268,7 @@ func (c *mcCompiled) sampleNaive(ctx context.Context, n int, rng *rand.Rand) (fl
 			hits++
 		}
 	}
-	return float64(hits) / float64(n), nil
+	return float64(hits) / float64(n), n, nil
 }
 
 // mcEstimate runs one formula through the configured estimator.
@@ -288,22 +304,35 @@ func mcEstimate(ctx context.Context, c *mcCompiled, o MCOptions, rng *rand.Rand)
 		capped = true
 	}
 	var p float64
+	var drawn int
 	var err error
 	switch method {
 	case MCKarpLuby:
-		p, err = c.sampleKarpLuby(ctx, n, rng)
+		p, drawn, err = c.sampleKarpLuby(ctx, n, rng, o.Stop)
 	default:
-		p, err = c.sampleNaive(ctx, n, rng)
+		p, drawn, err = c.sampleNaive(ctx, n, rng, o.Stop)
 	}
 	if err != nil {
 		return MCEstimate{}, err
+	}
+	stopped := false
+	if drawn < n {
+		// Deadline watermark: keep the running estimate, widen ε to what
+		// the drawn samples actually guarantee.
+		n = drawn
+		eps = achievedEps(n, o.Delta, width)
+		if eps > width {
+			eps = width
+		}
+		stopped = true
 	}
 	if p < 0 {
 		p = 0
 	} else if p > 1 {
 		p = 1
 	}
-	return MCEstimate{P: p, Samples: n, Method: method.String(), Epsilon: eps, Delta: o.Delta, Capped: capped}, nil
+	return MCEstimate{P: p, Samples: n, Method: method.String(), Epsilon: eps, Delta: o.Delta,
+		Capped: capped, Stopped: stopped}, nil
 }
 
 // MCProb estimates Pr[φ] for a single formula with the given options,

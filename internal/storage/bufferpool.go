@@ -103,3 +103,18 @@ func (bp *BufferPool) Stats() (hits, misses int64) {
 	defer bp.mu.Unlock()
 	return bp.hits, bp.misses
 }
+
+// Pinned counts frames currently held by at least one pin. Quiescent pools
+// report zero; the chaos harness asserts this after every faulted query to
+// prove no scan abandons a pinned page on any error path.
+func (bp *BufferPool) Pinned() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, fr := range bp.frames {
+		if fr.pins > 0 {
+			n++
+		}
+	}
+	return n
+}

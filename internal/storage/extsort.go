@@ -8,6 +8,7 @@ import (
 	"slices"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/table"
 )
 
@@ -36,7 +37,21 @@ type ExternalSorter struct {
 	finished  bool
 	seq       int
 	tmpPrefix string
+
+	mem         *fault.Governor // optional memory governor (nil = ungoverned)
+	memEst      int64           // estimated bytes of buf
+	memReserved int64           // bytes currently reserved with mem
+	earlySpills int             // spills forced by governor pressure
 }
+
+// memChunk is the reservation granularity of a governed sorter: the buffer
+// estimate is charged to the governor in chunks this large, so the atomic
+// traffic stays off the per-tuple path.
+const memChunk = 64 << 10
+
+// tupleMemEst approximates the heap footprint of one buffered tuple:
+// slice header plus per-value storage.
+func tupleMemEst(t table.Tuple) int64 { return 32 + 48*int64(len(t)) }
 
 // DefaultSortBudget is the default number of tuples buffered in memory.
 const DefaultSortBudget = 1 << 16
@@ -62,16 +77,50 @@ func NewExternalSorter(cmp TupleCompare, budget int, tmpDir string) *ExternalSor
 // Spills reports how many runs were written to disk (0 = pure in-memory sort).
 func (s *ExternalSorter) Spills() int { return s.spills }
 
-// Add buffers one tuple, spilling a sorted run when the budget is exceeded.
+// Govern attaches a memory governor: the in-memory buffer is charged
+// against it in memChunk steps, and a denied reservation forces an early
+// spill instead of growing further. Call before the first Add.
+func (s *ExternalSorter) Govern(g *fault.Governor) { s.mem = g }
+
+// EarlySpills reports how many runs were spilled because the governor
+// denied further buffer growth (a subset of Spills).
+func (s *ExternalSorter) EarlySpills() int { return s.earlySpills }
+
+// Add buffers one tuple, spilling a sorted run when the tuple budget is
+// exceeded — or earlier, when the memory governor refuses to admit more
+// buffer growth.
 func (s *ExternalSorter) Add(t table.Tuple) error {
 	if s.finished {
 		return fmt.Errorf("storage: Add after Finish")
 	}
 	s.buf = append(s.buf, t)
+	if s.mem != nil {
+		s.memEst += tupleMemEst(t)
+		if s.memEst > s.memReserved {
+			if !s.mem.TryReserve(memChunk) {
+				// Pressure: spill now (len(buf) >= 1) rather than OOM.
+				if len(s.buf) > 1 || s.memReserved > 0 {
+					s.earlySpills++
+					return s.spill()
+				}
+			} else {
+				s.memReserved += memChunk
+			}
+		}
+	}
 	if len(s.buf) >= s.budget {
 		return s.spill()
 	}
 	return nil
+}
+
+// releaseMem returns the buffer reservation to the governor.
+func (s *ExternalSorter) releaseMem() {
+	if s.memReserved > 0 {
+		s.mem.Release(s.memReserved)
+		s.memReserved = 0
+	}
+	s.memEst = 0
 }
 
 func (s *ExternalSorter) sortBuf() {
@@ -99,6 +148,7 @@ func (s *ExternalSorter) spill() error {
 	s.runs = append(s.runs, run)
 	s.spills++
 	s.buf = s.buf[:0]
+	s.releaseMem()
 	return nil
 }
 
@@ -112,6 +162,7 @@ func (s *ExternalSorter) Finish() (TupleIterator, error) {
 	s.finished = true
 	if len(s.runs) == 0 {
 		s.sortBuf()
+		s.releaseMem()
 		return &memIter{rows: s.buf}, nil
 	}
 	if len(s.buf) > 0 {
@@ -137,6 +188,7 @@ func (s *ExternalSorter) Discard() {
 	}
 	s.runs = nil
 	s.finished = true
+	s.releaseMem()
 }
 
 // memIter iterates an in-memory sorted buffer.

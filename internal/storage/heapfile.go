@@ -25,7 +25,7 @@ type HeapFile struct {
 
 // CreateHeapFile creates (truncating) a heap file at path.
 func CreateHeapFile(path string) (*HeapFile, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := ioCreate(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: create heap file: %w", err)
 	}
@@ -36,7 +36,7 @@ func CreateHeapFile(path string) (*HeapFile, error) {
 
 // OpenHeapFile opens an existing heap file for reading.
 func OpenHeapFile(path string) (*HeapFile, error) {
-	f, err := os.Open(path)
+	f, err := ioOpen(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open heap file: %w", err)
 	}
@@ -86,7 +86,7 @@ func (h *HeapFile) Append(t table.Tuple) error {
 }
 
 func (h *HeapFile) flushWritePage() error {
-	if _, err := h.f.WriteAt(h.writePg.Bytes(), h.writeNo*PageSize); err != nil {
+	if err := ioWriteAt(h.f, h.path, h.writePg.Bytes(), h.writeNo*PageSize); err != nil {
 		return fmt.Errorf("storage: flush page %d: %w", h.writeNo, err)
 	}
 	h.writeNo++
@@ -114,7 +114,7 @@ func (h *HeapFile) ReadPage(no int64, dst *Page) error {
 	if no < 0 || no >= h.numPages {
 		return fmt.Errorf("storage: page %d out of range [0,%d)", no, h.numPages)
 	}
-	if _, err := h.f.ReadAt(dst.Bytes(), no*PageSize); err != nil && err != io.EOF {
+	if _, err := ioReadAt(h.f, h.path, dst.Bytes(), no*PageSize); err != nil && err != io.EOF {
 		return fmt.Errorf("storage: read page %d: %w", no, err)
 	}
 	return nil
@@ -129,13 +129,22 @@ func (h *HeapFile) Close() error {
 	return h.f.Close()
 }
 
+// Sync flushes the file to stable storage — the durability barrier callers
+// place after FinishWrites when the file must survive a crash.
+func (h *HeapFile) Sync() error {
+	if err := ioSync(h.f, h.path); err != nil {
+		return fmt.Errorf("storage: sync %s: %w", h.path, err)
+	}
+	return nil
+}
+
 // Remove closes and deletes the file; used for temp spill files.
 func (h *HeapFile) Remove() error {
 	if err := h.f.Close(); err != nil {
-		os.Remove(h.path)
+		ioRemove(h.path)
 		return err
 	}
-	return os.Remove(h.path)
+	return ioRemove(h.path)
 }
 
 // scanArenaBlock is how many decoded values a scanner allocates per arena

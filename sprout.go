@@ -58,9 +58,11 @@ package sprout
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/conf"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/fd"
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -434,6 +436,64 @@ func RequireExact() RunOption {
 	return func(s *plan.Spec) error { s.RequireExact = true; return nil }
 }
 
+// WithMemoryBudget caps one run's governed working memory at the given
+// number of bytes: external sort buffers, hash-join build sides and the
+// lineage-compilation budgets all charge a per-query governor. On pressure
+// the run degrades instead of failing — sorts spill to disk earlier, hash
+// joins fall back to sort-merge (grace) mode, the OBDD/d-tree tiers shrink
+// their node budgets toward certified bounds — and Result.Stats.Degraded
+// reports it with DegradeReason "memory". The budget must be positive;
+// omit the option for ungoverned execution. Governed runs keep the exact
+// same answers; only memory use, wall-clock and (for shrunk compilation
+// budgets) bound widths change.
+func WithMemoryBudget(bytes int64) RunOption {
+	return func(s *plan.Spec) error {
+		if bytes <= 0 {
+			return fmt.Errorf("sprout: WithMemoryBudget(%d): budget must be ≥ 1 byte (omit the option for ungoverned execution)", bytes)
+		}
+		s.MemBudget = bytes
+		return nil
+	}
+}
+
+// WithDeadlineWatermark turns a context deadline into graceful degradation:
+// the given margin before the deadline, the OBDD and d-tree tiers stop and
+// return their current certified [lo, hi] bounds (Result.Stats.LowerBound/
+// UpperBound still contain every true confidence) and the Monte Carlo tier
+// returns its running estimate with the weaker ε it actually achieved —
+// instead of the run dying with context.DeadlineExceeded and nothing to
+// show. Result.Stats.Degraded is set with DegradeReason "deadline". The
+// margin must be positive; omit the option (or run without a deadline) to
+// keep strict deadline semantics.
+func WithDeadlineWatermark(margin time.Duration) RunOption {
+	return func(s *plan.Spec) error {
+		if margin <= 0 {
+			return fmt.Errorf("sprout: WithDeadlineWatermark(%v): margin must be positive (omit the option for strict deadlines)", margin)
+		}
+		s.Watermark = margin
+		return nil
+	}
+}
+
+// WithRetryPolicy retries a query whose failure is a transient I/O fault
+// (as classified by the storage fault plane) up to maxAttempts total
+// attempts, sleeping between attempts with capped exponential backoff —
+// base·2^(attempt-1) up to max — plus deterministic jitter.
+// Result.Stats.Retries counts the re-runs. maxAttempts must be ≥ 1 (1
+// disables retrying); base and max must be positive with base ≤ max.
+func WithRetryPolicy(maxAttempts int, base, max time.Duration) RunOption {
+	return func(s *plan.Spec) error {
+		if maxAttempts < 1 {
+			return fmt.Errorf("sprout: WithRetryPolicy: maxAttempts %d must be ≥ 1", maxAttempts)
+		}
+		if base <= 0 || max <= 0 || base > max {
+			return fmt.Errorf("sprout: WithRetryPolicy: backoff bounds %v..%v must be positive and ordered", base, max)
+		}
+		s.Retry = fault.Retry{MaxAttempts: maxAttempts, Base: base, Max: max}
+		return nil
+	}
+}
+
 // WithRowExecution disables the vectorized (columnar) execution tier,
 // running scans, filters, projections and joins tuple-at-a-time through the
 // row engine. Results are bit-identical either way — the row path is the
@@ -514,6 +574,10 @@ type Engine struct {
 	defaults plan.Spec
 	pool     *pool.Pool
 	metrics  *obs.Registry
+	// mem is the engine-wide memory-accounting root: every budgeted run
+	// (WithMemoryBudget) charges a per-query child of it, so concurrent
+	// governed queries share one accounting tree.
+	mem *fault.Governor
 }
 
 // NewEngine builds a serving engine over the database. opts set the
@@ -531,8 +595,17 @@ func (db *DB) NewEngine(opts ...RunOption) (*Engine, error) {
 	if err := applyOptions(&spec, opts); err != nil {
 		return nil, err
 	}
-	return &Engine{db: db, defaults: spec, pool: pool.New(spec.Workers), metrics: obs.New()}, nil
+	return &Engine{db: db, defaults: spec, pool: pool.New(spec.Workers),
+		metrics: obs.New(), mem: fault.NewGovernor(0, nil)}, nil
 }
+
+// MemoryInUse reports the bytes currently reserved by budgeted
+// (WithMemoryBudget) runs across the whole engine; MemoryHighWater the
+// peak. Ungoverned runs do not account their memory and report zero.
+func (e *Engine) MemoryInUse() int64 { return e.mem.Used() }
+
+// MemoryHighWater reports the peak engine-wide governed reservation.
+func (e *Engine) MemoryHighWater() int64 { return e.mem.HighWater() }
 
 // Workers returns the engine pool's total worker count.
 func (e *Engine) Workers() int { return e.pool.Workers() }
@@ -567,6 +640,9 @@ func (e *Engine) spec(style PlanStyle, opts []RunOption) (plan.Spec, error) {
 	}
 	if spec.Workers == e.defaults.Workers {
 		spec.Pool = e.pool
+	}
+	if spec.MemBudget > 0 {
+		spec.Mem = e.mem
 	}
 	return spec, nil
 }
